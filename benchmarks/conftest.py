@@ -1,0 +1,21 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every bench prints a paper-vs-measured report (captured by pytest unless
+run with ``-s``) and asserts the qualitative shape documented in
+EXPERIMENTS.md.  Timing-wise, cheap kernels use the default
+pytest-benchmark loop; full experiment replays run once via
+``benchmark.pedantic`` since a single run already takes seconds of
+simulated traffic.
+"""
+
+import pytest
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under the benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def run_once():
+    return once

@@ -1,0 +1,38 @@
+"""Ablation: fluid max-min model vs packet-level DES (DESIGN.md #1).
+
+The fluid model answers the Fig. 12 allocation question in microseconds;
+the packet-level emulator takes seconds of wall time.  This bench times
+the fluid solve and checks it lands on the same winner and totals as the
+short DES replay.
+"""
+
+import pytest
+
+from repro.experiments import fig12_flow_aggregation as fig12
+from repro.net.fluid import FluidFlow, max_min_fair, total_throughput
+from repro.topologies import TUNNEL1, TUNNEL2, TUNNEL3, fig12_capacities
+
+
+def test_fluid_solver_speed(benchmark):
+    caps = fig12_capacities()
+    flows = [
+        FluidFlow.from_path("f1", TUNNEL1),
+        FluidFlow.from_path("f2", TUNNEL2),
+        FluidFlow.from_path("f3", TUNNEL3),
+    ]
+    rates = benchmark(max_min_fair, flows, caps)
+    assert total_throughput(rates) == pytest.approx(35.0)
+
+
+def test_fluid_matches_des_steady_state(run_once, benchmark):
+    fluid_before, fluid_after = fig12.fluid_prediction()
+    result = run_once(benchmark, fig12.run, phase_duration=25.0)
+    print(
+        f"\nfluid before/after: {fluid_before:.1f}/{fluid_after:.1f} Mbps | "
+        f"DES before/after: {result.total_before:.1f}/{result.total_after:.1f} Mbps"
+    )
+    # same winner (spreading beats piling onto T1) and same totals ±15%
+    assert fluid_after > fluid_before
+    assert result.total_after > result.total_before
+    assert result.total_before == pytest.approx(fluid_before, rel=0.15)
+    assert result.total_after == pytest.approx(fluid_after, rel=0.15)

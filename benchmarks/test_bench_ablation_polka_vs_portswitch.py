@@ -1,0 +1,68 @@
+"""Ablation: PolKA vs port-switching source routing (DESIGN.md #4).
+
+Sec. II.B contrasts PolKA's fixed header against the classic pop-per-hop
+port list.  We compare per-hop forwarding cost, header rewrites and
+header size on the Fig. 9 tunnels and on longer random-WAN paths.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.polka import PolkaDomain
+from repro.topologies import random_wan
+
+
+def domain_and_path(n_routers=12, hops=8, seed=1):
+    net = random_wan(n_routers=n_routers, extra_edges=10, seed=seed)
+    names = sorted(net.routers)
+    # find a simple path with the requested hop count
+    for src in names:
+        for dst in names:
+            if src == dst:
+                continue
+            for path in nx.all_simple_paths(net.graph, src, dst, cutoff=hops):
+                if len(path) == hops and all(n in net.routers for n in path):
+                    return net.polka, path
+    raise RuntimeError("no suitable path found")
+
+
+def test_polka_header_is_never_rewritten(benchmark):
+    domain, path = domain_and_path()
+    route = domain.route_for_path(path)
+
+    def forward_all():
+        return domain.walk(route)
+
+    decisions = benchmark(forward_all)
+    assert len(decisions) == len(path) - 1
+    # zero header rewrites by construction: routeID is immutable
+    assert route.route_id == domain.route_for_path(path).route_id
+
+
+def test_port_switching_rewrites_every_hop(benchmark):
+    domain, path = domain_and_path()
+
+    def forward_all():
+        psr = domain.port_switching_route(path)
+        while psr.ports:
+            psr.forward()
+        return psr
+
+    psr = benchmark(forward_all)
+    assert psr.rewrites == len(path) - 1  # one header rewrite per hop
+
+
+def test_header_size_tradeoff():
+    """PolKA trades per-hop rewrites for a wider header; quantify it."""
+    domain, path = domain_and_path()
+    polka = domain.route_for_path(path)
+    psr = domain.port_switching_route(path)
+    print(
+        f"\npath hops: {len(path) - 1} | PolKA header: {polka.header_bits} bits, "
+        f"rewrites 0 | port-switching header: {psr.header_bits} bits, "
+        f"rewrites {len(path) - 1}"
+    )
+    assert polka.header_bits > 0
+    assert psr.header_bits > 0
+    # PolKA's header is wider (the CRT product) but constant in flight
+    assert polka.header_bits >= psr.header_bits

@@ -1,0 +1,48 @@
+"""Ablation: routeID header growth with path length (DESIGN.md #5).
+
+The routeID is bounded by the degree sum of the traversed node IDs; this
+bench measures actual header bits against that bound as paths lengthen,
+and times compilation.
+"""
+
+import numpy as np
+
+from repro.polka import PolkaDomain, gf2
+
+
+def line_domain(n):
+    """n-node chain with 2 ports per node (deterministic)."""
+    adjacency = {}
+    names = [f"n{i}" for i in range(n)]
+    for i, name in enumerate(names):
+        ports = {}
+        if i > 0:
+            ports[names[i - 1]] = 0
+        if i < n - 1:
+            ports[names[i + 1]] = 1
+        adjacency[name] = ports
+    return PolkaDomain(adjacency), names
+
+
+def test_routeid_bits_scale_with_degree_sum(benchmark):
+    domain, names = line_domain(24)
+
+    def compile_all():
+        return [
+            domain.route_for_path(names[: k + 1]) for k in range(2, 24)
+        ]
+
+    routes = benchmark(compile_all)
+    print("\nhops  header_bits  degree_sum_bound")
+    for route in routes[::4]:
+        bound = sum(gf2.deg(m) for m in route.moduli)
+        print(f"{len(route.path) - 1:4d}  {route.header_bits:11d}  {bound:16d}")
+        assert route.header_bits <= bound + 1
+    bits = [r.header_bits for r in routes]
+    assert bits == sorted(bits)  # monotone growth with path length
+
+
+def test_long_path_compilation_rate(benchmark):
+    domain, names = line_domain(40)
+    route = benchmark(domain.route_for_path, names)
+    assert domain.walk(route)  # still forwards correctly end to end

@@ -1,0 +1,21 @@
+"""Fig. 11 bench: agile migration to the lower-latency path."""
+
+import pytest
+
+from repro.experiments import fig11_latency_migration as fig11
+
+
+def test_fig11_latency_migration(run_once, benchmark):
+    result = run_once(benchmark, fig11.run, phase_duration=40.0)
+    print("\n" + fig11.summary(result))
+    # RTT steps down by ~the injected one-way 20 ms delay
+    assert result.improvement_ms == pytest.approx(
+        fig11.INJECTED_DELAY_MS, abs=4.0
+    )
+    assert result.rtt_after_ms < result.rtt_before_ms
+    # the migration cost exactly one PBR entry at the ingress edge
+    assert result.pbr_touches == 1
+    assert result.core_reconfigurations == 0
+    # probes keep flowing across the migration (no blackout)
+    t = result.times
+    assert ((t > result.migration_at) & (t < result.migration_at + 5.0)).sum() >= 3

@@ -1,0 +1,23 @@
+"""Fig. 12 bench: flow aggregation across Tunnels 1/2/3."""
+
+import pytest
+
+from repro.experiments import fig12_flow_aggregation as fig12
+
+
+def test_fig12_flow_aggregation(run_once, benchmark):
+    result = run_once(benchmark, fig12.run, phase_duration=35.0)
+    print("\n" + fig12.summary(result))
+    # phase (i): three flows share Tunnel 1 -> "less than 20 Mbps"
+    assert result.total_before < fig12.PAPER_BEFORE_MBPS + 1.0
+    # fair sharing before the split (~6-7 Mbps each)
+    rates = list(result.per_flow_before.values())
+    assert max(rates) < 2.0 * min(rates)
+    # phase (ii): the optimizer spreads the flows -> >= ~30 Mbps
+    assert result.total_after > fig12.PAPER_AFTER_MBPS - 2.0
+    assert sorted(result.assignment.values()) == ["T1", "T2", "T3"]
+    # exactly two PBR touches moved two flows (paper: one to T2, one to T3)
+    assert len(result.migrations) == 2
+    # packet-level steady states agree with the fluid model
+    assert result.total_after == pytest.approx(result.fluid_after, rel=0.15)
+    assert result.total_before == pytest.approx(result.fluid_before, rel=0.15)

@@ -1,0 +1,28 @@
+"""Fig. 1 bench: the PolKA worked example + data-plane kernel rates."""
+
+from repro.experiments import fig1_polka_example as fig1
+from repro.polka import PolkaDomain, gf2
+from repro.topologies import fig1_line
+
+
+def test_fig1_worked_example(benchmark):
+    result = benchmark(fig1.run)
+    print("\n" + fig1.summary(result))
+    assert result.matches_paper
+    assert result.route_id == 0b10000
+    assert result.hop_ports == {"s1": 1, "s2": 2, "s3": 6}
+
+
+def test_fig1_forwarding_kernel(benchmark):
+    """The per-packet op a core node executes: routeID mod nodeID."""
+    route_id, node_id = 0b10000, 0b111
+    port = benchmark(gf2.mod, route_id, node_id)
+    assert port == 0b10  # port 2, as in the paper
+
+
+def test_fig1_route_compilation(benchmark):
+    """Controller-side CRT compilation of the 3-hop route."""
+    adjacency, node_ids = fig1_line()
+    domain = PolkaDomain(adjacency, node_ids=node_ids)
+    route = benchmark(domain.route_for_path, ["s1", "s2", "s3", "edge_out"])
+    assert route.route_id == 0b10000

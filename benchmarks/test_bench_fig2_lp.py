@@ -1,0 +1,35 @@
+"""Fig. 2 bench: the Sec. III LP / convex TE solvers."""
+
+import pytest
+
+from repro.experiments import fig2_minmax_lp as fig2
+from repro.hecate import solve_min_cost, solve_min_delay, solve_min_max_utilization
+
+
+def test_fig2_demand_sweep(benchmark):
+    result = benchmark(fig2.run)
+    print("\n" + fig2.summary(result))
+    rows = result.rows
+    # direct path preferred under linear cost until it saturates
+    assert rows[0].cost_x_sid == pytest.approx(0.0, abs=1e-9)
+    assert rows[-1].cost_x_sd == pytest.approx(result.c_direct, abs=1e-6)
+    # min-max utilization grows linearly with demand on equal capacities
+    assert rows[-1].minmax_util > rows[0].minmax_util
+    # the delay objective is increasing and convex-ish in demand
+    objs = [r.delay_objective for r in rows]
+    assert all(b >= a for a, b in zip(objs, objs[1:]))
+
+
+def test_fig2_min_cost_kernel(benchmark):
+    split = benchmark(solve_min_cost, 15.0, 10.0, 10.0)
+    assert split.x_sd == pytest.approx(10.0)
+
+
+def test_fig2_min_max_kernel(benchmark):
+    split = benchmark(solve_min_max_utilization, 12.0, 30.0, 10.0)
+    assert split.objective == pytest.approx(0.3)
+
+
+def test_fig2_min_delay_kernel(benchmark):
+    split = benchmark(solve_min_delay, 8.0, 10.0)
+    assert split.total == pytest.approx(8.0)

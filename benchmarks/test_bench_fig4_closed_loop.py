@@ -1,0 +1,12 @@
+"""Figs. 3-4 bench: the integration framework's control loop replay."""
+
+from repro.experiments import fig4_closed_loop as fig4
+
+
+def test_fig4_sequence_replay(run_once, benchmark):
+    result = run_once(benchmark, fig4.run)
+    print("\n" + fig4.summary(result))
+    assert result.sequence_respected
+    assert result.placed_tunnel == "T1"  # fattest tunnel under max_bandwidth
+    assert result.decision["ok"]
+    assert set(result.decision["forecasts"]) == {"T1", "T2", "T3"}

@@ -1,0 +1,13 @@
+"""Fig. 5b bench: synthetic UQ wireless trace generation."""
+
+from repro.experiments import fig5_dataset as fig5
+
+
+def test_fig5_dataset_generation(benchmark):
+    result = benchmark(fig5.run)
+    print("\n" + fig5.summary(result))
+    assert result.wifi_indoor_dominates  # WiFi strong indoors (paper Fig. 5b)
+    assert result.lte_outdoor_dominates  # LTE overtakes outdoors
+    ds = result.dataset
+    assert ds.n_samples == 500  # 500 s at 1 Hz, like the UQ collection
+    assert (ds.wifi >= 0).all() and (ds.lte >= 0).all()

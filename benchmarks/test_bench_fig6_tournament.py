@@ -1,0 +1,34 @@
+"""Fig. 6 bench: the 18-regressor tournament.
+
+Regenerates the RMSE scatter through the paper's pipeline and checks the
+published shape: RFR selected, RFR+GBR lowest on the WiFi axis, GPR
+off-scale/excluded, Lasso & ElasticNet trailing the field.
+"""
+
+import numpy as np
+
+from repro.experiments import fig6_regressor_tournament as fig6
+from repro.hecate import PAPER_FIG6_RMSE
+
+
+def test_fig6_tournament(run_once, benchmark):
+    result = run_once(benchmark, fig6.run)
+    print("\n" + fig6.summary(result))
+    t = result.tournament
+
+    # paper: RFR is integrated into the framework
+    assert result.best_label == "RFR"
+    # paper: "RFR and GBR are the best regression models with the lowest RMSE"
+    included = [e for e in t.entries if e.paper_id not in t.excluded]
+    by_wifi = sorted(included, key=lambda e: e.rmse_wifi)
+    assert {by_wifi[0].label, by_wifi[1].label} == {"RFR", "GBR"}
+    # paper: GPR excluded for being off-scale
+    assert result.gpr_excluded
+    gpr = t.entry("R7")
+    assert gpr.distance_to_origin == max(
+        e.distance_to_origin for e in t.entries
+    )
+    # paper: Lasso/ElasticNet in the worst quartile on WiFi
+    wifi_q75 = np.percentile([e.rmse_wifi for e in included], 75)
+    assert t.entry("R10").rmse_wifi > wifi_q75
+    assert t.entry("R5").rmse_wifi > wifi_q75

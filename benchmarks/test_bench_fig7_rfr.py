@@ -1,0 +1,14 @@
+"""Fig. 7 bench: RFR observed-vs-predicted on both paths."""
+
+from repro.experiments import fig7_fig8_models as models
+
+
+def test_fig7_rfr_tracks_observed(run_once, benchmark):
+    result = run_once(benchmark, models.run_fig7)
+    print("\n" + models.summary(result, "Fig. 7"))
+    for name, fit in result.paths.items():
+        # "predicts bandwidth ... very close to the observed real bandwidth"
+        assert fit.correlation > 0.3, name
+        assert fit.rmse < 0.8 * fit.observed.std() + fit.observed.std(), name
+    # the WiFi path is the harder one yet still tracked
+    assert result.paths["wifi"].correlation > 0.5

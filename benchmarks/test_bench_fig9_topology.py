@@ -1,0 +1,21 @@
+"""Figs. 9-10 bench: testbed construction + Fig. 10 config application."""
+
+from repro.experiments import fig9_topology as fig9
+
+
+def test_fig9_testbed_inventory(benchmark):
+    result = benchmark(fig9.run)
+    print("\n" + fig9.summary(result))
+    assert result.routers == ["AMS", "CAL", "CHI", "MIA", "SAO"]
+    assert result.hosts == ["host1", "host2"]
+    assert result.config_applied
+    # Fig. 12 capacities on the declared links
+    assert result.link_rates["MIA-SAO"] == 20.0
+    assert result.link_rates["CHI-MIA"] == 10.0
+    assert result.link_rates["CAL-MIA"] == 5.0
+    # all three tunnels compiled to PolKA routeIDs
+    assert set(result.tunnel_route_ids) == {1, 2, 3}
+    # every routeID fits the CRT bound (sum of node-ID degrees); a
+    # particular routeID may be much smaller — it's a residue, not a list
+    for tid in (1, 2, 3):
+        assert 1 <= result.tunnel_header_bits[tid] <= result.tunnel_bound_bits[tid] + 1

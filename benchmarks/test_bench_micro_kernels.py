@@ -1,0 +1,104 @@
+"""Micro-benchmarks of the hot kernels under every experiment.
+
+Not paper figures — these quantify the substrate itself: GF(2) mod (the
+data-plane op), DES event throughput, CART fitting, and the telemetry
+pipeline, so regressions in the underlying machinery are visible.
+"""
+
+import numpy as np
+
+from repro.datasets import generate_uq_wireless
+from repro.ml import (
+    DecisionTreeRegressor,
+    RandomForestRegressor,
+    StandardScaler,
+    make_lag_matrix,
+)
+from repro.net import Network, Packet, Simulator, UdpFlow
+from repro.polka import gf2
+
+
+def test_gf2_mod_throughput(benchmark):
+    """1000 forwarding decisions on a 64-bit routeID."""
+    route_id = 0xDEADBEEFCAFEBABE
+    node_id = 0b100101  # degree-5 irreducible
+
+    def batch():
+        acc = 0
+        for _ in range(1000):
+            acc ^= gf2.mod(route_id, node_id)
+        return acc
+
+    benchmark(batch)
+
+
+def test_gf2_mul_throughput(benchmark):
+    def batch():
+        acc = 0
+        for i in range(1000):
+            acc ^= gf2.mul(0b10011 + i, 0b111)
+        return acc
+
+    benchmark(batch)
+
+
+def test_des_event_throughput(benchmark):
+    """Raw simulator events per second (empty callbacks)."""
+
+    def run_10k():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.schedule(i * 1e-6, lambda: None)
+        sim.run()
+        return sim.events_processed
+
+    assert benchmark(run_10k) == 10_000
+
+
+def test_udp_forwarding_pipeline(benchmark):
+    """Packets/second through a 3-hop emulated path."""
+
+    def run():
+        net = Network()
+        net.add_host("a", ip="1.0.0.1")
+        net.add_host("b", ip="1.0.0.2")
+        net.add_router("r1", edge=True)
+        net.add_router("r2", edge=True)
+        net.add_link("a", "r1", rate_mbps=1000)
+        net.add_link("r1", "r2", rate_mbps=1000)
+        net.add_link("r2", "b", rate_mbps=1000)
+        net.build()
+        flow = UdpFlow(net.hosts["a"], net.hosts["b"], rate_mbps=100.0,
+                       duration=1.0).start()
+        net.run(until=1.5)
+        return flow.received_bytes
+
+    assert benchmark(run) > 0
+
+
+def test_cart_fit(benchmark):
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(400, 10))
+    y = np.sin(X[:, 0]) + X[:, 1] ** 2
+    tree = benchmark(lambda: DecisionTreeRegressor(max_depth=8).fit(X, y))
+    assert tree.n_leaves_ > 1
+
+
+def test_rfr_fit_tournament_size(benchmark):
+    """The paper-pipeline RFR fit (365 x 10 lag matrix)."""
+    ds = generate_uq_wireless()
+    scaler = StandardScaler().fit(ds.wifi[:375].reshape(-1, 1))
+    scaled = scaler.transform(ds.wifi[:375].reshape(-1, 1)).ravel()
+    X, y = make_lag_matrix(scaled, 10)
+
+    def fit():
+        return RandomForestRegressor(n_estimators=25, random_state=0).fit(X, y)
+
+    model = benchmark.pedantic(fit, rounds=1, iterations=1)
+    assert np.isfinite(model.predict(X[:5])).all()
+
+
+def test_lag_matrix_construction(benchmark):
+    series = np.arange(100_000, dtype=np.float64)
+    X, y = benchmark(make_lag_matrix, series, 10)
+    assert X.shape[0] == y.shape[0]

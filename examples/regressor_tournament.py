@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Fig. 6 scenario: the eighteen-regressor tournament.
+
+Runs every model of Sec. V.A.2 through the paper's pipeline (75/25
+time-ordered split, StandardScaler, 10-lag window) on the synthetic UQ
+wireless traces, prints the RMSE table next to the paper's coordinates,
+renders the scatter, and reports the selected model.
+
+Run:  python examples/regressor_tournament.py          (full roster, ~1 min)
+      python examples/regressor_tournament.py --fast   (6 key entrants)
+"""
+
+import argparse
+
+from repro.experiments import fig6_regressor_tournament as fig6
+from repro.hecate import run_tournament
+from repro.datasets import generate_uq_wireless
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="run only the paper-critical entrants")
+    args = parser.parse_args()
+
+    if args.fast:
+        entrants = ["R5", "R6", "R7", "R10", "R11", "R13"]
+        tournament = run_tournament(generate_uq_wireless(), entrants=entrants)
+        for e in tournament.ranked():
+            tag = " (excluded)" if e.paper_id in tournament.excluded else ""
+            print(f"{e.paper_id:4s} {e.label:12s} "
+                  f"wifi={e.rmse_wifi:6.2f} lte={e.rmse_lte:6.2f}{tag}")
+        print(f"\nselected: {tournament.best().label}")
+    else:
+        result = fig6.run()
+        print(fig6.summary(result))
+
+
+if __name__ == "__main__":
+    main()

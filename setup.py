@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment ships setuptools 65 without the ``wheel`` package,
+so PEP 660 editable installs (``pip install -e .``) cannot build the
+editable wheel.  This shim keeps the legacy ``python setup.py develop``
+path working; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,85 @@
+"""In-process message queue.
+
+The paper's framework components (Dashboard, Scheduler, Controller,
+Telemetry, Hecate, PolKA services — Fig. 3) talk over a message-queue
+system; router reconfiguration requests in particular travel as queue
+messages that a service applies to freeRtr (Sec. V.C.1).  This module is
+the deterministic, dependency-free stand-in: topic-based publish/
+subscribe with synchronous delivery and a full audit log.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["Message", "MessageBus"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One bus message: topic, payload dict, monotonic id."""
+
+    topic: str
+    payload: Dict[str, Any]
+    msg_id: int
+    reply_to: Optional[str] = None
+
+
+class MessageBus:
+    """Topic-based pub/sub with synchronous, ordered delivery.
+
+    Handlers run inline at :meth:`publish` time in subscription order —
+    deterministic by construction, which keeps simulation runs and tests
+    reproducible.  Every message is appended to :attr:`log` so experiments
+    can audit the exact control-plane conversation (the sequence of
+    Fig. 4).
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: Dict[str, List[Callable[[Message], None]]] = {}
+        self._ids = itertools.count()
+        self.log: List[Message] = []
+
+    def subscribe(self, topic: str, handler: Callable[[Message], None]) -> None:
+        self._subscribers.setdefault(topic, []).append(handler)
+
+    def unsubscribe(self, topic: str, handler: Callable[[Message], None]) -> None:
+        try:
+            self._subscribers.get(topic, []).remove(handler)
+        except ValueError:
+            raise KeyError(f"handler not subscribed to {topic!r}") from None
+
+    def publish(self, topic: str, reply_to: Optional[str] = None, **payload: Any) -> Message:
+        message = Message(
+            topic=topic, payload=dict(payload), msg_id=next(self._ids),
+            reply_to=reply_to,
+        )
+        self.log.append(message)
+        for handler in list(self._subscribers.get(topic, [])):
+            handler(message)
+        return message
+
+    def request(self, topic: str, **payload: Any) -> List[Any]:
+        """Publish and collect handler return values (simple RPC).
+
+        Handlers that return ``None`` contribute nothing; others are
+        gathered in subscription order.
+        """
+        message = Message(topic=topic, payload=dict(payload), msg_id=next(self._ids))
+        self.log.append(message)
+        replies = []
+        for handler in list(self._subscribers.get(topic, [])):
+            result = handler(message)
+            if result is not None:
+                replies.append(result)
+        return replies
+
+    def topics(self) -> List[str]:
+        return sorted(self._subscribers)
+
+    def history(self, topic: Optional[str] = None) -> List[Message]:
+        if topic is None:
+            return list(self.log)
+        return [m for m in self.log if m.topic == topic]

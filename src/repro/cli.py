@@ -1,0 +1,124 @@
+"""Command-line entry point: regenerate any paper figure from the shell.
+
+``python -m repro list`` shows the available experiments;
+``python -m repro fig11`` runs one and prints its terminal report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Tuple
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _fig1() -> str:
+    from repro.experiments import fig1_polka_example as m
+
+    return m.summary(m.run())
+
+
+def _fig2() -> str:
+    from repro.experiments import fig2_minmax_lp as m
+
+    return m.summary(m.run())
+
+
+def _fig4() -> str:
+    from repro.experiments import fig4_closed_loop as m
+
+    return m.summary(m.run())
+
+
+def _fig5() -> str:
+    from repro.experiments import fig5_dataset as m
+
+    return m.summary(m.run())
+
+
+def _fig6() -> str:
+    from repro.experiments import fig6_regressor_tournament as m
+
+    return m.summary(m.run())
+
+
+def _fig7() -> str:
+    from repro.experiments import fig7_fig8_models as m
+
+    return m.summary(m.run_fig7(), "Fig. 7")
+
+
+def _fig8() -> str:
+    from repro.experiments import fig7_fig8_models as m
+
+    return m.summary(m.run_fig8(), "Fig. 8")
+
+
+def _fig9() -> str:
+    from repro.experiments import fig9_topology as m
+
+    return m.summary(m.run())
+
+
+def _fig11() -> str:
+    from repro.experiments import fig11_latency_migration as m
+
+    return m.summary(m.run())
+
+
+def _fig12() -> str:
+    from repro.experiments import fig12_flow_aggregation as m
+
+    return m.summary(m.run())
+
+
+EXPERIMENTS: Dict[str, Tuple[str, Callable[[], str]]] = {
+    "fig1": ("PolKA CRT worked example (exact)", _fig1),
+    "fig2": ("Eq. (1)-(3) TE optimizations", _fig2),
+    "fig4": ("framework sequence replay (Figs. 3-4)", _fig4),
+    "fig5": ("WiFi/LTE dataset (Fig. 5b)", _fig5),
+    "fig6": ("18-regressor tournament (~1 min)", _fig6),
+    "fig7": ("best model observed-vs-predicted", _fig7),
+    "fig8": ("worst model observed-vs-predicted", _fig8),
+    "fig9": ("testbed + Fig. 10 config inventory", _fig9),
+    "fig11": ("agile latency migration (~2 min sim)", _fig11),
+    "fig12": ("multi-path flow aggregation (~1 min sim)", _fig12),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce figures from 'Framework for Integrating ML "
+        "Methods for Path-Aware Source Routing'.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), or 'list'/'all'",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        width = max(len(k) for k in EXPERIMENTS)
+        for key, (description, _) in EXPERIMENTS.items():
+            print(f"{key:<{width}}  {description}")
+        return 0
+    if args.experiment == "all":
+        for key, (_, runner) in EXPERIMENTS.items():
+            print(f"\n{'=' * 72}\n{key}\n{'=' * 72}")
+            print(runner())
+        return 0
+    if args.experiment not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"choose from: {', '.join(EXPERIMENTS)} (or 'list'/'all')",
+            file=sys.stderr,
+        )
+        return 2
+    print(EXPERIMENTS[args.experiment][1]())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

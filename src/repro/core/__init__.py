@@ -1,0 +1,48 @@
+"""repro.core — the public façade of the reproduction.
+
+The paper's primary contribution is the *integration*: an ML optimizer
+(Hecate) driving a source-routing data plane (PolKA) through a telemetry
+loop.  ``repro.core`` re-exports the pieces a downstream user needs to
+stand that loop up in a few lines:
+
+>>> from repro.core import SelfDrivingNetwork, global_p4_lab, fig12_capacities
+>>> sdn = SelfDrivingNetwork(global_p4_lab(rates=fig12_capacities()))
+>>> sdn.add_tunnel("T1", 1, ["MIA", "SAO", "AMS"])
+>>> sdn.add_tunnel("T2", 2, ["MIA", "CHI", "AMS"])
+>>> sdn.request_flow(flow_name="f1", src="host1", dst="host2", tos=32,
+...                  duration=30.0)
+>>> sdn.run(until=40.0)
+"""
+
+from repro.bus import MessageBus
+from repro.datasets import generate_uq_wireless
+from repro.framework import FlowRequest, SelfDrivingNetwork
+from repro.hecate import HecateService, QoSPredictor, run_tournament
+from repro.net import Network
+from repro.polka import PolkaDomain
+from repro.topologies import (
+    TUNNEL1,
+    TUNNEL2,
+    TUNNEL3,
+    fig12_capacities,
+    global_p4_lab,
+    three_node,
+)
+
+__all__ = [
+    "SelfDrivingNetwork",
+    "FlowRequest",
+    "MessageBus",
+    "Network",
+    "PolkaDomain",
+    "HecateService",
+    "QoSPredictor",
+    "run_tournament",
+    "generate_uq_wireless",
+    "global_p4_lab",
+    "fig12_capacities",
+    "three_node",
+    "TUNNEL1",
+    "TUNNEL2",
+    "TUNNEL3",
+]

@@ -1,0 +1,48 @@
+"""repro.experiments — one runner per paper figure.
+
+Each module exposes ``run(...) -> <FigNResult>`` returning raw arrays and
+derived statistics, plus ``summary(result) -> str`` rendering a terminal
+report with paper-vs-measured comparisons.  The benchmark suite under
+``benchmarks/`` wraps these runners with pytest-benchmark and asserts the
+qualitative shape documented in EXPERIMENTS.md.
+
+Index
+-----
+- ``fig1_polka_example``      Fig. 1  PolKA CRT worked example
+- ``fig2_minmax_lp``          Fig. 2  Eq. (1)-(3) TE optimizations
+- ``fig5_dataset``            Fig. 5b WiFi/LTE traces
+- ``fig6_regressor_tournament`` Fig. 6 18-regressor RMSE scatter
+- ``fig7_fig8_models``        Figs. 7-8 best/worst observed-vs-predicted
+- ``fig4_closed_loop``        Figs. 3-4 framework sequence replay
+- ``fig9_topology``           Figs. 9-10 testbed + config inventory
+- ``fig11_latency_migration`` Fig. 11 agile low-latency migration
+- ``fig12_flow_aggregation``  Fig. 12 multi-path flow aggregation
+"""
+
+from . import (
+    fig1_polka_example,
+    fig2_minmax_lp,
+    fig4_closed_loop,
+    fig5_dataset,
+    fig6_regressor_tournament,
+    fig7_fig8_models,
+    fig9_topology,
+    fig11_latency_migration,
+    fig12_flow_aggregation,
+)
+from .plotting import ascii_scatter, ascii_timeseries, comparison_table
+
+__all__ = [
+    "fig1_polka_example",
+    "fig2_minmax_lp",
+    "fig4_closed_loop",
+    "fig5_dataset",
+    "fig6_regressor_tournament",
+    "fig7_fig8_models",
+    "fig9_topology",
+    "fig11_latency_migration",
+    "fig12_flow_aggregation",
+    "ascii_timeseries",
+    "ascii_scatter",
+    "comparison_table",
+]

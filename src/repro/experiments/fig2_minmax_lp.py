@@ -1,0 +1,74 @@
+"""Fig. 2 / Eq. (1)-(3) — the two-path min-max traffic-engineering LPs.
+
+Sweeps demand ``h`` on the three-node topology and solves the three
+Sec. III formulations: linear routing cost (Eq. 2), min-max utilization,
+and the delay objective (Eq. 3).  The paper presents these as the
+motivation for learning the objective from data; the experiment verifies
+the analytic behaviour they describe (direct-path preference, utilization
+equalization, convex delay growth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.hecate import solve_min_cost, solve_min_delay, solve_min_max_utilization
+
+__all__ = ["Fig2Row", "Fig2Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig2Row:
+    demand: float
+    cost_x_sd: float
+    cost_x_sid: float
+    minmax_x_sd: float
+    minmax_util: float
+    delay_x_sd: float
+    delay_objective: float
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    c_direct: float
+    c_via: float
+    rows: List[Fig2Row]
+
+
+def run(c_direct: float = 10.0, c_via: float = 10.0, n_points: int = 9) -> Fig2Result:
+    rows = []
+    for h in np.linspace(1.0, 0.9 * (c_direct + c_via), n_points):
+        cost = solve_min_cost(h, c_direct, c_via)
+        minmax = solve_min_max_utilization(h, c_direct, c_via)
+        delay = solve_min_delay(min(h, 1.9 * c_direct), c_direct)
+        rows.append(
+            Fig2Row(
+                demand=float(h),
+                cost_x_sd=cost.x_sd,
+                cost_x_sid=cost.x_sid,
+                minmax_x_sd=minmax.x_sd,
+                minmax_util=minmax.objective,
+                delay_x_sd=delay.x_sd,
+                delay_objective=delay.objective,
+            )
+        )
+    return Fig2Result(c_direct=c_direct, c_via=c_via, rows=rows)
+
+
+def summary(result: Fig2Result) -> str:
+    lines = [
+        "Fig. 2 / Eq. (1)-(3) — two-path TE optimization "
+        f"(c_sd={result.c_direct}, c_sid={result.c_via})",
+        f"  {'h':>6s} {'cost:x_sd':>10s} {'cost:x_sid':>11s} "
+        f"{'mm:x_sd':>8s} {'mm:util':>8s} {'dly:x_sd':>9s} {'dly:obj':>8s}",
+    ]
+    for r in result.rows:
+        lines.append(
+            f"  {r.demand:6.2f} {r.cost_x_sd:10.2f} {r.cost_x_sid:11.2f} "
+            f"{r.minmax_x_sd:8.2f} {r.minmax_util:8.3f} "
+            f"{r.delay_x_sd:9.2f} {r.delay_objective:8.3f}"
+        )
+    return "\n".join(lines)

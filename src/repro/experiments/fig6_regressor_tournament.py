@@ -1,0 +1,63 @@
+"""Fig. 6 — RMSE scatter of the eighteen regressors.
+
+Runs the full tournament through the paper's pipeline and reports each
+entrant's (WiFi RMSE, LTE RMSE) next to the paper's Fig. 6 coordinates.
+The qualitative contract (EXPERIMENTS.md): RFR selected, RFR+GBR lowest
+on the WiFi axis, GPR off-scale and excluded, Lasso/ElasticNet trailing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.datasets import generate_uq_wireless
+from repro.hecate import PAPER_FIG6_RMSE, TournamentResult, run_tournament
+
+from .plotting import ascii_scatter, comparison_table
+
+__all__ = ["Fig6Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    tournament: TournamentResult
+    best_label: str
+    gpr_excluded: bool
+
+
+def run(seed: int = 3, n_lags: int = 10) -> Fig6Result:
+    tournament = run_tournament(generate_uq_wireless(seed=seed), n_lags=n_lags)
+    return Fig6Result(
+        tournament=tournament,
+        best_label=tournament.best().label,
+        gpr_excluded="R7" in tournament.excluded,
+    )
+
+
+def summary(result: Fig6Result) -> str:
+    t = result.tournament
+    rows: List[Tuple[str, str, str]] = []
+    for e in t.entries:
+        pw, pl = PAPER_FIG6_RMSE[e.paper_id]
+        tag = " (excluded)" if e.paper_id in t.excluded else ""
+        rows.append(
+            (
+                f"{e.paper_id} {e.label}{tag}",
+                f"({pw:.2f}, {pl:.2f})",
+                f"({e.rmse_wifi:.2f}, {e.rmse_lte:.2f})",
+            )
+        )
+    table = comparison_table(rows, headers=("regressor", "paper (WiFi,LTE)", "measured"))
+    scatter = ascii_scatter(
+        t.scatter_points(),
+        xlabel="WiFi RMSE",
+        ylabel="LTE RMSE",
+        title="Fig. 6 — regressor RMSE scatter (excluded: "
+        + ", ".join(t.excluded) + ")",
+    )
+    closing = (
+        f"\nselected model: {result.best_label} "
+        f"(paper selected RFR); GPR excluded: {result.gpr_excluded}"
+    )
+    return table + "\n\n" + scatter + closing

@@ -1,0 +1,104 @@
+"""Terminal plotting helpers shared by the experiment runners.
+
+The paper's figures are reproduced as data series plus ASCII renderings
+(matplotlib is unavailable offline); every experiment also exposes its
+raw arrays so downstream users can plot with their own tooling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ascii_timeseries", "ascii_scatter", "comparison_table"]
+
+
+def ascii_timeseries(
+    series: Sequence[Tuple[str, np.ndarray]],
+    height: int = 12,
+    width: int = 72,
+    title: str = "",
+) -> str:
+    """Plot one or more named series on a shared-axis character canvas."""
+    marks = "*o+x#@"
+    arrays = [(name, np.asarray(vals, dtype=np.float64)) for name, vals in series]
+    arrays = [(n, v) for n, v in arrays if v.size > 0]
+    if not arrays:
+        return f"{title}\n(no data)"
+    lo = min(v.min() for _, v in arrays)
+    hi = max(v.max() for _, v in arrays)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, (name, vals) in enumerate(arrays):
+        mark = marks[idx % len(marks)]
+        xs = np.linspace(0, width - 1, vals.size).round().astype(int)
+        ys = ((vals - lo) / (hi - lo) * (height - 1)).round().astype(int)
+        for x, y in zip(xs, ys):
+            canvas[height - 1 - y][x] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:10.2f} +" + "-" * width + "+")
+    for row in canvas:
+        lines.append(" " * 11 + "|" + "".join(row) + "|")
+    lines.append(f"{lo:10.2f} +" + "-" * width + "+")
+    legend = "   ".join(
+        f"{marks[i % len(marks)]} {name}" for i, (name, _) in enumerate(arrays)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    points: Sequence[Tuple[str, float, float]],
+    height: int = 16,
+    width: int = 60,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    title: str = "",
+) -> str:
+    """Labelled scatter (the Fig. 6 RMSE plane)."""
+    if not points:
+        return f"{title}\n(no data)"
+    xs = np.asarray([p[1] for p in points])
+    ys = np.asarray([p[2] for p in points])
+    x_lo, x_hi = 0.0, float(xs.max()) * 1.05
+    y_lo, y_hi = 0.0, float(ys.max()) * 1.05
+    canvas = [[" "] * width for _ in range(height)]
+    labels = []
+    for i, (name, x, y) in enumerate(points):
+        cx = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        cy = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        char = chr(ord("a") + i) if i < 26 else "?"
+        canvas[height - 1 - cy][cx] = char
+        labels.append(f"{char}={name}({x:.2f},{y:.2f})")
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:8.1f} +" + "-" * width + "+")
+    for row in canvas:
+        lines.append(" " * 9 + "|" + "".join(row) + "|")
+    lines.append(f"{y_lo:8.1f} +" + "-" * width + "+")
+    lines.append(f"{'':9s} {x_lo:.1f} {xlabel} -> {x_hi:.1f}   (y = {ylabel})")
+    for i in range(0, len(labels), 3):
+        lines.append("  " + "  ".join(labels[i : i + 3]))
+    return "\n".join(lines)
+
+
+def comparison_table(
+    rows: Sequence[Tuple[str, str, str]],
+    headers: Tuple[str, str, str] = ("quantity", "paper", "measured"),
+) -> str:
+    """Fixed-width paper-vs-measured table used in every bench report."""
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in rows), default=0))
+        for i in range(3)
+    ]
+    sep = "  "
+    def fmt(row):
+        return sep.join(str(row[i]).ljust(widths[i]) for i in range(3))
+    out = [fmt(headers), fmt(tuple("-" * w for w in widths))]
+    out += [fmt(r) for r in rows]
+    return "\n".join(out)

@@ -1,0 +1,26 @@
+"""repro.framework — the Hecate-PolKA integration framework (Figs. 3-4).
+
+Services over a shared message bus: TelemetryService (agents + time-series
+DB), Scheduler (flow intake), Controller (telemetry -> Hecate -> PolKA
+sequence + self-driving re-optimization), Dashboard (link-occupation
+views), and the :class:`SelfDrivingNetwork` façade that wires all of them
+to an emulated testbed.
+"""
+
+from .controller import Controller, FlowRecord, TunnelInfo
+from .dashboard import Dashboard, sparkline
+from .orchestrator import SelfDrivingNetwork
+from .scheduler import INSERT_FLOW_TOPIC, NEW_FLOW_TOPIC, FlowRequest, Scheduler
+from .telemetry_service import (
+    TELEMETRY_GET_TOPIC,
+    TELEMETRY_START_TOPIC,
+    TelemetryService,
+)
+
+__all__ = [
+    "SelfDrivingNetwork",
+    "Controller", "FlowRecord", "TunnelInfo",
+    "Scheduler", "FlowRequest", "INSERT_FLOW_TOPIC", "NEW_FLOW_TOPIC",
+    "TelemetryService", "TELEMETRY_GET_TOPIC", "TELEMETRY_START_TOPIC",
+    "Dashboard", "sparkline",
+]

@@ -1,0 +1,294 @@
+"""Controller (Fig. 3/4): the component that closes the loop.
+
+On ``scheduler.new_flow`` it executes the Fig. 4 sequence:
+
+1. ``getTelemetry`` — pull each candidate tunnel's stored history;
+2. ``askHecatePath`` — request a recommendation from the Hecate service;
+3. ``configureTunnel`` — install the flow's access-list and point its PBR
+   entry at the chosen tunnel (one freeRtr reconfiguration message);
+4. start the traffic application on the end hosts.
+
+A periodic re-optimization loop (enabled with ``reoptimize_every``) then
+keeps asking Hecate and re-points PBR entries when the recommendation
+changes — the "self-driving" behaviour the paper targets; each change is
+one edge-router touch, never a core reconfiguration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bus import Message, MessageBus
+from repro.freertr.service import RECONFIG_TOPIC
+from repro.hecate.objectives import assign_flows
+from repro.hecate.service import ASK_PATH_TOPIC
+from repro.net.apps import PingApp, TcpFlow, UdpFlow
+from repro.net.topology import Network
+
+from .scheduler import NEW_FLOW_TOPIC, FlowRequest
+from .telemetry_service import TELEMETRY_GET_TOPIC, TelemetryService
+
+__all__ = ["Controller", "TunnelInfo", "FlowRecord"]
+
+
+@dataclass(frozen=True)
+class TunnelInfo:
+    """A registered candidate tunnel."""
+
+    name: str  # telemetry/Hecate key, e.g. "T1"
+    tunnel_id: int  # freeRtr interface number
+    path: Tuple[str, ...]
+
+    @property
+    def ingress(self) -> str:
+        return self.path[0]
+
+
+@dataclass
+class FlowRecord:
+    """One placed flow: its request, current tunnel, app and history."""
+
+    request: FlowRequest
+    acl_name: str
+    tunnel: str
+    app: object
+    placed_at: float = 0.0
+    migrations: List[Tuple[float, str, str]] = field(default_factory=list)
+
+    @property
+    def stops_at(self) -> float:
+        """Absolute simulation time the flow finishes sending."""
+        return self.placed_at + self.request.start_at + self.request.duration
+
+
+class Controller:
+    def __init__(
+        self,
+        network: Network,
+        bus: MessageBus,
+        telemetry: TelemetryService,
+        reoptimize_every: Optional[float] = None,
+    ):
+        self.network = network
+        self.bus = bus
+        self.telemetry = telemetry
+        self.reoptimize_every = reoptimize_every
+        self.tunnels: Dict[str, TunnelInfo] = {}
+        self.flows: Dict[str, FlowRecord] = {}
+        self.decisions: List[Dict] = []  # audit of Hecate recommendations
+        self._reopt_armed = False
+        bus.subscribe(NEW_FLOW_TOPIC, self._on_new_flow)
+
+    # ------------------------------------------------------------ tunnels
+
+    def register_tunnel(self, name: str, tunnel_id: int, path: Sequence[str]) -> None:
+        """Create the PolKA tunnel (freeRtr message) + telemetry probe."""
+        if name in self.tunnels:
+            raise ValueError(f"duplicate tunnel name {name!r}")
+        path = tuple(path)
+        replies = self.bus.request(
+            RECONFIG_TOPIC,
+            command="create_tunnel",
+            router=path[0],
+            tunnel_id=tunnel_id,
+            path=list(path),
+        )
+        if not replies or not replies[0].get("ok"):
+            raise RuntimeError(f"tunnel creation failed: {replies}")
+        self.telemetry.create_path_probe(name, path)
+        self.tunnels[name] = TunnelInfo(name=name, tunnel_id=tunnel_id, path=path)
+
+    def _tunnels_from(self, ingress: str) -> List[TunnelInfo]:
+        return [t for t in self.tunnels.values() if t.ingress == ingress]
+
+    # ------------------------------------------------------------- placing
+
+    def _edge_router_of(self, host_name: str) -> str:
+        host = self.network.hosts[host_name]
+        link = host.ports[host.uplink_port]
+        return link.other(host).name
+
+    def _ask_hecate(self, candidates: List[TunnelInfo], objective: str) -> Dict:
+        # Fig. 4 getTelemetry: the Controller retrieves stored history
+        for tunnel in candidates:
+            self.bus.request(TELEMETRY_GET_TOPIC, path=tunnel.name)
+        replies = self.bus.request(
+            ASK_PATH_TOPIC,
+            paths=[t.name for t in candidates],
+            objective=objective,
+        )
+        if not replies or not replies[0].get("ok"):
+            raise RuntimeError(f"Hecate request failed: {replies}")
+        return replies[0]
+
+    def _acl_rules_for(self, request: FlowRequest) -> List[str]:
+        src_ip = self.network.hosts[request.src].ip
+        dst_ip = self.network.hosts[request.dst].ip
+        if not src_ip or not dst_ip:
+            raise ValueError(
+                f"hosts {request.src}/{request.dst} need IPs for ACL matching"
+            )
+        return [
+            f"permit {request.protocol} {src_ip} 255.255.255.255 "
+            f"{dst_ip} 255.255.255.255 tos {request.tos}"
+        ]
+
+    def _configure_tunnel(self, request: FlowRequest, acl_name: str,
+                          tunnel: TunnelInfo) -> None:
+        router = tunnel.ingress
+        replies = self.bus.request(
+            RECONFIG_TOPIC, command="add_acl", router=router,
+            name=acl_name, rules=self._acl_rules_for(request),
+        )
+        if not replies or not replies[0].get("ok"):
+            raise RuntimeError(f"ACL install failed: {replies}")
+        replies = self.bus.request(
+            RECONFIG_TOPIC, command="bind_pbr", router=router,
+            acl=acl_name, tunnel_id=tunnel.tunnel_id,
+        )
+        if not replies or not replies[0].get("ok"):
+            raise RuntimeError(f"PBR bind failed: {replies}")
+
+    def _launch_app(self, request: FlowRequest):
+        src = self.network.hosts[request.src]
+        dst = self.network.hosts[request.dst]
+        if request.protocol == "tcp":
+            return TcpFlow(src, dst, tos=request.tos,
+                           duration=request.duration).start(at=request.start_at)
+        if request.protocol == "udp":
+            return UdpFlow(src, dst, rate_mbps=request.rate_mbps,
+                           duration=request.duration,
+                           tos=request.tos).start(at=request.start_at)
+        return PingApp(src, dst, interval=1.0, tos=request.tos).start(
+            at=request.start_at
+        )
+
+    def place_flow(self, request: FlowRequest) -> FlowRecord:
+        """The full Fig. 4 newFlow sequence."""
+        ingress = self._edge_router_of(request.src)
+        candidates = self._tunnels_from(ingress)
+        if not candidates:
+            raise RuntimeError(f"no tunnels registered at ingress {ingress!r}")
+        recommendation = self._ask_hecate(candidates, request.objective)
+        self.decisions.append(recommendation)
+        chosen = self.tunnels[recommendation["path"]]
+        acl_name = f"acl_{request.flow_name}"
+        self._configure_tunnel(request, acl_name, chosen)
+        app = self._launch_app(request)
+        record = FlowRecord(
+            request=request, acl_name=acl_name, tunnel=chosen.name, app=app,
+            placed_at=self.network.sim.now,
+        )
+        self.flows[request.flow_name] = record
+        if self.reoptimize_every is not None and not self._reopt_armed:
+            self._reopt_armed = True
+            self.network.sim.schedule(self.reoptimize_every, self._reoptimize_tick)
+        return record
+
+    def _on_new_flow(self, message: Message) -> Dict:
+        request: FlowRequest = message.payload["request"]
+        try:
+            record = self.place_flow(request)
+        except (RuntimeError, ValueError, KeyError) as exc:
+            return {"ok": False, "error": str(exc)}
+        return {"ok": True, "tunnel": record.tunnel, "acl": record.acl_name}
+
+    # ------------------------------------------------------ self-driving
+
+    def migrate_flow(self, flow_name: str, tunnel_name: str) -> None:
+        """Re-point one flow's PBR entry (a single edge-router touch)."""
+        record = self.flows[flow_name]
+        if record.tunnel == tunnel_name:
+            return
+        tunnel = self.tunnels[tunnel_name]
+        old = record.tunnel
+        replies = self.bus.request(
+            RECONFIG_TOPIC, command="bind_pbr", router=tunnel.ingress,
+            acl=record.acl_name, tunnel_id=tunnel.tunnel_id,
+        )
+        if not replies or not replies[0].get("ok"):
+            raise RuntimeError(f"PBR re-bind failed: {replies}")
+        record.tunnel = tunnel_name
+        record.migrations.append((self.network.sim.now, old, tunnel_name))
+
+    def _flow_rate_estimate(self, record: FlowRecord) -> float:
+        """Recent throughput of a managed flow (Mbps)."""
+        app = record.app
+        now = self.network.sim.now
+        if isinstance(app, TcpFlow):
+            return app.goodput_mbps(max(0.0, now - 5.0), now)
+        if isinstance(app, UdpFlow):
+            return app.rate_mbps
+        return 0.1  # ICMP probes are negligible load
+
+    def _effective_link_capacities(
+        self, active: Dict[str, str]
+    ) -> Dict[Tuple[str, str], float]:
+        """Link capacities minus *unmanaged* load.
+
+        The assignment optimizer must not count capacity consumed by
+        traffic it cannot move.  Unmanaged load per link = telemetry-
+        measured carried Mbps minus the managed flows' own contribution
+        (each flow's recent rate along its current tunnel), with a small
+        hysteresis so measurement jitter between the two estimators does
+        not fabricate phantom congestion.
+        """
+        managed: Dict[Tuple[str, str], float] = {}
+        for name, tunnel_name in active.items():
+            rate = self._flow_rate_estimate(self.flows[name])
+            for hop in zip(self.tunnels[tunnel_name].path[:-1],
+                           self.tunnels[tunnel_name].path[1:]):
+                managed[hop] = managed.get(hop, 0.0) + rate
+        caps: Dict[Tuple[str, str], float] = {}
+        for tunnel in self.tunnels.values():
+            for a, b in zip(tunnel.path[:-1], tunnel.path[1:]):
+                if (a, b) in caps:
+                    continue
+                link_rate = self.network.link(a, b).rate_mbps
+                _, carried = self.telemetry.db.series(f"link:{a}->{b}:mbps")
+                carried_now = float(carried[-1]) if carried.size else 0.0
+                unmanaged = max(
+                    0.0, carried_now - managed.get((a, b), 0.0) - 0.5
+                )
+                caps[(a, b)] = max(0.5, link_rate - unmanaged)
+        return caps
+
+    def reoptimize_now(self) -> None:
+        """One joint re-optimization pass over all active flows.
+
+        Consults Hecate for per-tunnel forecasts (the Fig. 4 sequence,
+        kept in the decision audit), then solves the joint flow->tunnel
+        assignment on the fluid model and applies any migrations — each
+        one a single PBR re-bind at the ingress edge.
+        """
+        active = {
+            name: record.tunnel
+            for name, record in self.flows.items()
+            if self.network.sim.now < record.stops_at
+        }
+        if not active:
+            return
+        # group by ingress: flows can only use tunnels from their edge
+        by_ingress: Dict[str, Dict[str, str]] = {}
+        for name, tunnel in active.items():
+            by_ingress.setdefault(self.tunnels[tunnel].ingress, {})[name] = tunnel
+        for ingress, flows in by_ingress.items():
+            candidates = self._tunnels_from(ingress)
+            try:
+                recommendation = self._ask_hecate(candidates, "max_bandwidth")
+                self.decisions.append(recommendation)
+            except RuntimeError:
+                pass  # forecasting failure must not stall reallocation
+            result = assign_flows(
+                current=flows,
+                tunnel_paths={t.name: t.path for t in candidates},
+                capacities=self._effective_link_capacities(flows),
+            )
+            for name, tunnel in result.assignment.items():
+                if tunnel != flows[name]:
+                    self.migrate_flow(name, tunnel)
+
+    def _reoptimize_tick(self) -> None:
+        self.reoptimize_now()
+        self.network.sim.schedule(self.reoptimize_every, self._reoptimize_tick)

@@ -1,0 +1,100 @@
+"""Dashboard (Fig. 3/4): the user's window into the framework.
+
+Provides the ``insertNewFlow`` entry point and the "link occupation
+graphs" the paper describes — rendered as ASCII sparklines/tables since
+this reproduction is terminal-first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bus import MessageBus
+from repro.net.telemetry import TimeSeriesDB
+
+from .controller import Controller
+from .scheduler import INSERT_FLOW_TOPIC
+
+__all__ = ["Dashboard", "sparkline"]
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 60,
+              lo: Optional[float] = None, hi: Optional[float] = None) -> str:
+    """Render a series as a fixed-width ASCII sparkline."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        return " " * width
+    if values.size > width:
+        # average-bin down to width
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        values = np.array([
+            values[a:b].mean() if b > a else values[min(a, values.size - 1)]
+            for a, b in zip(edges[:-1], edges[1:])
+        ])
+    lo = float(values.min() if lo is None else lo)
+    hi = float(values.max() if hi is None else hi)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_CHARS[0] * len(values)
+    idx = ((values - lo) / span * (len(_SPARK_CHARS) - 1)).round().astype(int)
+    idx = np.clip(idx, 0, len(_SPARK_CHARS) - 1)
+    return "".join(_SPARK_CHARS[i] for i in idx)
+
+
+class Dashboard:
+    def __init__(self, bus: MessageBus, db: TimeSeriesDB,
+                 controller: Optional[Controller] = None):
+        self.bus = bus
+        self.db = db
+        self.controller = controller
+
+    # --------------------------------------------------------- user entry
+
+    def request_flow(self, **kwargs) -> Dict:
+        """Fig. 4 insertNewFlow: publish a flow request to the Scheduler."""
+        replies = self.bus.request(INSERT_FLOW_TOPIC, **kwargs)
+        if not replies:
+            return {"ok": False, "error": "no scheduler subscribed"}
+        return replies[0]
+
+    # ----------------------------------------------------------- displays
+
+    def link_occupation(self, a: str, b: str) -> Tuple[np.ndarray, np.ndarray]:
+        """Utilization series for the directed link ``a -> b``."""
+        return self.db.series(f"link:{a}->{b}:util")
+
+    def render_links(self, links: Sequence[Tuple[str, str]], width: int = 50) -> str:
+        """The paper's link-occupation graphs, one sparkline per link."""
+        lines = ["link occupation (utilization 0..1)"]
+        for a, b in links:
+            _, util = self.link_occupation(a, b)
+            spark = sparkline(util, width=width, lo=0.0, hi=1.0)
+            last = util[-1] if util.size else 0.0
+            lines.append(f"  {a:>6s}->{b:<6s} [{spark}] {last:5.2f}")
+        return "\n".join(lines)
+
+    def render_paths(self, names: Sequence[str], width: int = 50) -> str:
+        lines = ["path available bandwidth (Mbps)"]
+        for name in names:
+            _, avail = self.db.series(f"path:{name}:available_mbps")
+            spark = sparkline(avail, width=width)
+            last = avail[-1] if avail.size else 0.0
+            lines.append(f"  {name:>6s} [{spark}] {last:7.2f}")
+        return "\n".join(lines)
+
+    def flow_table(self) -> str:
+        """Active flows, their tunnels and migration counts."""
+        if self.controller is None or not self.controller.flows:
+            return "no flows placed"
+        lines = [f"{'flow':12s}{'proto':7s}{'tos':5s}{'tunnel':8s}{'migrations':>11s}"]
+        for name, record in self.controller.flows.items():
+            request = record.request
+            lines.append(
+                f"{name:12s}{request.protocol:7s}{request.tos:<5d}"
+                f"{record.tunnel:8s}{len(record.migrations):>11d}"
+            )
+        return "\n".join(lines)

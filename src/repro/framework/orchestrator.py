@@ -1,0 +1,96 @@
+"""SelfDrivingNetwork: one object wiring the whole Fig. 3 architecture.
+
+Construction assembles, over a shared message bus and simulator:
+Network (emulated testbed) + RouterConfigService (PolKA/freeRtr service)
++ TelemetryService + HecateService (Optimizer) + Scheduler + Controller +
+Dashboard.  This is the public façade the examples and experiments use —
+the closest thing to "deploying the framework" on the emulated testbed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bus import MessageBus
+from repro.freertr.service import RouterConfigService
+from repro.hecate.service import HecateService, default_model_factory
+from repro.net.topology import Network
+
+from .controller import Controller, FlowRecord
+from .dashboard import Dashboard
+from .scheduler import FlowRequest, Scheduler
+from .telemetry_service import TelemetryService
+
+__all__ = ["SelfDrivingNetwork"]
+
+
+class SelfDrivingNetwork:
+    """The integrated Hecate-PolKA framework on an emulated testbed.
+
+    Parameters
+    ----------
+    network:
+        A built :class:`repro.net.Network` (e.g.
+        :func:`repro.topologies.global_p4_lab`).
+    model_factory:
+        Regressor used by Hecate's predictor (default: the paper's RFR).
+    telemetry_interval:
+        Sampling period for link and path telemetry (the paper collects
+        at predefined intervals; 1 s like its second-granularity data).
+    reoptimize_every:
+        If set, the Controller re-asks Hecate this often and migrates
+        flows whose recommendation changed.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        model_factory: Callable[[], object] = default_model_factory,
+        telemetry_interval: float = 1.0,
+        reoptimize_every: Optional[float] = None,
+    ):
+        self.network = network
+        self.bus = MessageBus()
+        self.router_config = RouterConfigService(network, self.bus)
+        self.telemetry = TelemetryService(
+            network, self.bus, interval=telemetry_interval
+        )
+        self.hecate = HecateService(
+            self.telemetry.db, bus=self.bus, model_factory=model_factory
+        )
+        self.scheduler = Scheduler(self.bus)
+        self.controller = Controller(
+            network, self.bus, self.telemetry, reoptimize_every=reoptimize_every
+        )
+        self.dashboard = Dashboard(self.bus, self.telemetry.db, self.controller)
+        self.telemetry.start()
+
+    # ------------------------------------------------------------- setup
+
+    def add_tunnel(self, name: str, tunnel_id: int, path: Sequence[str]) -> None:
+        """Register a candidate PolKA tunnel (creates route + telemetry)."""
+        self.controller.register_tunnel(name, tunnel_id, path)
+
+    # -------------------------------------------------------------- flows
+
+    def request_flow(self, **kwargs) -> Dict:
+        """User-level entry point (Dashboard -> Scheduler -> Controller)."""
+        return self.dashboard.request_flow(**kwargs)
+
+    def flow(self, name: str) -> FlowRecord:
+        return self.controller.flows[name]
+
+    def migrate_flow(self, flow_name: str, tunnel_name: str) -> None:
+        self.controller.migrate_flow(flow_name, tunnel_name)
+
+    # ---------------------------------------------------------------- run
+
+    def run(self, until: float) -> None:
+        self.network.run(until)
+
+    @property
+    def db(self):
+        return self.telemetry.db
+
+    def decision_log(self) -> List[Dict]:
+        return list(self.controller.decisions)

@@ -1,0 +1,96 @@
+"""Scheduler (Fig. 3/4): accepts user flow requests, hands them to the
+Controller.
+
+Fig. 4's sequence — Dashboard ``insertNewFlow`` -> Scheduler
+``requestScheduler`` -> Controller ``newFlow`` — runs over the message
+bus: the Scheduler validates and queues each request, stamps a flow id,
+and republishes on ``scheduler.new_flow``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bus import Message, MessageBus
+
+__all__ = ["FlowRequest", "Scheduler", "INSERT_FLOW_TOPIC", "NEW_FLOW_TOPIC"]
+
+INSERT_FLOW_TOPIC = "dashboard.insert_new_flow"
+NEW_FLOW_TOPIC = "scheduler.new_flow"
+
+_VALID_PROTOCOLS = ("tcp", "udp", "icmp")
+
+
+@dataclass(frozen=True)
+class FlowRequest:
+    """One user-requested flow.
+
+    ``tos`` is the flow's ToS tag (how PBR tells flows apart in the
+    Fig. 12 experiment); ``objective`` is forwarded to Hecate.
+    """
+
+    flow_name: str
+    src: str
+    dst: str
+    protocol: str = "tcp"
+    tos: int = 0
+    duration: float = 60.0
+    start_at: float = 0.0
+    rate_mbps: Optional[float] = None  # UDP only
+    objective: str = "max_bandwidth"
+
+    def validate(self) -> None:
+        if self.protocol not in _VALID_PROTOCOLS:
+            raise ValueError(
+                f"protocol must be one of {_VALID_PROTOCOLS}, got {self.protocol!r}"
+            )
+        if not 0 <= self.tos <= 255:
+            raise ValueError(f"tos must be a byte, got {self.tos}")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.start_at < 0:
+            raise ValueError("start_at must be non-negative")
+        if self.protocol == "udp" and (self.rate_mbps is None or self.rate_mbps <= 0):
+            raise ValueError("udp flows need a positive rate_mbps")
+
+
+class Scheduler:
+    """Queues flow requests and notifies the Controller (Fig. 4)."""
+
+    def __init__(self, bus: MessageBus):
+        self.bus = bus
+        self.requests: List[FlowRequest] = []
+        self.rejected: int = 0
+        self._names: Dict[str, FlowRequest] = {}
+        bus.subscribe(INSERT_FLOW_TOPIC, self._on_insert)
+
+    def submit(self, request: FlowRequest) -> Dict:
+        """Validate, queue and forward one request (requestScheduler)."""
+        try:
+            request.validate()
+            if request.flow_name in self._names:
+                raise ValueError(f"duplicate flow name {request.flow_name!r}")
+        except ValueError as exc:
+            self.rejected += 1
+            return {"ok": False, "error": str(exc)}
+        self.requests.append(request)
+        self._names[request.flow_name] = request
+        replies = self.bus.request(NEW_FLOW_TOPIC, request=request)
+        result = {"ok": True, "flow_name": request.flow_name}
+        if replies:
+            result["controller"] = replies[0]
+        return result
+
+    def _on_insert(self, message: Message) -> Dict:
+        payload = dict(message.payload)
+        try:
+            request = FlowRequest(**payload)
+        except TypeError as exc:
+            self.rejected += 1
+            return {"ok": False, "error": str(exc)}
+        return self.submit(request)
+
+    def pending(self) -> List[FlowRequest]:
+        return list(self.requests)

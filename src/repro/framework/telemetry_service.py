@@ -1,0 +1,92 @@
+"""Telemetry Service (Fig. 3/4): owns the time-series DB and the agents.
+
+Fig. 4's ``startTelemetry``/``createTelemetry`` pair maps to
+:meth:`TelemetryService.start` (arming the per-link collector) and
+:meth:`TelemetryService.create_path_probe` (per-tunnel agents).  The
+Controller retrieves stored history with ``getTelemetry`` — topic
+``telemetry.get`` — as "a dataset of time-indexed values".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.bus import Message, MessageBus
+from repro.net.telemetry import LinkTelemetryCollector, PathTelemetryProbe, TimeSeriesDB
+from repro.net.topology import Network
+
+__all__ = ["TelemetryService", "TELEMETRY_GET_TOPIC", "TELEMETRY_START_TOPIC"]
+
+TELEMETRY_GET_TOPIC = "telemetry.get"
+TELEMETRY_START_TOPIC = "telemetry.start"
+
+
+class TelemetryService:
+    def __init__(
+        self,
+        network: Network,
+        bus: Optional[MessageBus] = None,
+        interval: float = 1.0,
+    ):
+        self.network = network
+        self.interval = interval
+        self.db = TimeSeriesDB()
+        self.link_collector = LinkTelemetryCollector(network, self.db, interval)
+        self.path_probes: Dict[str, PathTelemetryProbe] = {}
+        self.started = False
+        if bus is not None:
+            bus.subscribe(TELEMETRY_GET_TOPIC, self._on_get)
+            bus.subscribe(TELEMETRY_START_TOPIC, self._on_start)
+
+    # ------------------------------------------------------------ control
+
+    def start(self, at: float = 0.0) -> "TelemetryService":
+        """Fig. 4 startTelemetry: begin periodic link sampling."""
+        if not self.started:
+            self.link_collector.start(at)
+            self.started = True
+        return self
+
+    def create_path_probe(self, name: str, path: Sequence[str], at: float = 0.0) -> None:
+        """Fig. 4 createTelemetry: arm an agent on one named path."""
+        if name in self.path_probes:
+            return
+        probe = PathTelemetryProbe(
+            self.network, self.db, name, path, interval=self.interval
+        )
+        probe.start(at)
+        self.path_probes[name] = probe
+
+    def stop(self) -> None:
+        self.link_collector.stop()
+        for probe in self.path_probes.values():
+            probe.stop()
+        self.started = False
+
+    # ------------------------------------------------------------- access
+
+    def path_history(self, name: str, metric: str = "available_mbps"):
+        return self.db.series(f"path:{name}:{metric}")
+
+    def _on_get(self, message: Message):
+        metric = message.payload.get("metric", "available_mbps")
+        path = message.payload.get("path")
+        if path is None:
+            return {"ok": False, "error": "missing 'path'"}
+        t, v = self.path_history(path, metric)
+        return {
+            "ok": True,
+            "path": path,
+            "metric": metric,
+            "t": [float(x) for x in t],
+            "values": [float(x) for x in v],
+        }
+
+    def _on_start(self, message: Message):
+        path = message.payload.get("path")
+        name = message.payload.get("name")
+        if path and name:
+            self.create_path_probe(name, path)
+            return {"ok": True, "probe": name}
+        self.start()
+        return {"ok": True, "probe": None}

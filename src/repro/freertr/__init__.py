@@ -1,0 +1,21 @@
+"""repro.freertr — the RARE/freeRtr configuration surface.
+
+Reproduces the control-plane config layer the paper drives PolKA through:
+access-lists (Fig. 10's flow filters), PolKA tunnel interfaces with
+explicit ``domain-name`` paths, policy-based routing that binds flows to
+tunnels, and a message-queue service that applies reconfiguration
+commands at runtime.
+"""
+
+from .acl import AccessList, AclRule, PROTO_NUMBERS, ip_to_int, mask_to_prefix_len, parse_prefix
+from .config import ConfigError, FreeRtrConfig, apply_config, parse_config
+from .service import RECONFIG_TOPIC, RouterConfigService
+from .tunnel import EdgePolicy, PbrEntry, PolkaTunnel
+
+__all__ = [
+    "AccessList", "AclRule", "PROTO_NUMBERS",
+    "ip_to_int", "mask_to_prefix_len", "parse_prefix",
+    "ConfigError", "FreeRtrConfig", "parse_config", "apply_config",
+    "RouterConfigService", "RECONFIG_TOPIC",
+    "EdgePolicy", "PbrEntry", "PolkaTunnel",
+]

@@ -1,0 +1,182 @@
+"""Parser for the Fig. 10 freeRtr configuration surface.
+
+The grammar reproduces the structure of the paper's router configuration
+(comments start with ``!``, blocks end with ``exit``)::
+
+    access-list flow3
+     permit 6 40.40.1.0 255.255.255.0 40.40.2.2 255.255.255.255 tos 64
+    exit
+    interface tunnel3
+     tunnel domain-name MIA SAO AMS
+     tunnel destination AMS
+     tunnel mode polka
+    exit
+    pbr flow3 tunnel 3
+
+``tunnel domain-name`` lists the explicit router path that freeRtr
+converts into a PolKA routeID; ``tunnel destination`` names the egress
+edge (the paper uses its IP — router names or registered IPs both work
+here); the trailing ``pbr`` statement binds the access-list to the tunnel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.net.topology import Network
+
+from .acl import AccessList, AclRule
+from .tunnel import EdgePolicy, PolkaTunnel
+
+__all__ = ["ConfigError", "FreeRtrConfig", "parse_config", "apply_config"]
+
+
+class ConfigError(ValueError):
+    """Raised on malformed configuration text."""
+
+
+@dataclass
+class _TunnelDecl:
+    tunnel_id: int
+    path: List[str] = field(default_factory=list)
+    destination: Optional[str] = None
+    mode: str = "polka"
+
+
+@dataclass
+class FreeRtrConfig:
+    """Parsed configuration: ACLs, tunnel declarations, PBR bindings."""
+
+    access_lists: Dict[str, AccessList] = field(default_factory=dict)
+    tunnels: Dict[int, _TunnelDecl] = field(default_factory=dict)
+    pbr: List[Tuple[str, int]] = field(default_factory=list)  # (acl, tunnel)
+
+
+def parse_config(text: str) -> FreeRtrConfig:
+    """Parse configuration text into a :class:`FreeRtrConfig`."""
+    config = FreeRtrConfig()
+    lines = [ln.rstrip() for ln in text.splitlines()]
+    i = 0
+
+    def block_lines(start: int) -> Tuple[List[str], int]:
+        body = []
+        j = start
+        while j < len(lines):
+            stripped = lines[j].strip()
+            if stripped == "exit":
+                return body, j + 1
+            if stripped and not stripped.startswith("!"):
+                body.append(stripped)
+            j += 1
+        raise ConfigError(f"block starting at line {start} missing 'exit'")
+
+    while i < len(lines):
+        stripped = lines[i].strip()
+        if not stripped or stripped.startswith("!"):
+            i += 1
+            continue
+        tokens = stripped.split()
+        head = tokens[0].lower()
+        if head == "access-list":
+            if len(tokens) != 2:
+                raise ConfigError(f"access-list needs a name: {stripped!r}")
+            name = tokens[1]
+            body, i = block_lines(i + 1)
+            acl = AccessList(name)
+            for rule_line in body:
+                try:
+                    acl.add(AclRule.parse(rule_line.split()))
+                except ValueError as exc:
+                    raise ConfigError(f"bad ACL rule {rule_line!r}: {exc}") from exc
+            config.access_lists[name] = acl
+        elif head == "interface":
+            if len(tokens) != 2 or not tokens[1].startswith("tunnel"):
+                raise ConfigError(f"only tunnel interfaces supported: {stripped!r}")
+            try:
+                tunnel_id = int(tokens[1][len("tunnel"):])
+            except ValueError:
+                raise ConfigError(f"bad tunnel id in {stripped!r}") from None
+            body, i = block_lines(i + 1)
+            decl = _TunnelDecl(tunnel_id=tunnel_id)
+            for line in body:
+                words = line.split()
+                if words[:2] == ["tunnel", "domain-name"]:
+                    decl.path = words[2:]
+                elif words[:2] == ["tunnel", "destination"]:
+                    if len(words) != 3:
+                        raise ConfigError(f"bad destination: {line!r}")
+                    decl.destination = words[2]
+                elif words[:2] == ["tunnel", "mode"]:
+                    decl.mode = words[2] if len(words) > 2 else "polka"
+                else:
+                    raise ConfigError(f"unknown tunnel statement {line!r}")
+            if len(decl.path) < 2:
+                raise ConfigError(
+                    f"tunnel{tunnel_id} needs a domain-name path of >= 2 routers"
+                )
+            if decl.mode != "polka":
+                raise ConfigError(f"tunnel{tunnel_id}: unsupported mode {decl.mode!r}")
+            config.tunnels[tunnel_id] = decl
+        elif head == "pbr":
+            # pbr <acl> tunnel <id>
+            if len(tokens) != 4 or tokens[2].lower() != "tunnel":
+                raise ConfigError(f"bad pbr statement: {stripped!r}")
+            config.pbr.append((tokens[1], int(tokens[3])))
+            i += 1
+        else:
+            raise ConfigError(f"unknown configuration statement {stripped!r}")
+
+    for acl_name, tunnel_id in config.pbr:
+        if acl_name not in config.access_lists:
+            raise ConfigError(f"pbr references unknown access-list {acl_name!r}")
+        if tunnel_id not in config.tunnels:
+            raise ConfigError(f"pbr references unknown tunnel {tunnel_id}")
+    return config
+
+
+def apply_config(
+    network: Network,
+    router_name: str,
+    config: FreeRtrConfig,
+    router_ips: Optional[Dict[str, str]] = None,
+) -> EdgePolicy:
+    """Compile a parsed config onto an edge router of ``network``.
+
+    Tunnel paths are compiled to PolKA routeIDs against the network's
+    PolKA domain; the resulting :class:`EdgePolicy` is installed as the
+    router's classifier and returned for later PBR re-pointing.
+    """
+    if router_name not in network.routers:
+        raise ConfigError(f"unknown router {router_name!r}")
+    ip_to_name = {ip: name for name, ip in (router_ips or {}).items()}
+    policy = EdgePolicy(router_name)
+    for acl in config.access_lists.values():
+        policy.add_access_list(acl)
+    for decl in config.tunnels.values():
+        if decl.path[0] != router_name:
+            raise ConfigError(
+                f"tunnel{decl.tunnel_id} path starts at {decl.path[0]}, "
+                f"not at {router_name}"
+            )
+        for hop in decl.path:
+            if hop not in network.routers:
+                raise ConfigError(
+                    f"tunnel{decl.tunnel_id}: unknown router {hop!r} in path"
+                )
+        destination = decl.destination
+        if destination is not None:
+            dest_name = ip_to_name.get(destination, destination)
+            if dest_name != decl.path[-1]:
+                raise ConfigError(
+                    f"tunnel{decl.tunnel_id}: destination {destination} does "
+                    f"not match path egress {decl.path[-1]}"
+                )
+        route = network.polka.route_for_path(decl.path)
+        policy.add_tunnel(
+            PolkaTunnel(tunnel_id=decl.tunnel_id, path=tuple(decl.path), route=route)
+        )
+    for acl_name, tunnel_id in config.pbr:
+        policy.bind(acl_name, tunnel_id)
+    policy.install_on(network)
+    return policy

@@ -1,0 +1,136 @@
+"""Message-queue driven router reconfiguration (paper Sec. V.C.1).
+
+    "Using this framework, we manage FreeRtr configurations by sending
+    messages through a Message Queue to reconfigure the router.  A service
+    receives these messages, applies the necessary commands [...]"
+
+:class:`RouterConfigService` subscribes to the ``freertr.reconfig`` topic
+on the shared :class:`repro.bus.MessageBus`; supported commands:
+
+``apply_config``   full config text for an edge router (replaces policy),
+``add_acl``        add one access-list to an existing policy,
+``create_tunnel``  add one tunnel (explicit path) to an existing policy,
+``bind_pbr``       point an access-list at a tunnel (the one-touch
+                   migration primitive of Figs. 11-12),
+``unbind_pbr``     remove a binding.
+
+Each handled message returns an ``{"ok": bool, ...}`` dict through
+``MessageBus.request``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.bus import Message, MessageBus
+from repro.net.topology import Network
+
+from .config import ConfigError, apply_config, parse_config
+from .tunnel import EdgePolicy, PolkaTunnel
+
+__all__ = ["RouterConfigService", "RECONFIG_TOPIC"]
+
+RECONFIG_TOPIC = "freertr.reconfig"
+
+
+class RouterConfigService:
+    """Applies queue-delivered configuration commands to edge routers."""
+
+    def __init__(self, network: Network, bus: MessageBus):
+        self.network = network
+        self.bus = bus
+        self.policies: Dict[str, EdgePolicy] = {}
+        self.applied: int = 0
+        self.failed: int = 0
+        bus.subscribe(RECONFIG_TOPIC, self._on_message)
+
+    def policy(self, router_name: str) -> EdgePolicy:
+        try:
+            return self.policies[router_name]
+        except KeyError:
+            raise KeyError(
+                f"no policy installed on {router_name!r}; send apply_config first"
+            ) from None
+
+    # ------------------------------------------------------------ handlers
+
+    def _on_message(self, message: Message) -> Dict:
+        payload = message.payload
+        command = payload.get("command")
+        try:
+            if command == "apply_config":
+                return self._apply_config(payload)
+            if command == "add_acl":
+                return self._add_acl(payload)
+            if command == "create_tunnel":
+                return self._create_tunnel(payload)
+            if command == "bind_pbr":
+                return self._bind_pbr(payload)
+            if command == "unbind_pbr":
+                return self._unbind_pbr(payload)
+            raise ConfigError(f"unknown command {command!r}")
+        except (ConfigError, KeyError, ValueError) as exc:
+            self.failed += 1
+            return {"ok": False, "error": str(exc), "command": command}
+
+    def _apply_config(self, payload: Dict) -> Dict:
+        router = payload["router"]
+        config = parse_config(payload["text"])
+        policy = apply_config(
+            self.network, router, config, router_ips=payload.get("router_ips")
+        )
+        self.policies[router] = policy
+        self.applied += 1
+        return {
+            "ok": True,
+            "router": router,
+            "tunnels": sorted(policy.tunnels),
+            "pbr_entries": len(policy.entries),
+        }
+
+    def _add_acl(self, payload: Dict) -> Dict:
+        """Add one access-list incrementally (used by the Controller to
+        register per-flow classifiers without rewriting the config)."""
+        from .acl import AccessList, AclRule
+
+        router = payload["router"]
+        name = payload["name"]
+        rules = payload["rules"]  # list of rule strings
+        policy = self.policies.setdefault(router, EdgePolicy(router))
+        acl = AccessList(name)
+        for rule_text in rules:
+            acl.add(AclRule.parse(rule_text.split()))
+        policy.add_access_list(acl)
+        policy.install_on(self.network)
+        self.applied += 1
+        return {"ok": True, "router": router, "acl": name, "rules": len(acl.rules)}
+
+    def _create_tunnel(self, payload: Dict) -> Dict:
+        router = payload["router"]
+        tunnel_id = int(payload["tunnel_id"])
+        path = list(payload["path"])
+        policy = self.policies.setdefault(router, EdgePolicy(router))
+        route = self.network.polka.route_for_path(path)
+        policy.add_tunnel(
+            PolkaTunnel(tunnel_id=tunnel_id, path=tuple(path), route=route)
+        )
+        policy.install_on(self.network)
+        self.applied += 1
+        return {"ok": True, "router": router, "tunnel_id": tunnel_id,
+                "route_id": route.route_id}
+
+    def _bind_pbr(self, payload: Dict) -> Dict:
+        router = payload["router"]
+        policy = self.policy(router)
+        policy.bind(payload["acl"], int(payload["tunnel_id"]))
+        policy.install_on(self.network)
+        self.applied += 1
+        return {"ok": True, "router": router, "acl": payload["acl"],
+                "tunnel_id": int(payload["tunnel_id"])}
+
+    def _unbind_pbr(self, payload: Dict) -> Dict:
+        router = payload["router"]
+        policy = self.policy(router)
+        policy.unbind(payload["acl"])
+        self.applied += 1
+        return {"ok": True, "router": router, "acl": payload["acl"]}

@@ -1,0 +1,143 @@
+"""The Sec. III traffic-engineering optimization problems (Fig. 2).
+
+Demand ``h`` from source to destination splits over the direct path
+(``x_sd``) and the two-hop path through the intermediate node
+(``x_sid``), subject to capacity:
+
+* Eq. (2): minimize linear routing cost
+  ``F = xi_sd * x_sd + xi_sid * x_sid``  (LP, solved with HiGHS via
+  ``scipy.optimize.linprog``);
+* min-max: minimize the maximum link utilization (LP after the standard
+  epigraph reformulation);
+* Eq. (3): minimize the M/M/1-style delay objective
+  ``x_sd / (c - x_sd) + 2 x_sid / (c - x_sid)`` (convex; solved exactly
+  on the 1-D feasible segment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import optimize
+
+__all__ = [
+    "FlowSplit",
+    "solve_min_cost",
+    "solve_min_max_utilization",
+    "solve_min_delay",
+]
+
+
+@dataclass(frozen=True)
+class FlowSplit:
+    """Solution of a two-path split: flow on each path + objective value."""
+
+    x_sd: float
+    x_sid: float
+    objective: float
+
+    @property
+    def total(self) -> float:
+        return self.x_sd + self.x_sid
+
+
+def _check_demand(h: float, c_sd: float, c_sid: float) -> None:
+    if h < 0:
+        raise ValueError("demand h must be non-negative")
+    if c_sd <= 0 or c_sid <= 0:
+        raise ValueError("capacities must be positive")
+    if h > c_sd + c_sid + 1e-12:
+        raise ValueError(
+            f"demand {h} exceeds total capacity {c_sd + c_sid}; infeasible"
+        )
+
+
+def solve_min_cost(
+    h: float,
+    c_sd: float,
+    c_sid: float,
+    cost_sd: float = 1.0,
+    cost_sid: float = 2.0,
+) -> FlowSplit:
+    """Eq. (2): linear-cost split via ``linprog``.
+
+    The classic default costs (1 for the direct hop, 2 for the two-hop
+    path) make the LP route on the direct path until it saturates.
+    """
+    _check_demand(h, c_sd, c_sid)
+    result = optimize.linprog(
+        c=[cost_sd, cost_sid],
+        A_eq=[[1.0, 1.0]],
+        b_eq=[h],
+        bounds=[(0.0, c_sd), (0.0, c_sid)],
+        method="highs",
+    )
+    if not result.success:
+        raise RuntimeError(f"LP solver failed: {result.message}")
+    return FlowSplit(
+        x_sd=float(result.x[0]), x_sid=float(result.x[1]),
+        objective=float(result.fun),
+    )
+
+
+def solve_min_max_utilization(h: float, c_sd: float, c_sid: float) -> FlowSplit:
+    """Minimize ``max(x_sd / c_sd, x_sid / c_sid)`` (epigraph LP).
+
+    Variables ``(x_sd, x_sid, t)``; constraints ``x/c <= t`` plus the
+    demand equality.  The optimum equalizes utilization across paths
+    whenever the demand allows.
+    """
+    _check_demand(h, c_sd, c_sid)
+    result = optimize.linprog(
+        c=[0.0, 0.0, 1.0],
+        A_ub=[
+            [1.0 / c_sd, 0.0, -1.0],
+            [0.0, 1.0 / c_sid, -1.0],
+        ],
+        b_ub=[0.0, 0.0],
+        A_eq=[[1.0, 1.0, 0.0]],
+        b_eq=[h],
+        bounds=[(0.0, c_sd), (0.0, c_sid), (0.0, None)],
+        method="highs",
+    )
+    if not result.success:
+        raise RuntimeError(f"LP solver failed: {result.message}")
+    return FlowSplit(
+        x_sd=float(result.x[0]), x_sid=float(result.x[1]),
+        objective=float(result.x[2]),
+    )
+
+
+def solve_min_delay(h: float, c: float) -> FlowSplit:
+    """Eq. (3): minimize ``x_sd/(c - x_sd) + 2 x_sid/(c - x_sid)``.
+
+    Both paths share capacity ``c`` as in the paper's formulation.  With
+    ``x_sid = h - x_sd`` the objective is a strictly convex 1-D function
+    on the feasible segment; we solve it with bounded scalar
+    minimization.  Requires ``h < c`` per path at the optimum, hence
+    ``h < 2c`` overall.
+    """
+    if c <= 0:
+        raise ValueError("capacity must be positive")
+    if h < 0:
+        raise ValueError("demand must be non-negative")
+    if h >= 2 * c:
+        raise ValueError(f"demand {h} saturates both paths of capacity {c}")
+    lo = max(0.0, h - c * (1.0 - 1e-9))
+    hi = min(h, c * (1.0 - 1e-9))
+
+    def objective(x_sd: float) -> float:
+        x_sid = h - x_sd
+        return x_sd / (c - x_sd) + 2.0 * x_sid / (c - x_sid)
+
+    if hi - lo < 1e-15:
+        x_opt = lo
+    else:
+        result = optimize.minimize_scalar(
+            objective, bounds=(lo, hi), method="bounded",
+            options={"xatol": 1e-12},
+        )
+        x_opt = float(result.x)
+    return FlowSplit(x_sd=x_opt, x_sid=h - x_opt, objective=objective(x_opt))

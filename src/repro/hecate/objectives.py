@@ -1,0 +1,170 @@
+"""Path-selection objectives and the flow-assignment optimizer.
+
+After forecasting each candidate path's QoS, the Optimizer picks a path:
+the paper's integrated framework uses *most predicted available
+bandwidth* (Sec. V.B: flows get "less congestion points in the future"),
+the Fig. 11 experiment uses *minimum latency*, and min-max utilization is
+the Sec. III objective.
+
+:func:`assign_flows` is the *joint* optimizer behind the Fig. 12
+experiment: given several flows and candidate tunnels, it searches flow->
+tunnel assignments and scores each with the max-min fluid model
+(:mod:`repro.net.fluid`), maximizing total throughput, then the worst
+flow's rate, then minimizing migrations.  Per-flow greedy selection would
+herd every flow onto the currently-emptiest tunnel and oscillate; the
+joint search reproduces the paper's "one flow to Tunnel 2 and another to
+Tunnel 3" outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.fluid import FluidFlow, max_min_fair, total_throughput
+
+__all__ = [
+    "PathForecast",
+    "choose_max_bandwidth",
+    "choose_min_latency",
+    "choose_min_max_utilization",
+    "OBJECTIVES",
+    "assign_flows",
+    "AssignmentResult",
+]
+
+
+@dataclass(frozen=True)
+class PathForecast:
+    """Forecasted QoS for one candidate path."""
+
+    name: str
+    available_mbps: np.ndarray  # forecast horizon (e.g. next 10 steps)
+    latency_ms: float = 0.0
+    bottleneck_utilization: float = 0.0
+
+    @property
+    def mean_available(self) -> float:
+        return float(np.mean(self.available_mbps))
+
+
+def _check(forecasts: Sequence[PathForecast]) -> None:
+    if not forecasts:
+        raise ValueError("no candidate paths")
+    names = [f.name for f in forecasts]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate path names: {names}")
+
+
+def choose_max_bandwidth(forecasts: Sequence[PathForecast]) -> PathForecast:
+    """The integrated framework's default: most predicted headroom."""
+    _check(forecasts)
+    return max(forecasts, key=lambda f: f.mean_available)
+
+
+def choose_min_latency(forecasts: Sequence[PathForecast]) -> PathForecast:
+    """Fig. 11's objective: lowest path latency."""
+    _check(forecasts)
+    return min(forecasts, key=lambda f: f.latency_ms)
+
+
+def choose_min_max_utilization(forecasts: Sequence[PathForecast]) -> PathForecast:
+    """Sec. III's min-max objective on forecast utilization."""
+    _check(forecasts)
+    return min(forecasts, key=lambda f: f.bottleneck_utilization)
+
+
+OBJECTIVES: Dict[str, Callable[[Sequence[PathForecast]], PathForecast]] = {
+    "max_bandwidth": choose_max_bandwidth,
+    "min_latency": choose_min_latency,
+    "min_max_utilization": choose_min_max_utilization,
+}
+
+
+@dataclass(frozen=True)
+class AssignmentResult:
+    """Joint flow->tunnel assignment plus its predicted fluid rates."""
+
+    assignment: Dict[str, str]  # flow name -> tunnel name
+    rates: Dict[str, float]  # flow name -> predicted max-min rate (Mbps)
+    total_mbps: float
+    migrations: int
+
+
+def assign_flows(
+    current: Mapping[str, str],
+    tunnel_paths: Mapping[str, Sequence[str]],
+    capacities: Mapping[Tuple[str, str], float],
+    max_enumerate: int = 6,
+) -> AssignmentResult:
+    """Jointly assign flows to tunnels (the Fig. 12 optimizer).
+
+    Parameters
+    ----------
+    current:
+        ``{flow_name: tunnel_name}`` — the present assignment (used to
+        count migrations and as the greedy fallback's starting point).
+    tunnel_paths:
+        ``{tunnel_name: router path}`` for every candidate tunnel.
+    capacities:
+        Directed-link capacities in Mbps (direction-insensitive lookup).
+    max_enumerate:
+        Exhaustive search up to this many flows (tunnels^flows
+        assignments); beyond it, a sequential greedy pass that re-scores
+        the fluid model after each flow keeps the cost linear.
+
+    Scoring is lexicographic: total max-min throughput, then the minimum
+    per-flow rate, then fewest migrations (ties resolve toward stability).
+    """
+    flows = sorted(current)
+    tunnels = sorted(tunnel_paths)
+    if not flows:
+        raise ValueError("no flows to assign")
+    if not tunnels:
+        raise ValueError("no candidate tunnels")
+    for tunnel in current.values():
+        if tunnel not in tunnel_paths:
+            raise KeyError(f"current assignment references unknown tunnel {tunnel!r}")
+
+    def score(assignment: Dict[str, str]):
+        fluid = [
+            FluidFlow.from_path(f, tunnel_paths[assignment[f]]) for f in flows
+        ]
+        rates = max_min_fair(fluid, capacities)
+        migrations = sum(1 for f in flows if assignment[f] != current[f])
+        return (
+            total_throughput(rates),
+            min(rates.values()),
+            -migrations,
+        ), rates, migrations
+
+    if len(flows) <= max_enumerate:
+        best = None
+        for combo in product(tunnels, repeat=len(flows)):
+            assignment = dict(zip(flows, combo))
+            key, rates, migrations = score(assignment)
+            if best is None or key > best[0]:
+                best = (key, assignment, rates, migrations)
+        _, assignment, rates, migrations = best
+    else:
+        # greedy: move one flow at a time to its best tunnel, re-scoring
+        assignment = dict(current)
+        for f in flows:
+            best_key, best_tunnel = None, assignment[f]
+            for tunnel in tunnels:
+                trial = dict(assignment)
+                trial[f] = tunnel
+                key, _, _ = score(trial)
+                if best_key is None or key > best_key:
+                    best_key, best_tunnel = key, tunnel
+            assignment[f] = best_tunnel
+        _, rates, migrations = score(assignment)
+    return AssignmentResult(
+        assignment=assignment,
+        rates=rates,
+        total_mbps=total_throughput(rates),
+        migrations=migrations,
+    )

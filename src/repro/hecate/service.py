@@ -1,0 +1,149 @@
+"""Hecate as a framework service ("askHecatePath" in Fig. 4).
+
+Answers path recommendations over the message bus: reads each candidate
+path's telemetry history out of the time-series DB, fits the configured
+regressor pipeline, forecasts the next ``horizon`` samples and applies
+the requested objective.  Falls back to the latest raw measurements when
+there is not yet enough history to train on — the behaviour a freshly
+booted controller needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.bus import Message, MessageBus
+from repro.ml import RandomForestRegressor
+from repro.net.telemetry import TimeSeriesDB
+
+from .objectives import OBJECTIVES, PathForecast
+from .predictor import QoSPredictor
+
+__all__ = ["HecateService", "ASK_PATH_TOPIC", "default_model_factory"]
+
+ASK_PATH_TOPIC = "hecate.ask_path"
+
+
+def default_model_factory():
+    """The paper integrates RFR; 30 trees keep control-loop latency low
+    while preserving forest behaviour (the full default is 100)."""
+    return RandomForestRegressor(n_estimators=30, random_state=42)
+
+
+@dataclass
+class Recommendation:
+    """One answer to askHecatePath."""
+
+    path: str
+    objective: str
+    forecasts: Dict[str, List[float]]
+    trained: bool  # False -> fallback on raw telemetry
+
+    def as_payload(self) -> Dict:
+        return {
+            "path": self.path,
+            "objective": self.objective,
+            "forecasts": self.forecasts,
+            "trained": self.trained,
+        }
+
+
+class HecateService:
+    """The Optimizer of Fig. 3, listening on ``hecate.ask_path``.
+
+    Request payload::
+
+        {"paths": ["T1", "T2", ...],      # telemetry path names
+         "objective": "max_bandwidth",    # or min_latency / min_max_utilization
+         "horizon": 10}                   # forecast steps (default 10)
+
+    Replies with ``Recommendation.as_payload()``.
+    """
+
+    MIN_TRAIN_SAMPLES = 30
+
+    def __init__(
+        self,
+        db: TimeSeriesDB,
+        bus: Optional[MessageBus] = None,
+        model_factory: Callable[[], object] = default_model_factory,
+        n_lags: int = 10,
+    ):
+        self.db = db
+        self.model_factory = model_factory
+        self.n_lags = n_lags
+        self.asked: int = 0
+        if bus is not None:
+            bus.subscribe(ASK_PATH_TOPIC, self._on_ask)
+
+    # ------------------------------------------------------------ queries
+
+    def _history(self, path: str, metric: str) -> np.ndarray:
+        _, values = self.db.series(f"path:{path}:{metric}")
+        return values
+
+    def forecast_path(self, path: str, horizon: int = 10) -> PathForecast:
+        """Forecast one path's available bandwidth + latest latency/util."""
+        history = self._history(path, "available_mbps")
+        if history.size == 0:
+            raise KeyError(f"no telemetry recorded for path {path!r}")
+        latency = self._history(path, "latency_ms")
+        util = self._history(path, "util")
+        if history.size >= max(self.MIN_TRAIN_SAMPLES, self.n_lags + 2):
+            predictor = QoSPredictor(self.model_factory(), n_lags=self.n_lags)
+            predictor.fit(history)
+            forecast = predictor.forecast(history, steps=horizon)
+            forecast = np.clip(forecast, 0.0, None)
+        else:
+            # cold start: repeat the most recent observation
+            forecast = np.full(horizon, float(history[-1]))
+        return PathForecast(
+            name=path,
+            available_mbps=forecast,
+            latency_ms=float(latency[-1]) if latency.size else 0.0,
+            bottleneck_utilization=float(util[-1]) if util.size else 0.0,
+        )
+
+    def recommend(
+        self,
+        paths: Sequence[str],
+        objective: str = "max_bandwidth",
+        horizon: int = 10,
+    ) -> Recommendation:
+        if objective not in OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {objective!r}; choose from {sorted(OBJECTIVES)}"
+            )
+        if not paths:
+            raise ValueError("no candidate paths")
+        forecasts = [self.forecast_path(p, horizon=horizon) for p in paths]
+        chosen = OBJECTIVES[objective](forecasts)
+        trained = self._history(chosen.name, "available_mbps").size >= max(
+            self.MIN_TRAIN_SAMPLES, self.n_lags + 2
+        )
+        self.asked += 1
+        return Recommendation(
+            path=chosen.name,
+            objective=objective,
+            forecasts={
+                f.name: [float(v) for v in f.available_mbps] for f in forecasts
+            },
+            trained=trained,
+        )
+
+    def _on_ask(self, message: Message) -> Dict:
+        payload = message.payload
+        try:
+            rec = self.recommend(
+                paths=payload["paths"],
+                objective=payload.get("objective", "max_bandwidth"),
+                horizon=int(payload.get("horizon", 10)),
+            )
+        except (KeyError, ValueError) as exc:
+            return {"ok": False, "error": str(exc)}
+        out = rec.as_payload()
+        out["ok"] = True
+        return out

@@ -1,0 +1,84 @@
+"""Transformer/estimator chaining (sklearn-style Pipeline).
+
+The paper's protocol is itself a pipeline — StandardScaler into a
+regressor with inverse-transformed outputs; :class:`Pipeline` packages
+that pattern so experiments and user code can treat the composite as one
+estimator (fit/predict/get_params/clone all work).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .base import BaseEstimator, RegressorMixin, check_is_fitted, clone
+
+__all__ = ["Pipeline", "make_pipeline"]
+
+
+class Pipeline(BaseEstimator, RegressorMixin):
+    """Chain of ``(name, transformer)`` steps ending in a regressor.
+
+    Intermediate steps must expose ``fit``/``transform``; the final step
+    must expose ``fit``/``predict``.  Steps are cloned on ``fit`` so a
+    Pipeline instance is reusable like any estimator.
+    """
+
+    def __init__(self, steps: Sequence[Tuple[str, object]]):
+        if not steps:
+            raise ValueError("pipeline needs at least one step")
+        names = [name for name, _ in steps]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate step names: {names}")
+        for name, step in steps[:-1]:
+            if not hasattr(step, "transform"):
+                raise ValueError(
+                    f"intermediate step {name!r} must implement transform"
+                )
+        last_name, last = steps[-1]
+        if not hasattr(last, "predict"):
+            raise ValueError(f"final step {last_name!r} must implement predict")
+        self.steps = list(steps)
+        self.fitted_steps_: List[Tuple[str, object]] = []
+
+    def fit(self, X, y) -> "Pipeline":
+        self.fitted_steps_ = []
+        data = np.asarray(X, dtype=np.float64)
+        for name, step in self.steps[:-1]:
+            fitted = clone(step)
+            data = fitted.fit(data).transform(data)
+            self.fitted_steps_.append((name, fitted))
+        last_name, last = self.steps[-1]
+        fitted_last = clone(last)
+        fitted_last.fit(data, y)
+        self.fitted_steps_.append((last_name, fitted_last))
+        return self
+
+    def _transform(self, X) -> np.ndarray:
+        data = np.asarray(X, dtype=np.float64)
+        for _, step in self.fitted_steps_[:-1]:
+            data = step.transform(data)
+        return data
+
+    def predict(self, X) -> np.ndarray:
+        if not self.fitted_steps_:
+            from .base import NotFittedError
+
+            raise NotFittedError("Pipeline is not fitted")
+        return self.fitted_steps_[-1][1].predict(self._transform(X))
+
+    def named_step(self, name: str):
+        for step_name, step in self.fitted_steps_ or self.steps:
+            if step_name == name:
+                return step
+        raise KeyError(f"no step named {name!r}")
+
+
+def make_pipeline(*steps) -> Pipeline:
+    """Build a Pipeline with auto-generated step names."""
+    named = [
+        (f"{type(step).__name__.lower()}_{i}", step)
+        for i, step in enumerate(steps)
+    ]
+    return Pipeline(named)

@@ -1,0 +1,28 @@
+"""repro.net — packet-level discrete-event network emulator.
+
+Substitutes for the paper's RARE/freeRtr + VirtualBox virtual testbed:
+rate-limited links with propagation delay and tail-drop queues, routers
+with both table-based FIBs and PolKA residue forwarding, ping/TCP/UDP
+traffic apps, telemetry sampling into a time-series store, plus a fluid
+max-min model for closed-form cross-checks.
+"""
+
+from .apps import FlowReport, PingApp, TcpFlow, UdpFlow
+from .devices import Host, Node, Router, RouterStats
+from .fluid import FluidFlow, max_min_fair, total_throughput
+from .links import Link, LinkStats
+from .packets import ACK_SIZE, DATA_MTU, ICMP_SIZE, Packet
+from .sim import Event, Simulator
+from .telemetry import LinkTelemetryCollector, PathTelemetryProbe, TimeSeriesDB
+from .topology import Network
+
+__all__ = [
+    "Simulator", "Event",
+    "Packet", "DATA_MTU", "ACK_SIZE", "ICMP_SIZE",
+    "Link", "LinkStats",
+    "Node", "Host", "Router", "RouterStats",
+    "Network",
+    "PingApp", "TcpFlow", "UdpFlow", "FlowReport",
+    "TimeSeriesDB", "LinkTelemetryCollector", "PathTelemetryProbe",
+    "FluidFlow", "max_min_fair", "total_throughput",
+]

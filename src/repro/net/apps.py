@@ -1,0 +1,394 @@
+"""Traffic applications: ping, TCP (AIMD), UDP/CBR and iperf-style reports.
+
+These substitute for the ``ping``, ``iperf3`` and ``bwm-ng`` tools in the
+paper's virtual testbed.  The TCP model is a deliberately compact
+NewReno-flavoured AIMD: slow start to ``ssthresh``, congestion avoidance
+(+1 MSS per RTT), multiplicative decrease on retransmission timeout, EWMA
+RTT estimation for the RTO.  That is enough to reproduce the *shapes* the
+paper's Figs. 11-12 rely on — bottleneck saturation, fair sharing among
+competing flows and throughput steps after a PBR path change — without
+modelling SACK blocks or byte-level reassembly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .devices import Host
+from .packets import ACK_SIZE, DATA_MTU, ICMP_SIZE, Packet
+from .sim import Event, Simulator
+
+__all__ = ["PingApp", "TcpFlow", "UdpFlow", "FlowReport"]
+
+_flow_ids = iter(range(1, 1_000_000))
+
+
+def _next_flow_id() -> int:
+    return next(_flow_ids)
+
+
+class PingApp:
+    """Periodic ICMP echo with RTT capture (the paper's Fig. 11 probe)."""
+
+    def __init__(
+        self,
+        host: Host,
+        dst: Host,
+        interval: float = 1.0,
+        count: Optional[int] = None,
+        tos: int = 0,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.host = host
+        self.dst = dst
+        self.interval = interval
+        self.count = count
+        self.tos = tos
+        self.flow_id = _next_flow_id()
+        self.rtts: List[Tuple[float, float]] = []  # (send time, rtt ms)
+        self.sent = 0
+        self.lost_so_far = 0
+        self._pending: Dict[int, float] = {}
+        host.register_flow(self.flow_id, self._on_reply)
+
+    def start(self, at: float = 0.0) -> "PingApp":
+        self.host.sim.schedule(at, self._tick)
+        return self
+
+    def stop(self) -> None:
+        self.count = self.sent  # no further ticks send anything
+
+    def _tick(self) -> None:
+        if self.count is not None and self.sent >= self.count:
+            return
+        seq = self.sent
+        self.sent += 1
+        packet = Packet(
+            src=self.host.name,
+            dst=self.dst.name,
+            size=ICMP_SIZE,
+            protocol="icmp",
+            tos=self.tos,
+            flow_id=self.flow_id,
+            seq=seq,
+            src_ip=self.host.ip,
+            dst_ip=self.dst.ip,
+            created_at=self.host.sim.now,
+        )
+        self._pending[seq] = self.host.sim.now
+        self.host.send_packet(packet)
+        self.host.sim.schedule(self.interval, self._tick)
+
+    def _on_reply(self, packet: Packet) -> None:
+        sent_at = self._pending.pop(packet.seq, None)
+        if sent_at is None:
+            return
+        rtt_ms = (self.host.sim.now - sent_at) * 1e3
+        self.rtts.append((sent_at, rtt_ms))
+
+    # ------------------------------------------------------------- results
+
+    @property
+    def received(self) -> int:
+        return len(self.rtts)
+
+    @property
+    def loss_rate(self) -> float:
+        outstanding = len(self._pending)
+        if self.sent == 0:
+            return 0.0
+        return outstanding / self.sent
+
+    def rtt_series(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(send times, RTTs in ms) as arrays, time-ordered."""
+        if not self.rtts:
+            return np.array([]), np.array([])
+        arr = np.asarray(self.rtts)
+        return arr[:, 0], arr[:, 1]
+
+
+@dataclass
+class FlowReport:
+    """iperf3-style summary of a finished (or sampled) flow."""
+
+    flow_id: int
+    src: str
+    dst: str
+    duration_s: float
+    bytes_delivered: int
+    mean_mbps: float
+    retransmits: int
+    interval_mbps: List[float] = field(default_factory=list)
+
+
+class TcpFlow:
+    """Bulk TCP transfer with AIMD congestion control.
+
+    Parameters
+    ----------
+    host, dst:
+        Sender and receiver hosts.
+    tos:
+        ToS byte stamped on every segment (PBR match key in Fig. 12).
+    duration:
+        Seconds of sending after ``start``; the flow keeps the pipe full
+        the whole time (iperf-style), rather than sending a fixed volume.
+    """
+
+    MSS = DATA_MTU
+    INITIAL_CWND = 2.0
+    INITIAL_SSTHRESH = 64.0
+    MAX_CWND = 512.0
+    MIN_RTO = 0.2
+
+    def __init__(
+        self,
+        host: Host,
+        dst: Host,
+        tos: int = 0,
+        duration: float = 60.0,
+    ):
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self.host = host
+        self.dst = dst
+        self.tos = tos
+        self.duration = duration
+        self.flow_id = _next_flow_id()
+        self.sim: Simulator = host.sim
+
+        self.cwnd = self.INITIAL_CWND
+        self.ssthresh = self.INITIAL_SSTHRESH
+        self.next_seq = 0
+        self.inflight: Dict[int, Event] = {}  # seq -> timeout event
+        self.first_tx: Dict[int, float] = {}  # seq -> send time (RTT sampling)
+        self.srtt: Optional[float] = None
+        self.rttvar: float = 0.0
+        self.retransmits = 0
+        self.bytes_acked = 0
+        self.ack_log: List[Tuple[float, int]] = []  # (t, bytes)
+        self.started_at: Optional[float] = None
+        self.stop_at: Optional[float] = None
+
+        # receiver side: count delivered bytes, ack every segment
+        dst.register_flow(self.flow_id, self._receiver_on_data)
+        host.register_flow(self.flow_id, self._sender_on_ack)
+
+    # -------------------------------------------------------------- sender
+
+    def start(self, at: float = 0.0) -> "TcpFlow":
+        def begin():
+            self.started_at = self.sim.now
+            self.stop_at = self.sim.now + self.duration
+            self._pump()
+
+        self.sim.schedule(at, begin)
+        return self
+
+    @property
+    def _sending(self) -> bool:
+        return self.stop_at is not None and self.sim.now < self.stop_at
+
+    def _rto(self) -> float:
+        if self.srtt is None:
+            return 1.0
+        return max(self.MIN_RTO, self.srtt + 4.0 * self.rttvar)
+
+    def _pump(self) -> None:
+        while self._sending and len(self.inflight) < int(self.cwnd):
+            seq = self.next_seq
+            self.next_seq += 1
+            self._transmit(seq, first=True)
+
+    def _transmit(self, seq: int, first: bool) -> None:
+        packet = Packet(
+            src=self.host.name,
+            dst=self.dst.name,
+            size=self.MSS,
+            protocol="tcp",
+            tos=self.tos,
+            flow_id=self.flow_id,
+            seq=seq,
+            src_ip=self.host.ip,
+            dst_ip=self.dst.ip,
+            created_at=self.sim.now,
+        )
+        if first:
+            self.first_tx[seq] = self.sim.now
+        self.host.send_packet(packet)
+        timeout = self.sim.schedule(self._rto(), lambda: self._on_timeout(seq))
+        old = self.inflight.get(seq)
+        if old is not None:
+            old.cancel()
+        self.inflight[seq] = timeout
+
+    def _on_timeout(self, seq: int) -> None:
+        if seq not in self.inflight:
+            return
+        # multiplicative decrease; retransmit the lost segment
+        self.retransmits += 1
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = self.ssthresh
+        self.first_tx.pop(seq, None)  # Karn: no RTT sample from retransmit
+        if self._sending or True:  # always retransmit outstanding data
+            self._transmit(seq, first=False)
+
+    def _sender_on_ack(self, packet: Packet) -> None:
+        seq = packet.ack
+        timer = self.inflight.pop(seq, None)
+        if timer is None:
+            return  # duplicate/ack for already-retired segment
+        timer.cancel()
+        sent_at = self.first_tx.pop(seq, None)
+        if sent_at is not None:
+            sample = self.sim.now - sent_at
+            if self.srtt is None:
+                self.srtt = sample
+                self.rttvar = sample / 2.0
+            else:
+                self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - sample)
+                self.srtt = 0.875 * self.srtt + 0.125 * sample
+        if self.cwnd < self.ssthresh:
+            self.cwnd += 1.0  # slow start
+        else:
+            self.cwnd += 1.0 / self.cwnd  # congestion avoidance
+        self.cwnd = min(self.cwnd, self.MAX_CWND)
+        self.bytes_acked += self.MSS
+        self.ack_log.append((self.sim.now, self.MSS))
+        self._pump()
+
+    # ------------------------------------------------------------ receiver
+
+    def _receiver_on_data(self, packet: Packet) -> None:
+        ack = Packet(
+            src=self.dst.name,
+            dst=self.host.name,
+            size=ACK_SIZE,
+            protocol="tcp",
+            tos=packet.tos,
+            flow_id=self.flow_id,
+            seq=0,
+            ack=packet.seq,
+            src_ip=self.dst.ip,
+            dst_ip=self.host.ip,
+        )
+        self.dst.send_packet(ack)
+
+    # ------------------------------------------------------------- results
+
+    def goodput_mbps(self, t0: Optional[float] = None, t1: Optional[float] = None) -> float:
+        """Mean acked throughput over [t0, t1] (defaults: whole lifetime)."""
+        if self.started_at is None:
+            return 0.0
+        t0 = self.started_at if t0 is None else t0
+        t1 = (self.stop_at if self.stop_at is not None else self.sim.now) if t1 is None else t1
+        if t1 <= t0:
+            return 0.0
+        total = sum(b for t, b in self.ack_log if t0 <= t < t1)
+        return total * 8.0 / (t1 - t0) / 1e6
+
+    def interval_mbps(self, bin_s: float = 1.0) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-interval throughput series (iperf3's per-second report)."""
+        if self.started_at is None or not self.ack_log:
+            return np.array([]), np.array([])
+        t = np.asarray([x[0] for x in self.ack_log])
+        b = np.asarray([x[1] for x in self.ack_log], dtype=np.float64)
+        end = self.stop_at if self.stop_at is not None else t.max()
+        edges = np.arange(self.started_at, end + bin_s, bin_s)
+        sums, _ = np.histogram(t, bins=edges, weights=b)
+        centers = (edges[:-1] + edges[1:]) / 2.0
+        return centers, sums * 8.0 / bin_s / 1e6
+
+    def report(self, bin_s: float = 1.0) -> FlowReport:
+        _, series = self.interval_mbps(bin_s)
+        return FlowReport(
+            flow_id=self.flow_id,
+            src=self.host.name,
+            dst=self.dst.name,
+            duration_s=self.duration,
+            bytes_delivered=self.bytes_acked,
+            mean_mbps=self.goodput_mbps(),
+            retransmits=self.retransmits,
+            interval_mbps=series.tolist(),
+        )
+
+
+class UdpFlow:
+    """Constant-bit-rate UDP sender (no feedback, no retransmission)."""
+
+    def __init__(
+        self,
+        host: Host,
+        dst: Host,
+        rate_mbps: float,
+        duration: float = 60.0,
+        tos: int = 0,
+        packet_size: int = DATA_MTU,
+    ):
+        if rate_mbps <= 0:
+            raise ValueError("rate_mbps must be positive")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self.host = host
+        self.dst = dst
+        self.rate_mbps = rate_mbps
+        self.duration = duration
+        self.tos = tos
+        self.packet_size = packet_size
+        self.flow_id = _next_flow_id()
+        self.sent_packets = 0
+        self.received_bytes = 0
+        self.rx_log: List[Tuple[float, int]] = []
+        self._stop_time: Optional[float] = None
+        dst.register_flow(self.flow_id, self._on_data)
+
+    def start(self, at: float = 0.0) -> "UdpFlow":
+        def begin():
+            self._stop_time = self.host.sim.now + self.duration
+            self._tick()
+
+        self.host.sim.schedule(at, begin)
+        return self
+
+    def _tick(self) -> None:
+        if self.host.sim.now >= self._stop_time:
+            return
+        packet = Packet(
+            src=self.host.name,
+            dst=self.dst.name,
+            size=self.packet_size,
+            protocol="udp",
+            tos=self.tos,
+            flow_id=self.flow_id,
+            seq=self.sent_packets,
+            src_ip=self.host.ip,
+            dst_ip=self.dst.ip,
+            created_at=self.host.sim.now,
+        )
+        self.host.send_packet(packet)
+        self.sent_packets += 1
+        interval = self.packet_size * 8.0 / (self.rate_mbps * 1e6)
+        self.host.sim.schedule(interval, self._tick)
+
+    def _on_data(self, packet: Packet) -> None:
+        self.received_bytes += packet.size
+        self.rx_log.append((self.dst.sim.now, packet.size))
+
+    def delivered_mbps(self) -> float:
+        if not self.rx_log:
+            return 0.0
+        t0 = self.rx_log[0][0]
+        t1 = self.rx_log[-1][0]
+        if t1 <= t0:
+            return 0.0
+        return self.received_bytes * 8.0 / (t1 - t0) / 1e6
+
+    @property
+    def loss_rate(self) -> float:
+        if self.sent_packets == 0:
+            return 0.0
+        return 1.0 - (self.received_bytes / self.packet_size) / self.sent_packets

@@ -1,0 +1,154 @@
+"""Point-to-point links: rate limiting, propagation delay, FIFO queues.
+
+Each :class:`Link` is full-duplex — two independent :class:`_Direction`
+objects each modelling a serializing transmitter with a tail-drop FIFO.
+This is the component that substitutes for the paper's VirtualBox NIC rate
+limits and ``tc``-injected delay: capacity comes from the serialization
+rate, latency from ``delay_ms``, and congestion from the bounded queue.
+Per-direction byte/packet/drop counters feed :mod:`repro.net.telemetry`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Optional, TYPE_CHECKING
+
+from .packets import Packet
+from .sim import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .devices import Node
+
+__all__ = ["Link", "LinkStats"]
+
+
+@dataclass
+class LinkStats:
+    """Per-direction counters (monotonic; telemetry samples deltas)."""
+
+    tx_packets: int = 0
+    tx_bytes: int = 0
+    dropped_packets: int = 0
+    dropped_bytes: int = 0
+    queue_peak: int = 0
+
+
+class _Direction:
+    """One transmit direction: serializer + tail-drop FIFO."""
+
+    def __init__(self, sim: Simulator, link: "Link", deliver: Callable[[Packet], None]):
+        self.sim = sim
+        self.link = link
+        self.deliver = deliver
+        self.queue: Deque[Packet] = deque()
+        self.busy = False
+        self.stats = LinkStats()
+
+    def send(self, packet: Packet) -> bool:
+        """Enqueue for transmission; False (and a drop) when the queue is
+        full or the link is administratively/physically down."""
+        if not self.link.up or len(self.queue) >= self.link.queue_packets:
+            self.stats.dropped_packets += 1
+            self.stats.dropped_bytes += packet.size
+            return False
+        self.queue.append(packet)
+        self.stats.queue_peak = max(self.stats.queue_peak, len(self.queue))
+        if not self.busy:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        if not self.queue:
+            self.busy = False
+            return
+        self.busy = True
+        packet = self.queue.popleft()
+        tx_time = packet.size * 8.0 / (self.link.rate_mbps * 1e6)
+        self.stats.tx_packets += 1
+        self.stats.tx_bytes += packet.size
+
+        def done(p=packet):
+            # serialization finished: start next packet, deliver this one
+            # after propagation delay
+            self.sim.schedule(self.link.delay_ms / 1e3, lambda: self.deliver(p))
+            self._start_next()
+
+        self.sim.schedule(tx_time, done)
+
+
+class Link:
+    """Full-duplex link between two nodes.
+
+    Parameters
+    ----------
+    rate_mbps:
+        Serialization rate per direction (the VirtualBox bandwidth cap in
+        the paper's testbed).
+    delay_ms:
+        One-way propagation delay (the ``tc`` delay in the paper).
+    queue_packets:
+        FIFO depth per direction; tail drop beyond it.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_a: "Node",
+        node_b: "Node",
+        rate_mbps: float = 1000.0,
+        delay_ms: float = 0.1,
+        queue_packets: int = 100,
+    ):
+        if rate_mbps <= 0:
+            raise ValueError("rate_mbps must be positive")
+        if delay_ms < 0:
+            raise ValueError("delay_ms must be non-negative")
+        if queue_packets < 1:
+            raise ValueError("queue_packets must be >= 1")
+        self.sim = sim
+        self.node_a = node_a
+        self.node_b = node_b
+        self.rate_mbps = float(rate_mbps)
+        self.delay_ms = float(delay_ms)
+        self.queue_packets = int(queue_packets)
+        self.up = True  # failure injection: down links black-hole traffic
+        self._ab = _Direction(sim, self, lambda p: node_b.receive(p, self))
+        self._ba = _Direction(sim, self, lambda p: node_a.receive(p, self))
+
+    def endpoints(self):
+        return self.node_a, self.node_b
+
+    def other(self, node: "Node") -> "Node":
+        if node is self.node_a:
+            return self.node_b
+        if node is self.node_b:
+            return self.node_a
+        raise ValueError(f"{node.name} is not attached to this link")
+
+    def send_from(self, node: "Node", packet: Packet) -> bool:
+        """Transmit ``packet`` out of ``node`` towards the other end."""
+        if node is self.node_a:
+            return self._ab.send(packet)
+        if node is self.node_b:
+            return self._ba.send(packet)
+        raise ValueError(f"{node.name} is not attached to this link")
+
+    def stats_from(self, node: "Node") -> LinkStats:
+        """Counters for the direction transmitting out of ``node``."""
+        if node is self.node_a:
+            return self._ab.stats
+        if node is self.node_b:
+            return self._ba.stats
+        raise ValueError(f"{node.name} is not attached to this link")
+
+    def queue_depth_from(self, node: "Node") -> int:
+        if node is self.node_a:
+            return len(self._ab.queue)
+        return len(self._ba.queue)
+
+    def __repr__(self) -> str:
+        return (
+            f"Link({self.node_a.name}<->{self.node_b.name}, "
+            f"{self.rate_mbps} Mbps, {self.delay_ms} ms)"
+        )

@@ -1,0 +1,96 @@
+"""Deterministic discrete-event simulator core.
+
+A single binary heap of ``(time, sequence, callback)`` entries; the
+sequence counter breaks ties FIFO so runs are bit-reproducible regardless
+of callback contents.  Everything in :mod:`repro.net` — link transmission,
+queueing, application timers — is expressed as events on one
+:class:`Simulator`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["Event", "Simulator"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; cancel with :meth:`cancel`."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Simulator:
+    """Event loop with virtual time in seconds."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self.events_processed: int = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` ``delay`` seconds from now (>= 0)."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at {time} (now is {self.now})"
+            )
+        event = Event(time=time, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None when idle."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
+        """Drain events, optionally stopping once virtual time passes ``until``.
+
+        ``max_events`` is a runaway guard: exceeding it raises rather than
+        hanging a test run forever.
+        """
+        processed = 0
+        while True:
+            next_time = self.peek_time()
+            if next_time is None:
+                if until is not None:
+                    self.now = max(self.now, until)
+                return
+            if until is not None and next_time > until:
+                self.now = until
+                return
+            self.step()
+            processed += 1
+            if processed > max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events before t={until}"
+                )

@@ -1,0 +1,188 @@
+"""Telemetry collection and a small time-series store.
+
+Mirrors the paper's telemetry service (Fig. 3/4): agents sample per-link
+byte counters (what ``bwm-ng`` showed on the VMs) and per-path
+latency/available-bandwidth estimates at fixed intervals; samples land in
+a time-series database keyed by metric name; the Controller later reads
+windows of history out of it and hands them to Hecate for forecasting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .topology import Network
+
+__all__ = ["TimeSeriesDB", "LinkTelemetryCollector", "PathTelemetryProbe"]
+
+
+class TimeSeriesDB:
+    """Metric name -> append-only list of (t, value)."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, List[Tuple[float, float]]] = {}
+
+    def insert(self, metric: str, t: float, value: float) -> None:
+        self._data.setdefault(metric, []).append((float(t), float(value)))
+
+    def metrics(self) -> List[str]:
+        return sorted(self._data)
+
+    def series(self, metric: str) -> Tuple[np.ndarray, np.ndarray]:
+        rows = self._data.get(metric, [])
+        if not rows:
+            return np.array([]), np.array([])
+        arr = np.asarray(rows)
+        return arr[:, 0], arr[:, 1]
+
+    def window(self, metric: str, t0: float, t1: float) -> Tuple[np.ndarray, np.ndarray]:
+        t, v = self.series(metric)
+        if t.size == 0:
+            return t, v
+        mask = (t >= t0) & (t < t1)
+        return t[mask], v[mask]
+
+    def last(self, metric: str, n: int = 1) -> np.ndarray:
+        _, v = self.series(metric)
+        return v[-n:]
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class LinkTelemetryCollector:
+    """Samples per-link, per-direction counters every ``interval`` seconds.
+
+    Records, for each directed link ``a->b``:
+
+    - ``link:a->b:mbps``     achieved throughput over the last interval
+    - ``link:a->b:util``     that throughput / configured rate
+    - ``link:a->b:drops``    packets tail-dropped in the interval
+    """
+
+    def __init__(self, network: Network, db: TimeSeriesDB, interval: float = 1.0):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.network = network
+        self.db = db
+        self.interval = interval
+        self._last_bytes: Dict[str, int] = {}
+        self._last_drops: Dict[str, int] = {}
+        self._running = False
+
+    def start(self, at: float = 0.0) -> "LinkTelemetryCollector":
+        self._running = True
+        self.network.sim.schedule(at, self._sample)
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _sample(self) -> None:
+        if not self._running:
+            return
+        now = self.network.sim.now
+        for key, link in self.network.links.items():
+            a, b = sorted(key)
+            for src_name, dst_name in ((a, b), (b, a)):
+                node = self.network.node(src_name)
+                stats = link.stats_from(node)
+                tag = f"{src_name}->{dst_name}"
+                prev_b = self._last_bytes.get(tag, 0)
+                prev_d = self._last_drops.get(tag, 0)
+                delta_bytes = stats.tx_bytes - prev_b
+                delta_drops = stats.dropped_packets - prev_d
+                self._last_bytes[tag] = stats.tx_bytes
+                self._last_drops[tag] = stats.dropped_packets
+                mbps = delta_bytes * 8.0 / self.interval / 1e6
+                self.db.insert(f"link:{tag}:mbps", now, mbps)
+                self.db.insert(f"link:{tag}:util", now, mbps / link.rate_mbps)
+                self.db.insert(f"link:{tag}:drops", now, delta_drops)
+        self.network.sim.schedule(self.interval, self._sample)
+
+
+@dataclass
+class PathObservation:
+    """One telemetry snapshot of a named path."""
+
+    t: float
+    available_mbps: float
+    latency_ms: float
+    bottleneck_util: float
+
+
+class PathTelemetryProbe:
+    """Derives per-path QoS metrics from link telemetry.
+
+    For a named router path, each sample records:
+
+    - ``path:NAME:available_mbps`` — min over links of
+      ``capacity - carried traffic`` (the headroom Hecate forecasts),
+    - ``path:NAME:latency_ms`` — propagation plus a queueing estimate from
+      current queue depths,
+    - ``path:NAME:util`` — utilization of the bottleneck link.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        db: TimeSeriesDB,
+        name: str,
+        path: Sequence[str],
+        interval: float = 1.0,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if len(path) < 2:
+            raise ValueError("path needs at least two nodes")
+        self.network = network
+        self.db = db
+        self.name = name
+        self.path = list(path)
+        self.interval = interval
+        self._last_bytes: Dict[str, int] = {}
+        self._running = False
+        self.observations: List[PathObservation] = []
+
+    def start(self, at: float = 0.0) -> "PathTelemetryProbe":
+        self._running = True
+        self.network.sim.schedule(at, self._sample)
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _sample(self) -> None:
+        if not self._running:
+            return
+        now = self.network.sim.now
+        available = np.inf
+        worst_util = 0.0
+        latency = 0.0
+        for a, b in zip(self.path[:-1], self.path[1:]):
+            link = self.network.link(a, b)
+            node = self.network.node(a)
+            stats = link.stats_from(node)
+            tag = f"{a}->{b}"
+            delta = stats.tx_bytes - self._last_bytes.get(tag, 0)
+            self._last_bytes[tag] = stats.tx_bytes
+            carried = delta * 8.0 / self.interval / 1e6
+            headroom = max(link.rate_mbps - carried, 0.0)
+            available = min(available, headroom)
+            worst_util = max(worst_util, carried / link.rate_mbps)
+            queue_bytes = link.queue_depth_from(node) * 1500
+            latency += link.delay_ms + queue_bytes * 8.0 / (link.rate_mbps * 1e3)
+        obs = PathObservation(
+            t=now,
+            available_mbps=float(available),
+            latency_ms=float(latency),
+            bottleneck_util=float(worst_util),
+        )
+        self.observations.append(obs)
+        self.db.insert(f"path:{self.name}:available_mbps", now, obs.available_mbps)
+        self.db.insert(f"path:{self.name}:latency_ms", now, obs.latency_ms)
+        self.db.insert(f"path:{self.name}:util", now, obs.bottleneck_util)
+        self.network.sim.schedule(self.interval, self._sample)

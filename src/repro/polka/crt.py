@@ -1,0 +1,83 @@
+"""Chinese Remainder Theorem over GF(2)[t].
+
+This is the controller-side half of PolKA: given the desired output-port
+polynomial (the residue) at each node along a path and the nodes' polynomial
+identifiers (the moduli), the CRT produces the single ``routeID`` polynomial
+embedded in the packet header.  Core nodes then recover their port with one
+``mod`` — see :mod:`repro.polka.gf2`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from . import gf2
+
+__all__ = ["crt", "verify_crt", "pairwise_coprime"]
+
+
+def pairwise_coprime(moduli: Sequence[int]) -> bool:
+    """True when every pair of moduli has polynomial gcd 1.
+
+    Quadratic in the path length, which is fine: PolKA paths are tens of
+    hops, and this is a controller-side sanity check, not a data-plane op.
+    """
+    for i in range(len(moduli)):
+        for j in range(i + 1, len(moduli)):
+            if gf2.gcd(moduli[i], moduli[j]) != 1:
+                return False
+    return True
+
+
+def crt(residues: Sequence[int], moduli: Sequence[int]) -> Tuple[int, int]:
+    """Solve ``x = residues[i]  (mod moduli[i])`` for all ``i``.
+
+    Returns ``(x, M)`` where ``M`` is the product of the moduli and ``x`` is
+    the unique solution with ``deg(x) < deg(M)``.
+
+    Raises
+    ------
+    ValueError
+        If the input lengths differ, a modulus is constant (degree < 1), a
+        residue does not satisfy ``deg(r) < deg(m)``, or the moduli are not
+        pairwise coprime (surfaced through a non-invertible partial product).
+    """
+    if len(residues) != len(moduli):
+        raise ValueError(
+            f"got {len(residues)} residues but {len(moduli)} moduli"
+        )
+    if not moduli:
+        raise ValueError("CRT needs at least one (residue, modulus) pair")
+    for r, m in zip(residues, moduli):
+        if gf2.deg(m) < 1:
+            raise ValueError(
+                f"modulus {gf2.poly_to_str(m)} is constant; node IDs must have degree >= 1"
+            )
+        if gf2.deg(r) >= gf2.deg(m):
+            raise ValueError(
+                f"residue {gf2.poly_to_str(r)} does not fit modulus {gf2.poly_to_str(m)}"
+            )
+
+    big = 1
+    for m in moduli:
+        big = gf2.mul(big, m)
+
+    x = 0
+    for r, m in zip(residues, moduli):
+        if r == 0:
+            continue
+        n_i = gf2.div(big, m)
+        try:
+            inv = gf2.modinv(n_i, m)
+        except ValueError as exc:
+            raise ValueError(
+                "CRT moduli are not pairwise coprime; PolKA node IDs must be "
+                "distinct irreducible polynomials"
+            ) from exc
+        x = gf2.add(x, gf2.mul(gf2.mul(r, n_i), inv))
+    return gf2.mod(x, big), big
+
+
+def verify_crt(x: int, residues: Sequence[int], moduli: Sequence[int]) -> bool:
+    """Check that ``x`` reduces to every expected residue (data-plane view)."""
+    return all(gf2.mod(x, m) == r for r, m in zip(residues, moduli))

@@ -1,0 +1,158 @@
+"""Edge-triggered path migration and failure recovery for PolKA tunnels.
+
+PolKA's headline operational property (exercised by Figs. 11 and 12 of the
+paper) is that changing a flow's path requires touching *only the ingress
+edge node* — the new routeID is stamped there and every core node keeps
+forwarding statelessly.  This module precomputes alternate routes per
+source/destination pair and answers "give me a working route that avoids
+these failed elements" in O(#alternatives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from .routing import PolkaDomain, Route
+
+__all__ = ["FailoverTable", "MigrationEvent"]
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """Record of one edge-level path change (for dashboards/tests)."""
+
+    pair: Tuple[str, str]
+    old_path: Optional[Tuple[str, ...]]
+    new_path: Tuple[str, ...]
+    reason: str
+
+
+class FailoverTable:
+    """Precomputed k-alternate PolKA routes per (src, dst) pair.
+
+    Parameters
+    ----------
+    domain:
+        The PolKA domain used to compile routeIDs.
+    graph:
+        The physical topology (nodes must match the domain's adjacency).
+    k:
+        Number of simple paths to precompute per pair (shortest first).
+    weight:
+        Optional edge attribute used to order paths (e.g. ``"latency_ms"``).
+    """
+
+    def __init__(
+        self,
+        domain: PolkaDomain,
+        graph: nx.Graph,
+        k: int = 3,
+        weight: Optional[str] = None,
+    ) -> None:
+        self.domain = domain
+        self.graph = graph
+        self.k = int(k)
+        self.weight = weight
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        self._routes: Dict[Tuple[str, str], List[Route]] = {}
+        self._active: Dict[Tuple[str, str], Route] = {}
+        self.history: List[MigrationEvent] = []
+
+    def _compute(self, src: str, dst: str) -> List[Route]:
+        paths = islice(
+            nx.shortest_simple_paths(self.graph, src, dst, weight=self.weight),
+            self.k,
+        )
+        routes = [self.domain.route_for_path(p) for p in paths]
+        if not routes:
+            raise nx.NetworkXNoPath(f"no path {src} -> {dst}")
+        return routes
+
+    def alternatives(self, src: str, dst: str) -> List[Route]:
+        """All precomputed routes for the pair (computing them on first use)."""
+        key = (src, dst)
+        if key not in self._routes:
+            self._routes[key] = self._compute(src, dst)
+        return list(self._routes[key])
+
+    def active(self, src: str, dst: str) -> Route:
+        """Currently selected route (defaults to the best alternative)."""
+        key = (src, dst)
+        if key not in self._active:
+            self._active[key] = self.alternatives(src, dst)[0]
+        return self._active[key]
+
+    @staticmethod
+    def _avoids(route: Route, failed_nodes: Set[str], failed_links: Set[frozenset]) -> bool:
+        if any(n in failed_nodes for n in route.path):
+            return False
+        for a, b in zip(route.path[:-1], route.path[1:]):
+            if frozenset((a, b)) in failed_links:
+                return False
+        return True
+
+    def recover(
+        self,
+        src: str,
+        dst: str,
+        failed_nodes: Iterable[str] = (),
+        failed_links: Iterable[Tuple[str, str]] = (),
+    ) -> Route:
+        """Switch the pair to the best precomputed route avoiding failures.
+
+        Only the ingress edge state changes (the returned route's ID is
+        simply stamped on new packets).  Raises ``nx.NetworkXNoPath`` when
+        no precomputed alternative survives the failure set.
+        """
+        nodes = set(failed_nodes)
+        links = {frozenset(l) for l in failed_links}
+        key = (src, dst)
+        old = self._active.get(key)
+        for route in self.alternatives(src, dst):
+            if self._avoids(route, nodes, links):
+                if old is None or route.path != old.path:
+                    self.history.append(
+                        MigrationEvent(
+                            pair=key,
+                            old_path=old.path if old else None,
+                            new_path=route.path,
+                            reason=f"failover(nodes={sorted(nodes)}, links={sorted(map(tuple, links))})",
+                        )
+                    )
+                self._active[key] = route
+                return route
+        raise nx.NetworkXNoPath(
+            f"no surviving precomputed path {src} -> {dst} avoiding {sorted(nodes)}"
+        )
+
+    def migrate(self, src: str, dst: str, path: Sequence[str], reason: str = "optimizer") -> Route:
+        """Explicitly steer the pair onto ``path`` (optimizer decision).
+
+        Compiles the routeID if the path was not among the precomputed
+        alternatives; records a :class:`MigrationEvent` either way.
+        """
+        key = (src, dst)
+        target = tuple(path)
+        route = next(
+            (r for r in self.alternatives(src, dst) if r.path == target), None
+        )
+        if route is None:
+            route = self.domain.route_for_path(target)
+            self._routes[key].append(route)
+        old = self._active.get(key)
+        if old is None or old.path != route.path:
+            self.history.append(
+                MigrationEvent(
+                    pair=key,
+                    old_path=old.path if old else None,
+                    new_path=route.path,
+                    reason=reason,
+                )
+            )
+        self._active[key] = route
+        return route

@@ -1,0 +1,106 @@
+"""mPolKA-style multipath routeIDs (paper Sec. VI, ref. [31]).
+
+The multipath extension lets a single routeID steer a packet out of
+*several* ports at once (multicast / multipath telemetry): the residue at a
+node is the XOR-superposition of the chosen port polynomials, with each port
+contributing one set bit.  A node decodes its residue into the set of output
+ports by reading the set bits back out.
+
+This only works when port numbers are assigned one-hot (port ``k`` uses
+polynomial ``t^k``), because an arbitrary binary port number could collide
+with the XOR of two others.  :class:`MultipathDomain` therefore re-maps the
+underlying domain's ports into one-hot port polynomials internally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
+
+from . import gf2
+from .crt import crt as _crt_solve
+
+__all__ = ["MultipathRoute", "MultipathDomain"]
+
+
+@dataclass(frozen=True)
+class MultipathRoute:
+    """A routeID whose per-node residues encode *sets* of output ports."""
+
+    route_id: int
+    tree: Mapping[str, Tuple[str, ...]]  # node -> successors reached from it
+
+
+class MultipathDomain:
+    """Compile multipath/multicast trees into a single PolKA routeID.
+
+    Parameters
+    ----------
+    adjacency:
+        ``{node: {neighbour: port_number}}`` exactly as for
+        :class:`repro.polka.routing.PolkaDomain`; ports are re-encoded
+        one-hot internally so each node's residue can superpose them.
+    """
+
+    def __init__(self, adjacency: Mapping[str, Mapping[str, int]]) -> None:
+        self._onehot: Dict[str, Dict[str, int]] = {}
+        max_bits = 1
+        for node, ports in adjacency.items():
+            table = {}
+            for rank, (neighbour, _port) in enumerate(sorted(ports.items())):
+                table[neighbour] = rank  # bit index, polynomial t^rank
+            self._onehot[node] = table
+            if table:
+                max_bits = max(max_bits, max(table.values()) + 1)
+        # one-hot residues need deg(nodeID) > highest bit index
+        polys = gf2.first_irreducibles(len(self._onehot), min_degree=max_bits + 1)
+        self.node_ids: Dict[str, int] = dict(zip(sorted(self._onehot), polys))
+
+    def residue_for(self, node: str, successors: Sequence[str]) -> int:
+        """XOR-superposed one-hot port polynomial for ``successors``."""
+        table = self._onehot[node]
+        residue = 0
+        for succ in successors:
+            try:
+                residue |= 1 << table[succ]
+            except KeyError:
+                raise KeyError(f"node {node} has no port towards {succ}") from None
+        return residue
+
+    def decode(self, node: str, residue: int) -> Set[str]:
+        """Invert :meth:`residue_for`: residue bits -> neighbour set."""
+        table = self._onehot[node]
+        by_bit = {bit: neighbour for neighbour, bit in table.items()}
+        out: Set[str] = set()
+        i = 0
+        r = residue
+        while r:
+            if r & 1:
+                if i not in by_bit:
+                    raise ValueError(
+                        f"residue bit {i} at node {node} does not match any port"
+                    )
+                out.add(by_bit[i])
+            r >>= 1
+            i += 1
+        return out
+
+    def route_for_tree(self, tree: Mapping[str, Sequence[str]]) -> MultipathRoute:
+        """Compile ``{node: successors}`` into one multipath routeID."""
+        if not tree:
+            raise ValueError("multipath tree is empty")
+        residues: List[int] = []
+        moduli: List[int] = []
+        for node, successors in sorted(tree.items()):
+            residues.append(self.residue_for(node, successors))
+            moduli.append(self.node_ids[node])
+        route_id, _ = _crt_solve(residues, moduli)
+        return MultipathRoute(
+            route_id=route_id,
+            tree={node: tuple(succ) for node, succ in tree.items()},
+        )
+
+    def forward(self, node: str, route: MultipathRoute) -> Set[str]:
+        """Data plane: mod + one-hot decode -> set of next hops."""
+        residue = gf2.mod(route.route_id, self.node_ids[node])
+        return self.decode(node, residue)

@@ -1,0 +1,122 @@
+"""Proof-of-Transit for PolKA paths (PoT-PolKA, paper ref. [18]).
+
+The paper's reference [18] ("PoT-PolKA: let the edge control the
+proof-of-transit in path-aware networks") extends PolKA so the egress
+edge can *verify* that a packet actually traversed the programmed path.
+We implement the same edge-controlled scheme in miniature:
+
+* the controller provisions each core node with a secret polynomial
+  ``k_i`` (degree < deg(nodeID));
+* each node, when forwarding a packet carrying nonce ``w``, folds its
+  mark into a running transit tag:
+  ``tag <- tag XOR ((w * k_i) mod s_i)``;
+* the egress recomputes the expected tag for the programmed path (it
+  knows all secrets) and rejects on mismatch.
+
+A node skipped, replayed or visited out of programmed order (set
+semantics: skipped/duplicated) changes the tag; random forgery succeeds
+with probability ~2^-deg(s_i) per mark.  Exercised by failure-injection
+tests in ``tests/polka/test_pot.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import gf2
+from .routing import PolkaDomain, Route
+
+__all__ = ["TransitProof", "PotAuthority"]
+
+
+@dataclass
+class TransitProof:
+    """Mutable in-packet proof state: nonce + accumulated tag."""
+
+    nonce: int
+    tag: int = 0
+
+    def fold(self, mark: int) -> None:
+        self.tag ^= mark
+
+
+class PotAuthority:
+    """Edge-controlled proof-of-transit over a PolKA domain.
+
+    The authority (conceptually the controller + egress edge) owns the
+    per-node secrets; core nodes only know their own secret and apply
+    :meth:`node_mark` while forwarding.
+    """
+
+    def __init__(self, domain: PolkaDomain, seed: int = 0):
+        self.domain = domain
+        rng = np.random.default_rng(seed)
+        self.secrets: Dict[str, int] = {}
+        for name, node in domain.nodes.items():
+            degree = gf2.deg(node.node_id)
+            # non-zero secret of degree < deg(nodeID)
+            secret = 0
+            while secret == 0:
+                secret = int(rng.integers(1, 1 << degree))
+            self.secrets[name] = secret
+
+    def new_proof(self, rng_or_nonce) -> TransitProof:
+        """Create the in-packet proof (ingress edge)."""
+        if isinstance(rng_or_nonce, (int, np.integer)):
+            nonce = int(rng_or_nonce)
+        else:
+            nonce = int(rng_or_nonce.integers(1, 1 << 30))
+        if nonce < 1:
+            raise ValueError("nonce must be positive")
+        return TransitProof(nonce=nonce)
+
+    def node_mark(self, node_name: str, nonce: int) -> int:
+        """The mark node ``node_name`` folds in while forwarding."""
+        node = self.domain.node(node_name)
+        secret = self.secrets[node_name]
+        return gf2.mulmod(gf2.mod(nonce, node.node_id), secret, node.node_id)
+
+    def stamp(self, node_name: str, proof: TransitProof) -> None:
+        """Data-plane action at a core node."""
+        proof.fold(self.node_mark(node_name, proof.nonce))
+
+    def expected_tag(self, path: Sequence[str], nonce: int) -> int:
+        """Egress-side recomputation over the transit nodes of ``path``.
+
+        The transit set is every hop except the final one (which verifies
+        rather than forwards), matching
+        :meth:`repro.polka.routing.PolkaDomain.walk` semantics.
+        """
+        tag = 0
+        for node_name in path[:-1]:
+            tag ^= self.node_mark(node_name, nonce)
+        return tag
+
+    def verify(self, route: Route, proof: TransitProof) -> bool:
+        """Egress check: did the packet visit exactly the programmed nodes?"""
+        return proof.tag == self.expected_tag(route.path, proof.nonce)
+
+    def walk_with_proof(
+        self,
+        route: Route,
+        nonce: int,
+        skip: Iterable[str] = (),
+        extra: Iterable[str] = (),
+    ) -> Tuple[TransitProof, bool]:
+        """Simulate forwarding with optional misbehaviour.
+
+        ``skip`` nodes forward without stamping (a bypassed waypoint);
+        ``extra`` nodes stamp additionally (an unexpected detour).
+        Returns the final proof and the egress verdict.
+        """
+        skip = set(skip)
+        proof = self.new_proof(nonce)
+        for node_name in route.path[:-1]:
+            if node_name not in skip:
+                self.stamp(node_name, proof)
+        for node_name in extra:
+            self.stamp(node_name, proof)
+        return proof, self.verify(route, proof)

@@ -1,0 +1,89 @@
+"""Parametric topology generators for stress and property tests."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+import numpy as np
+
+from repro.net.topology import Network
+
+__all__ = ["line_topology", "random_wan"]
+
+
+def line_topology(
+    n_routers: int = 3,
+    rate_mbps: float = 100.0,
+    delay_ms: float = 1.0,
+) -> Network:
+    """``h1 - r0 - r1 - ... - r{n-1} - h2`` (the minimal tunnel testbed)."""
+    if n_routers < 1:
+        raise ValueError("need at least one router")
+    net = Network()
+    net.add_host("h1", ip="10.0.1.2")
+    net.add_host("h2", ip="10.0.2.2")
+    names = [f"r{i}" for i in range(n_routers)]
+    for i, name in enumerate(names):
+        net.add_router(name, edge=(i in (0, n_routers - 1)))
+    net.add_link("h1", names[0], rate_mbps=1000.0, delay_ms=0.1)
+    net.add_link(names[-1], "h2", rate_mbps=1000.0, delay_ms=0.1)
+    for a, b in zip(names[:-1], names[1:]):
+        net.add_link(a, b, rate_mbps=rate_mbps, delay_ms=delay_ms)
+    return net.build()
+
+
+def random_wan(
+    n_routers: int = 8,
+    extra_edges: int = 6,
+    seed: int = 0,
+    rate_mbps: float = 100.0,
+    delay_ms: float = 2.0,
+    n_host_pairs: int = 1,
+) -> Network:
+    """Connected random WAN: a random spanning tree plus ``extra_edges``
+    chords, with ``n_host_pairs`` host pairs attached to distinct routers.
+
+    Deterministic for a given ``seed``.
+    """
+    if n_routers < 2:
+        raise ValueError("need at least two routers")
+    if n_host_pairs < 1 or 2 * n_host_pairs > n_routers:
+        raise ValueError("host pairs must fit on distinct routers")
+    rng = np.random.default_rng(seed)
+    net = Network()
+    names = [f"r{i}" for i in range(n_routers)]
+    for name in names:
+        net.add_router(name, edge=True)  # any router may terminate tunnels
+    # random spanning tree (random attachment order)
+    order = rng.permutation(n_routers)
+    edges = set()
+    for i in range(1, n_routers):
+        a = names[order[i]]
+        b = names[order[int(rng.integers(0, i))]]
+        edges.add(frozenset((a, b)))
+        net.add_link(a, b, rate_mbps=rate_mbps, delay_ms=delay_ms)
+    # chords
+    added = 0
+    attempts = 0
+    while added < extra_edges and attempts < 50 * extra_edges:
+        attempts += 1
+        a, b = rng.choice(names, size=2, replace=False)
+        key = frozenset((a, b))
+        if key in edges:
+            continue
+        edges.add(key)
+        net.add_link(a, b, rate_mbps=rate_mbps, delay_ms=delay_ms)
+        added += 1
+    # hosts
+    router_choices = rng.choice(n_routers, size=2 * n_host_pairs, replace=False)
+    for pair in range(n_host_pairs):
+        src_r = names[router_choices[2 * pair]]
+        dst_r = names[router_choices[2 * pair + 1]]
+        h_src = f"h{pair}a"
+        h_dst = f"h{pair}b"
+        net.add_host(h_src, ip=f"10.{pair}.1.2")
+        net.add_host(h_dst, ip=f"10.{pair}.2.2")
+        net.add_link(h_src, src_r, rate_mbps=1000.0, delay_ms=0.1)
+        net.add_link(dst_r, h_dst, rate_mbps=1000.0, delay_ms=0.1)
+    return net.build()

@@ -1,0 +1,222 @@
+"""Access lists, the Fig. 10 config parser, and policy application."""
+
+import pytest
+
+from repro.freertr import (
+    AccessList,
+    AclRule,
+    ConfigError,
+    apply_config,
+    ip_to_int,
+    mask_to_prefix_len,
+    parse_config,
+    parse_prefix,
+)
+from repro.net import Packet
+from repro.topologies import ROUTER_IPS, global_p4_lab
+
+FIG10_CONFIG = """
+! Fig. 10: host1's network reaches host2 via TCP, ToS-tagged flows
+access-list flow3
+ permit 6 40.40.1.0 255.255.255.0 40.40.2.2 255.255.255.255 tos 64
+exit
+interface tunnel3
+ tunnel domain-name MIA CAL CHI AMS
+ tunnel destination 20.20.0.7
+ tunnel mode polka
+exit
+pbr flow3 tunnel 3
+"""
+
+
+def tcp_packet(tos=64, src_ip="40.40.1.2", dst_ip="40.40.2.2", proto="tcp"):
+    return Packet(
+        src="host1", dst="host2", size=1500, protocol=proto, tos=tos,
+        src_ip=src_ip, dst_ip=dst_ip,
+    )
+
+
+class TestIpParsing:
+    def test_ip_to_int(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert ip_to_int("255.255.255.255") == 0xFFFFFFFF
+        assert ip_to_int("40.40.1.0") == (40 << 24) | (40 << 16) | (1 << 8)
+
+    def test_bad_ips(self):
+        for bad in ["1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", ""]:
+            with pytest.raises(ValueError):
+                ip_to_int(bad)
+
+    def test_mask_to_prefix_len(self):
+        assert mask_to_prefix_len("255.255.255.0") == 24
+        assert mask_to_prefix_len("255.255.255.255") == 32
+        assert mask_to_prefix_len("0.0.0.0") == 0
+
+    def test_non_contiguous_mask_rejected(self):
+        with pytest.raises(ValueError):
+            mask_to_prefix_len("255.0.255.0")
+
+    def test_parse_prefix(self):
+        net, length = parse_prefix("40.40.1.0/24")
+        assert length == 24
+        assert net == ip_to_int("40.40.1.0")
+        # host bits are zeroed
+        net2, _ = parse_prefix("40.40.1.77/24")
+        assert net2 == net
+
+
+class TestAclRule:
+    def test_fig10_rule_matches_the_intended_flow(self):
+        rule = AclRule.parse(
+            "permit 6 40.40.1.0 255.255.255.0 40.40.2.2 255.255.255.255 tos 64".split()
+        )
+        assert rule.matches(tcp_packet())
+
+    def test_wrong_tos_rejected(self):
+        rule = AclRule.parse(
+            "permit 6 40.40.1.0 255.255.255.0 40.40.2.2 255.255.255.255 tos 64".split()
+        )
+        assert not rule.matches(tcp_packet(tos=0))
+
+    def test_wrong_protocol_rejected(self):
+        rule = AclRule.parse(
+            "permit 6 40.40.1.0 255.255.255.0 40.40.2.2 255.255.255.255".split()
+        )
+        assert not rule.matches(tcp_packet(proto="udp"))
+
+    def test_source_outside_prefix_rejected(self):
+        rule = AclRule.parse(
+            "permit 6 40.40.1.0 255.255.255.0 40.40.2.2 255.255.255.255".split()
+        )
+        assert not rule.matches(tcp_packet(src_ip="40.40.9.2"))
+
+    def test_protocol_names_accepted(self):
+        rule = AclRule.parse(
+            "permit icmp 0.0.0.0 0.0.0.0 0.0.0.0 0.0.0.0".split()
+        )
+        assert rule.matches(tcp_packet(proto="icmp"))
+        # echo replies classify as ICMP too
+        assert rule.matches(tcp_packet(proto="icmp-reply"))
+
+    def test_any_protocol(self):
+        rule = AclRule.parse("permit any 0.0.0.0 0.0.0.0 0.0.0.0 0.0.0.0".split())
+        assert rule.matches(tcp_packet(proto="udp"))
+
+    def test_packet_without_ips_never_matches(self):
+        rule = AclRule.parse("permit any 0.0.0.0 0.0.0.0 0.0.0.0 0.0.0.0".split())
+        packet = Packet(src="a", dst="b", size=100)
+        assert not rule.matches(packet)
+
+    def test_parse_errors(self):
+        with pytest.raises(ValueError):
+            AclRule.parse("deny 6 1.1.1.0 255.255.255.0 2.2.2.2 255.255.255.255".split())
+        with pytest.raises(ValueError):
+            AclRule.parse("permit 6 1.1.1.0".split())
+        with pytest.raises(ValueError):
+            AclRule.parse(
+                "permit 6 1.1.1.0 255.255.255.0 2.2.2.2 255.255.255.255 dscp 4".split()
+            )
+
+    def test_describe_roundtrip_content(self):
+        rule = AclRule.parse(
+            "permit 6 40.40.1.0 255.255.255.0 40.40.2.2 255.255.255.255 tos 64".split()
+        )
+        text = rule.describe()
+        assert "tcp" in text and "40.40.1.0/24" in text and "tos 64" in text
+
+
+class TestAccessList:
+    def test_first_match_wins_default_deny(self):
+        acl = AccessList("t")
+        assert not acl.permits(tcp_packet())
+        acl.add(AclRule.parse("permit 6 40.40.1.0 255.255.255.0 40.40.2.2 255.255.255.255".split()))
+        assert acl.permits(tcp_packet())
+
+
+class TestConfigParser:
+    def test_fig10_parses(self):
+        config = parse_config(FIG10_CONFIG)
+        assert set(config.access_lists) == {"flow3"}
+        assert set(config.tunnels) == {3}
+        assert config.tunnels[3].path == ["MIA", "CAL", "CHI", "AMS"]
+        assert config.tunnels[3].destination == "20.20.0.7"
+        assert config.pbr == [("flow3", 3)]
+
+    def test_comments_and_blank_lines_ignored(self):
+        config = parse_config("! nothing\n\n" + FIG10_CONFIG)
+        assert set(config.tunnels) == {3}
+
+    def test_missing_exit(self):
+        with pytest.raises(ConfigError, match="exit"):
+            parse_config("access-list a\n permit any 0.0.0.0 0.0.0.0 0.0.0.0 0.0.0.0\n")
+
+    def test_unknown_statement(self):
+        with pytest.raises(ConfigError, match="unknown"):
+            parse_config("router ospf 1\nexit\n")
+
+    def test_pbr_referencing_missing_objects(self):
+        with pytest.raises(ConfigError, match="access-list"):
+            parse_config("interface tunnel1\n tunnel domain-name A B\nexit\npbr nope tunnel 1\n")
+
+    def test_short_tunnel_path_rejected(self):
+        with pytest.raises(ConfigError, match="path"):
+            parse_config("interface tunnel1\n tunnel domain-name A\nexit\n")
+
+    def test_non_polka_mode_rejected(self):
+        text = "interface tunnel1\n tunnel domain-name A B\n tunnel mode gre\nexit\n"
+        with pytest.raises(ConfigError, match="mode"):
+            parse_config(text)
+
+
+class TestApplyConfig:
+    def test_fig10_applies_to_mia(self):
+        net = global_p4_lab()
+        policy = apply_config(net, "MIA", parse_config(FIG10_CONFIG), router_ips=ROUTER_IPS)
+        assert policy.binding_of("flow3") == 3
+        assert net.routers["MIA"].classifier is not None
+        route_id, egress = net.routers["MIA"].classifier(tcp_packet())
+        assert egress == "AMS"
+        assert route_id == net.polka.route_for_path(["MIA", "CAL", "CHI", "AMS"]).route_id
+
+    def test_wrong_ingress_rejected(self):
+        net = global_p4_lab()
+        with pytest.raises(ConfigError, match="starts at"):
+            apply_config(net, "AMS", parse_config(FIG10_CONFIG), router_ips=ROUTER_IPS)
+
+    def test_destination_mismatch_rejected(self):
+        bad = FIG10_CONFIG.replace("20.20.0.7", "20.20.0.3")  # SAO, not path egress
+        net = global_p4_lab()
+        with pytest.raises(ConfigError, match="destination"):
+            apply_config(net, "MIA", parse_config(bad), router_ips=ROUTER_IPS)
+
+    def test_unknown_router_in_path(self):
+        bad = FIG10_CONFIG.replace("MIA CAL CHI AMS", "MIA XXX AMS").replace(
+            "tunnel destination 20.20.0.7", "tunnel destination AMS"
+        )
+        net = global_p4_lab()
+        with pytest.raises(ConfigError, match="unknown router"):
+            apply_config(net, "MIA", parse_config(bad), router_ips=ROUTER_IPS)
+
+    def test_tos_separates_flows(self):
+        """Three ToS-tagged ACLs steer to three different tunnels (the
+        Fig. 12 classification)."""
+        text = ""
+        for i, tos in enumerate([32, 64, 96], start=1):
+            text += (
+                f"access-list flow{i}\n"
+                f" permit 6 40.40.1.0 255.255.255.0 40.40.2.2 255.255.255.255 tos {tos}\n"
+                "exit\n"
+            )
+        text += (
+            "interface tunnel1\n tunnel domain-name MIA SAO AMS\nexit\n"
+            "interface tunnel2\n tunnel domain-name MIA CHI AMS\nexit\n"
+            "interface tunnel3\n tunnel domain-name MIA CAL CHI AMS\nexit\n"
+            "pbr flow1 tunnel 1\npbr flow2 tunnel 2\npbr flow3 tunnel 3\n"
+        )
+        net = global_p4_lab()
+        policy = apply_config(net, "MIA", parse_config(text))
+        r1, _ = policy.classify(tcp_packet(tos=32))
+        r2, _ = policy.classify(tcp_packet(tos=64))
+        r3, _ = policy.classify(tcp_packet(tos=96))
+        assert len({r1, r2, r3}) == 3
+        assert policy.classify(tcp_packet(tos=0)) is None

@@ -1,0 +1,114 @@
+"""Exponential-smoothing forecasters (future-work extension, Sec. VII)."""
+
+import numpy as np
+import pytest
+
+from repro.hecate import (
+    HoltLinear,
+    HoltWinters,
+    SimpleExpSmoothing,
+    TimeSeriesQoSPredictor,
+)
+
+
+class TestSES:
+    def test_constant_series_forecasts_constant(self):
+        model = SimpleExpSmoothing(alpha=0.5).fit(np.full(50, 7.0))
+        assert np.allclose(model.forecast(5), 7.0)
+
+    def test_level_tracks_recent_values(self):
+        s = np.concatenate([np.full(50, 0.0), np.full(50, 10.0)])
+        model = SimpleExpSmoothing(alpha=0.5).fit(s)
+        assert model.forecast(1)[0] == pytest.approx(10.0, abs=0.1)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            SimpleExpSmoothing(alpha=0.0)
+        with pytest.raises(ValueError):
+            SimpleExpSmoothing(alpha=1.5)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SimpleExpSmoothing().forecast(1)
+
+    def test_empty_series(self):
+        with pytest.raises(ValueError):
+            SimpleExpSmoothing().fit([])
+
+    def test_steps_validation(self):
+        model = SimpleExpSmoothing().fit([1.0, 2.0])
+        with pytest.raises(ValueError):
+            model.forecast(0)
+
+
+class TestHoltLinear:
+    def test_extends_linear_trend(self):
+        s = 2.0 + 0.5 * np.arange(100)
+        model = HoltLinear(alpha=0.8, beta=0.5).fit(s)
+        forecast = model.forecast(4)
+        expected = 2.0 + 0.5 * np.arange(100, 104)
+        assert np.allclose(forecast, expected, atol=0.2)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            HoltLinear().fit([1.0])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            HoltLinear(alpha=0.0)
+        with pytest.raises(ValueError):
+            HoltLinear(beta=2.0)
+
+
+class TestHoltWinters:
+    def test_recovers_seasonal_pattern(self):
+        season = np.array([0.0, 5.0, 10.0, 5.0])
+        s = np.tile(season, 30) + 20.0
+        model = HoltWinters(season_length=4, alpha=0.4, beta=0.05, gamma=0.3).fit(s)
+        forecast = model.forecast(8)
+        expected = np.tile(season, 2) + 20.0
+        assert np.allclose(forecast, expected, atol=1.0)
+
+    def test_trend_plus_season(self):
+        season = np.array([-2.0, 2.0])
+        n = 80
+        s = np.tile(season, n // 2) + 0.1 * np.arange(n)
+        model = HoltWinters(season_length=2).fit(s)
+        f = model.forecast(2)
+        assert f[1] - f[0] == pytest.approx(2 * -(-2.0) + 0.1, abs=1.5)
+
+    def test_too_short_series(self):
+        with pytest.raises(ValueError):
+            HoltWinters(season_length=10).fit(np.arange(15.0))
+
+    def test_season_length_validation(self):
+        with pytest.raises(ValueError):
+            HoltWinters(season_length=1)
+
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError):
+            HoltWinters(season_length=4, gamma=0.0)
+
+
+class TestAdapter:
+    def test_predict_next_matches_forecast_head(self):
+        s = 1.0 + 0.3 * np.arange(60)
+        adapter = TimeSeriesQoSPredictor(HoltLinear).fit(s)
+        assert adapter.predict_next(s) == pytest.approx(adapter.forecast(s, 3)[0])
+
+    def test_usable_in_place_of_qos_predictor(self):
+        """Same call surface the HecateService/QoSPredictor consumers use."""
+        s = np.full(40, 9.0)
+        adapter = TimeSeriesQoSPredictor(SimpleExpSmoothing).fit(s)
+        forecast = adapter.forecast(s, steps=10)
+        assert forecast.shape == (10,)
+        assert np.allclose(forecast, 9.0)
+
+    def test_forecasts_track_bandwidth_series(self):
+        from repro.datasets import generate_uq_wireless
+
+        ds = generate_uq_wireless()
+        adapter = TimeSeriesQoSPredictor(HoltLinear)
+        forecast = adapter.forecast(ds.lte[:375], steps=10)
+        # stays within the physical range of the series
+        assert forecast.min() > -20.0 and forecast.max() < 2 * ds.lte.max()

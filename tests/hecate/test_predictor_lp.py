@@ -1,0 +1,192 @@
+"""QoS predictor pipeline, path objectives and the Sec. III LP solvers."""
+
+import numpy as np
+import pytest
+
+from repro.hecate import (
+    PathForecast,
+    QoSPredictor,
+    choose_max_bandwidth,
+    choose_min_latency,
+    choose_min_max_utilization,
+    evaluate_pipeline,
+    solve_min_cost,
+    solve_min_delay,
+    solve_min_max_utilization,
+)
+from repro.ml import LinearRegression, NotFittedError, Ridge
+
+
+def linear_series(n=200, slope=0.1, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return 10.0 + slope * np.arange(n) + rng.normal(scale=noise, size=n)
+
+
+class TestQoSPredictor:
+    def test_one_step_prediction_on_linear_trend(self):
+        s = linear_series()
+        pred = QoSPredictor(LinearRegression(), n_lags=5).fit(s)
+        nxt = pred.predict_next(s)
+        assert nxt == pytest.approx(10.0 + 0.1 * 200, abs=0.01)
+
+    def test_recursive_forecast_extends_trend(self):
+        s = linear_series()
+        pred = QoSPredictor(LinearRegression(), n_lags=5).fit(s)
+        forecast = pred.forecast(s, steps=10)
+        expected = 10.0 + 0.1 * np.arange(200, 210)
+        assert np.allclose(forecast, expected, atol=0.05)
+
+    def test_forecast_default_is_paper_10_steps(self):
+        s = linear_series()
+        pred = QoSPredictor(LinearRegression()).fit(s)
+        assert pred.forecast(s).shape == (10,)
+
+    def test_scaling_is_transparent(self):
+        s = linear_series(noise=0.5, seed=2)
+        scaled = QoSPredictor(Ridge(), n_lags=5, scale=True).fit(s).predict_next(s)
+        raw = QoSPredictor(Ridge(), n_lags=5, scale=False).fit(s).predict_next(s)
+        # Ridge is not scale-invariant but predictions should land close
+        assert scaled == pytest.approx(raw, rel=0.05)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            QoSPredictor(LinearRegression()).predict_next(np.arange(20.0))
+
+    def test_short_history_raises(self):
+        pred = QoSPredictor(LinearRegression(), n_lags=10).fit(linear_series())
+        with pytest.raises(ValueError):
+            pred.predict_next(np.arange(5.0))
+
+    def test_short_series_raises(self):
+        with pytest.raises(ValueError):
+            QoSPredictor(LinearRegression(), n_lags=10).fit(np.arange(5.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QoSPredictor(LinearRegression(), n_lags=0)
+        pred = QoSPredictor(LinearRegression()).fit(linear_series())
+        with pytest.raises(ValueError):
+            pred.forecast(linear_series(), steps=0)
+
+
+class TestEvaluatePipeline:
+    def test_near_zero_rmse_on_noiseless_trend(self):
+        result = evaluate_pipeline(linear_series(), LinearRegression())
+        assert result.rmse < 1e-6
+        assert result.predictions.shape == result.observed.shape
+
+    def test_observed_matches_raw_series_tail(self):
+        s = linear_series()
+        result = evaluate_pipeline(s, LinearRegression(), n_lags=10, test_size=0.25)
+        # observed values are the unscaled test-series targets
+        assert np.allclose(result.observed, s[result.test_start_index:], atol=1e-9)
+
+    def test_too_short_series(self):
+        with pytest.raises(ValueError):
+            evaluate_pipeline(np.arange(12.0), LinearRegression(), n_lags=10)
+
+
+class TestObjectives:
+    def forecasts(self):
+        return [
+            PathForecast("T1", np.array([5.0, 5.0]), latency_ms=40.0,
+                         bottleneck_utilization=0.9),
+            PathForecast("T2", np.array([8.0, 9.0]), latency_ms=10.0,
+                         bottleneck_utilization=0.5),
+            PathForecast("T3", np.array([7.0, 6.0]), latency_ms=25.0,
+                         bottleneck_utilization=0.2),
+        ]
+
+    def test_max_bandwidth_picks_t2(self):
+        assert choose_max_bandwidth(self.forecasts()).name == "T2"
+
+    def test_min_latency_picks_t2(self):
+        assert choose_min_latency(self.forecasts()).name == "T2"
+
+    def test_min_max_util_picks_t3(self):
+        assert choose_min_max_utilization(self.forecasts()).name == "T3"
+
+    def test_empty_and_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            choose_max_bandwidth([])
+        dupes = [
+            PathForecast("T1", np.array([1.0])),
+            PathForecast("T1", np.array([2.0])),
+        ]
+        with pytest.raises(ValueError):
+            choose_max_bandwidth(dupes)
+
+
+class TestMinCostLP:
+    def test_direct_path_preferred_until_saturation(self):
+        split = solve_min_cost(h=5.0, c_sd=10.0, c_sid=10.0)
+        assert split.x_sd == pytest.approx(5.0)
+        assert split.x_sid == pytest.approx(0.0)
+
+    def test_overflow_spills_to_indirect(self):
+        split = solve_min_cost(h=15.0, c_sd=10.0, c_sid=10.0)
+        assert split.x_sd == pytest.approx(10.0)
+        assert split.x_sid == pytest.approx(5.0)
+        assert split.objective == pytest.approx(10.0 + 2 * 5.0)
+
+    def test_conservation(self):
+        split = solve_min_cost(h=7.3, c_sd=10.0, c_sid=10.0)
+        assert split.total == pytest.approx(7.3)
+
+    def test_infeasible_demand(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            solve_min_cost(h=25.0, c_sd=10.0, c_sid=10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            solve_min_cost(h=-1.0, c_sd=1.0, c_sid=1.0)
+        with pytest.raises(ValueError):
+            solve_min_cost(h=1.0, c_sd=0.0, c_sid=1.0)
+
+
+class TestMinMaxLP:
+    def test_equal_capacities_split_evenly(self):
+        split = solve_min_max_utilization(h=10.0, c_sd=20.0, c_sid=20.0)
+        assert split.x_sd == pytest.approx(5.0)
+        assert split.objective == pytest.approx(0.25)
+
+    def test_unequal_capacities_equalize_utilization(self):
+        split = solve_min_max_utilization(h=12.0, c_sd=30.0, c_sid=10.0)
+        u_sd = split.x_sd / 30.0
+        u_sid = split.x_sid / 10.0
+        assert u_sd == pytest.approx(u_sid, abs=1e-6)
+        assert split.objective == pytest.approx(12.0 / 40.0)
+
+    def test_objective_below_one_iff_feasible(self):
+        split = solve_min_max_utilization(h=39.9, c_sd=30.0, c_sid=10.0)
+        assert split.objective < 1.0 + 1e-9
+
+
+class TestMinDelay:
+    def test_small_demand_prefers_direct(self):
+        # the indirect term is doubled, so light demand rides direct only
+        split = solve_min_delay(h=1.0, c=10.0)
+        assert split.x_sid < split.x_sd
+
+    def test_heavy_demand_splits(self):
+        split = solve_min_delay(h=15.0, c=10.0)
+        assert split.x_sd > 0 and split.x_sid > 0
+        assert split.total == pytest.approx(15.0)
+
+    def test_solution_is_stationary_point(self):
+        h, c = 8.0, 10.0
+        split = solve_min_delay(h, c)
+        # interior optimum: derivatives of the two terms balance
+        d_direct = c / (c - split.x_sd) ** 2
+        d_indirect = 2.0 * c / (c - split.x_sid) ** 2
+        assert d_direct == pytest.approx(d_indirect, rel=1e-4)
+
+    def test_objective_increases_with_demand(self):
+        objs = [solve_min_delay(h, 10.0).objective for h in [2.0, 8.0, 14.0]]
+        assert objs[0] < objs[1] < objs[2]
+
+    def test_infeasible(self):
+        with pytest.raises(ValueError):
+            solve_min_delay(h=20.0, c=10.0)
+        with pytest.raises(ValueError):
+            solve_min_delay(h=1.0, c=0.0)

@@ -1,0 +1,98 @@
+"""Q-learning path selector (RL extension, paper Secs. II.A & VII)."""
+
+import numpy as np
+import pytest
+
+from repro.hecate.rl import QLearningPathSelector, TunnelEnv
+from repro.topologies import TUNNEL1, TUNNEL2, TUNNEL3, fig12_capacities
+
+PATHS = {"T1": TUNNEL1, "T2": TUNNEL2, "T3": TUNNEL3}
+
+
+def make_env(seed=0, **kwargs):
+    return TunnelEnv(PATHS, fig12_capacities(), random_state=seed, **kwargs)
+
+
+class TestTunnelEnv:
+    def test_state_shape_and_bounds(self):
+        env = make_env()
+        state = env.reset()
+        assert len(state) == 3
+        assert all(0 <= s < env.n_bins for s in state)
+
+    def test_empty_network_rewards_bottleneck(self):
+        env = make_env(max_background=0)
+        env.reset()
+        rewards = [env.step(a) for a in range(env.n_actions)]
+        # T1=20, T2=10, T3=5 bottlenecks with no competition
+        assert rewards == [pytest.approx(20.0), pytest.approx(10.0),
+                           pytest.approx(5.0)]
+
+    def test_background_reduces_reward(self):
+        env = make_env(max_background=0)
+        env.reset()
+        free = env.step(0)
+        env._background = {"T1": 3, "T2": 0, "T3": 0}
+        loaded = env.step(0)
+        assert loaded < free
+
+    def test_oracle_prefers_empty_tunnel(self):
+        env = make_env(max_background=0)
+        env.reset()
+        env._background = {"T1": 3, "T2": 0, "T3": 0}
+        # T1 shared 4 ways (5 each) vs T2 free (10)
+        assert env.tunnel_names[env.best_action()] == "T2"
+
+    def test_invalid_action(self):
+        env = make_env()
+        env.reset()
+        with pytest.raises(ValueError):
+            env.step(9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TunnelEnv({}, {})
+        with pytest.raises(ValueError):
+            TunnelEnv(PATHS, fig12_capacities(), n_bins=1)
+
+
+class TestQLearning:
+    def test_learns_near_oracle_policy(self):
+        env = make_env(seed=1)
+        agent = QLearningPathSelector(env, random_state=2).train(episodes=3000)
+        assert agent.accuracy_vs_oracle(trials=150) > 0.85
+
+    def test_untrained_agent_is_worse(self):
+        env = make_env(seed=3)
+        trained = QLearningPathSelector(env, random_state=4).train(episodes=3000)
+        fresh = QLearningPathSelector(make_env(seed=3), random_state=4)
+        assert trained.accuracy_vs_oracle(100) > fresh.accuracy_vs_oracle(100)
+
+    def test_recommend_returns_tunnel_name(self):
+        env = make_env(seed=5)
+        agent = QLearningPathSelector(env, random_state=6).train(episodes=500)
+        env.reset()
+        assert agent.recommend() in PATHS
+
+    def test_greedy_choice_avoids_congestion(self):
+        env = make_env(seed=7)
+        agent = QLearningPathSelector(env, random_state=8).train(episodes=4000)
+        # force a state with T1 saturated: reward should steer to T2
+        env._background = {"T1": 3, "T2": 0, "T3": 0}
+        state = env.observe()
+        action = agent.select(state, greedy=True)
+        reward = env.step(action)
+        assert reward >= env.step(0) - 1e-9  # at least as good as picking T1
+
+    def test_q_table_grows_with_experience(self):
+        env = make_env(seed=9)
+        agent = QLearningPathSelector(env, random_state=10).train(episodes=200)
+        assert len(agent.q_table) > 1
+        assert agent.episodes_trained == 200
+
+    def test_hyperparameter_validation(self):
+        env = make_env()
+        with pytest.raises(ValueError):
+            QLearningPathSelector(env, alpha=0.0)
+        with pytest.raises(ValueError):
+            QLearningPathSelector(env, epsilon=1.5)

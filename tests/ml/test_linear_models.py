@@ -1,0 +1,232 @@
+"""Behavioural tests for the linear family: exact recovery where theory
+says recovery is exact, robustness where robustness is the selling point."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    ARDRegression,
+    ElasticNet,
+    HuberRegressor,
+    Lasso,
+    LinearRegression,
+    RANSACRegressor,
+    Ridge,
+    SGDRegressor,
+    TheilSenRegressor,
+)
+
+
+def linear_data(n=120, p=4, noise=0.0, seed=0, outliers=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, p))
+    coef = np.arange(1, p + 1, dtype=float)
+    y = X @ coef + 2.5 + rng.normal(scale=noise, size=n)
+    if outliers:
+        idx = rng.choice(n, size=outliers, replace=False)
+        y[idx] += rng.choice([-1, 1], size=outliers) * 50.0
+    return X, y, coef
+
+
+class TestLinearRegression:
+    def test_exact_on_noiseless(self):
+        X, y, coef = linear_data()
+        model = LinearRegression().fit(X, y)
+        assert np.allclose(model.coef_, coef, atol=1e-10)
+        assert model.intercept_ == pytest.approx(2.5, abs=1e-10)
+
+    def test_no_intercept(self):
+        X, y, _ = linear_data()
+        model = LinearRegression(fit_intercept=False).fit(X, y)
+        assert model.intercept_ == 0.0
+
+    def test_underdetermined_does_not_crash(self):
+        X = np.random.default_rng(0).normal(size=(3, 10))
+        y = np.array([1.0, 2.0, 3.0])
+        model = LinearRegression().fit(X, y)
+        assert np.allclose(model.predict(X), y, atol=1e-8)
+
+    def test_feature_mismatch_on_predict(self):
+        X, y, _ = linear_data()
+        model = LinearRegression().fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            model.predict(X[:, :2])
+
+    @given(
+        st.floats(min_value=-10, max_value=10, allow_nan=False),
+        st.floats(min_value=-10, max_value=10, allow_nan=False),
+    )
+    @settings(max_examples=25)
+    def test_recovers_any_univariate_line(self, slope, intercept):
+        x = np.linspace(-5, 5, 30).reshape(-1, 1)
+        y = slope * x.ravel() + intercept
+        model = LinearRegression().fit(x, y)
+        assert model.coef_[0] == pytest.approx(slope, abs=1e-8)
+        assert model.intercept_ == pytest.approx(intercept, abs=1e-8)
+
+
+class TestRidge:
+    def test_alpha_zero_matches_ols(self):
+        X, y, _ = linear_data(noise=0.1)
+        ols = LinearRegression().fit(X, y)
+        ridge = Ridge(alpha=0.0).fit(X, y)
+        assert np.allclose(ridge.coef_, ols.coef_, atol=1e-8)
+
+    def test_shrinkage_monotone(self):
+        X, y, _ = linear_data(noise=0.1)
+        norms = [
+            np.linalg.norm(Ridge(alpha=a).fit(X, y).coef_) for a in [0.0, 1.0, 100.0]
+        ]
+        assert norms[0] >= norms[1] >= norms[2]
+
+    def test_intercept_not_penalized(self):
+        X = np.zeros((50, 1))
+        y = np.full(50, 7.0)
+        model = Ridge(alpha=1000.0).fit(X, y)
+        assert model.intercept_ == pytest.approx(7.0)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            Ridge(alpha=-1.0)
+
+
+class TestLassoElasticNet:
+    def test_lasso_kills_irrelevant_features(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(200, 6))
+        y = 10.0 * X[:, 0] + rng.normal(scale=0.1, size=200)
+        model = Lasso(alpha=0.5).fit(X, y)
+        assert abs(model.coef_[0]) > 5.0
+        assert np.all(np.abs(model.coef_[1:]) < 0.05)
+
+    def test_alpha_zero_approaches_ols(self):
+        X, y, coef = linear_data(noise=0.05)
+        model = Lasso(alpha=1e-8, max_iter=5000).fit(X, y)
+        assert np.allclose(model.coef_, coef, atol=1e-2)
+
+    def test_huge_alpha_gives_null_model(self):
+        X, y, _ = linear_data()
+        model = Lasso(alpha=1e6).fit(X, y)
+        assert np.allclose(model.coef_, 0.0)
+        assert model.intercept_ == pytest.approx(y.mean())
+
+    def test_elasticnet_between_ridge_and_lasso(self):
+        X, y, _ = linear_data(noise=0.1, seed=5)
+        lasso_nnz = np.count_nonzero(Lasso(alpha=0.5).fit(X, y).coef_)
+        enet_nnz = np.count_nonzero(ElasticNet(alpha=0.5, l1_ratio=0.5).fit(X, y).coef_)
+        assert enet_nnz >= lasso_nnz
+
+    def test_l1_ratio_validation(self):
+        with pytest.raises(ValueError):
+            ElasticNet(l1_ratio=1.5)
+
+    def test_converges_and_reports_iterations(self):
+        X, y, _ = linear_data(noise=0.1)
+        model = ElasticNet(alpha=0.1).fit(X, y)
+        assert 1 <= model.n_iter_ <= model.max_iter
+
+
+class TestSGD:
+    def test_approaches_ols_solution(self):
+        X, y, coef = linear_data(n=400, noise=0.05, seed=3)
+        model = SGDRegressor(random_state=0, max_iter=200).fit(X, y)
+        assert np.allclose(model.coef_, coef, atol=0.3)
+
+    def test_seed_reproducibility(self):
+        X, y, _ = linear_data(noise=0.1)
+        a = SGDRegressor(random_state=11).fit(X, y)
+        b = SGDRegressor(random_state=11).fit(X, y)
+        assert np.array_equal(a.coef_, b.coef_)
+
+    def test_early_stopping_bounded_iterations(self):
+        X, y, _ = linear_data(noise=0.0)
+        model = SGDRegressor(random_state=0).fit(X, y)
+        assert model.n_iter_ <= model.max_iter
+
+
+class TestHuber:
+    def test_matches_ols_without_outliers(self):
+        X, y, coef = linear_data(noise=0.05)
+        model = HuberRegressor().fit(X, y)
+        assert np.allclose(model.coef_, coef, atol=0.05)
+
+    def test_resists_outliers_better_than_ols(self):
+        X, y, coef = linear_data(n=200, noise=0.1, outliers=20, seed=4)
+        huber_err = np.linalg.norm(HuberRegressor().fit(X, y).coef_ - coef)
+        ols_err = np.linalg.norm(LinearRegression().fit(X, y).coef_ - coef)
+        assert huber_err < ols_err
+
+    def test_scale_is_positive(self):
+        X, y, _ = linear_data(noise=0.3)
+        assert HuberRegressor().fit(X, y).scale_ > 0
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            HuberRegressor(epsilon=0.5)
+
+
+class TestARD:
+    def test_prunes_irrelevant_features(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(250, 8))
+        y = 4.0 * X[:, 0] - 3.0 * X[:, 1] + rng.normal(scale=0.1, size=250)
+        model = ARDRegression().fit(X, y)
+        assert abs(model.coef_[0]) > 3.5
+        assert abs(model.coef_[1]) > 2.5
+        assert np.all(np.abs(model.coef_[2:]) < 0.1)
+
+    def test_recovers_dense_solution_too(self):
+        X, y, coef = linear_data(noise=0.05, seed=8)
+        model = ARDRegression().fit(X, y)
+        assert np.allclose(model.coef_, coef, atol=0.1)
+
+    def test_exposes_precisions(self):
+        X, y, _ = linear_data(noise=0.1)
+        model = ARDRegression().fit(X, y)
+        assert model.lambda_.shape == (4,)
+        assert model.alpha_ > 0
+
+
+class TestRANSAC:
+    def test_ignores_gross_outliers(self):
+        X, y, coef = linear_data(n=300, noise=0.05, outliers=60, seed=9)
+        model = RANSACRegressor(random_state=0).fit(X, y)
+        assert np.allclose(model.estimator_.coef_, coef, atol=0.1)
+        # the outliers should be flagged
+        assert model.inlier_mask_.sum() <= 300 - 40
+
+    def test_min_samples_validation(self):
+        with pytest.raises(ValueError):
+            RANSACRegressor(min_samples=10).fit(np.zeros((5, 1)), np.zeros(5))
+
+    def test_custom_threshold(self):
+        X, y, _ = linear_data(noise=0.01)
+        model = RANSACRegressor(residual_threshold=1.0, random_state=0).fit(X, y)
+        assert model.inlier_mask_.all()
+
+    def test_seed_reproducibility(self):
+        X, y, _ = linear_data(noise=0.2, outliers=10)
+        a = RANSACRegressor(random_state=3).fit(X, y).predict(X)
+        b = RANSACRegressor(random_state=3).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+
+class TestTheilSen:
+    def test_univariate_median_slope(self):
+        # classic Theil-Sen: a single wild point cannot move the slope
+        x = np.arange(20, dtype=float).reshape(-1, 1)
+        y = 2.0 * x.ravel() + 1.0
+        y[-1] += 100.0
+        model = TheilSenRegressor(random_state=0).fit(x, y)
+        assert model.coef_[0] == pytest.approx(2.0, abs=0.1)
+
+    def test_multivariate_recovery(self):
+        X, y, coef = linear_data(n=60, p=3, noise=0.05, seed=12)
+        model = TheilSenRegressor(random_state=0, max_subpopulation=2000).fit(X, y)
+        assert np.allclose(model.coef_, coef, atol=0.15)
+
+    def test_subsample_validation(self):
+        with pytest.raises(ValueError):
+            TheilSenRegressor(n_subsamples=99).fit(np.zeros((5, 1)), np.zeros(5))

@@ -1,0 +1,68 @@
+"""Pipeline composition."""
+
+import numpy as np
+import pytest
+
+from repro.ml import LinearRegression, NotFittedError, Ridge, StandardScaler, clone
+from repro.ml.pipeline import Pipeline, make_pipeline
+
+
+def data(seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(5.0, 3.0, size=(100, 3))
+    y = X @ np.array([2.0, -1.0, 0.5]) + 1.0
+    return X, y
+
+
+class TestPipeline:
+    def test_scaler_plus_regressor_matches_manual(self):
+        X, y = data()
+        pipe = Pipeline([("scale", StandardScaler()), ("lr", LinearRegression())])
+        pipe.fit(X, y)
+        manual_scaler = StandardScaler().fit(X)
+        manual_lr = LinearRegression().fit(manual_scaler.transform(X), y)
+        assert np.allclose(
+            pipe.predict(X), manual_lr.predict(manual_scaler.transform(X))
+        )
+
+    def test_pipeline_is_cloneable(self):
+        pipe = Pipeline([("scale", StandardScaler()), ("lr", Ridge(alpha=2.0))])
+        X, y = data()
+        pipe.fit(X, y)
+        fresh = clone(pipe)
+        assert fresh.fitted_steps_ == []
+        assert fresh.steps[1][1].alpha == 2.0
+
+    def test_named_step_access(self):
+        X, y = data()
+        pipe = Pipeline([("scale", StandardScaler()), ("lr", LinearRegression())])
+        pipe.fit(X, y)
+        assert pipe.named_step("scale").mean_ is not None
+        with pytest.raises(KeyError):
+            pipe.named_step("nope")
+
+    def test_predict_before_fit(self):
+        pipe = Pipeline([("lr", LinearRegression())])
+        with pytest.raises(NotFittedError):
+            pipe.predict([[0.0, 0.0, 0.0]])
+
+    def test_score_r2(self):
+        X, y = data()
+        pipe = Pipeline([("scale", StandardScaler()), ("lr", LinearRegression())])
+        assert pipe.fit(X, y).score(X, y) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Pipeline([])
+        with pytest.raises(ValueError):
+            Pipeline([("a", LinearRegression()), ("a", Ridge())])
+        with pytest.raises(ValueError):
+            Pipeline([("notrans", LinearRegression()), ("lr", Ridge())])
+        with pytest.raises(ValueError):
+            Pipeline([("scale", StandardScaler())])  # scaler can't predict
+
+    def test_make_pipeline_names(self):
+        pipe = make_pipeline(StandardScaler(), LinearRegression())
+        assert pipe.steps[0][0] == "standardscaler_0"
+        X, y = data()
+        assert np.isfinite(pipe.fit(X, y).predict(X)).all()

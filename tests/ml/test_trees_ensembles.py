@@ -1,0 +1,254 @@
+"""CART and the five ensemble regressors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    AdaBoostRegressor,
+    BaggingRegressor,
+    DecisionTreeRegressor,
+    GradientBoostingRegressor,
+    HistGradientBoostingRegressor,
+    LinearRegression,
+    RandomForestRegressor,
+    root_mean_squared_error,
+)
+
+
+def friedman_like(n=300, seed=0, noise=0.2):
+    """Nonlinear benchmark where trees should beat a linear model."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n, 5))
+    y = (
+        10.0 * np.sin(np.pi * X[:, 0] * X[:, 1])
+        + 20.0 * (X[:, 2] - 0.5) ** 2
+        + 10.0 * X[:, 3]
+        + 5.0 * X[:, 4]
+        + rng.normal(scale=noise, size=n)
+    )
+    return X, y
+
+
+class TestDecisionTree:
+    def test_unbounded_tree_memorizes_training_data(self):
+        X, y = friedman_like(80, noise=0.0)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert np.allclose(tree.predict(X), y, atol=1e-10)
+
+    def test_stump_has_two_leaves(self):
+        X, y = friedman_like(100)
+        tree = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        assert tree.depth_ == 1
+        assert tree.n_leaves_ == 2
+
+    def test_depth_zero_is_mean(self):
+        X, y = friedman_like(50)
+        tree = DecisionTreeRegressor(max_depth=0).fit(X, y)
+        assert np.allclose(tree.predict(X), y.mean())
+
+    def test_min_samples_leaf_respected(self):
+        X, y = friedman_like(100)
+        tree = DecisionTreeRegressor(min_samples_leaf=20).fit(X, y)
+        # every leaf mean must come from >= 20 samples: the tree therefore
+        # has at most 100/20 leaves
+        assert tree.n_leaves_ <= 5
+
+    def test_constant_target_single_leaf(self):
+        X = np.random.default_rng(0).normal(size=(30, 3))
+        tree = DecisionTreeRegressor().fit(X, np.full(30, 3.3))
+        assert tree.n_leaves_ == 1
+        assert np.allclose(tree.predict(X), 3.3)
+
+    def test_splits_on_informative_feature(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(200, 3))
+        y = np.where(X[:, 1] > 0.0, 10.0, -10.0)
+        tree = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        assert tree.feature_[0] == 1
+        assert abs(tree.threshold_[0]) < 0.2
+
+    def test_sample_weight_changes_fit(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0.0, 0.0, 10.0, 10.0])
+        w = np.array([100.0, 100.0, 1.0, 1.0])
+        tree = DecisionTreeRegressor(max_depth=0)
+        unweighted = tree.fit(X, y).predict([[1.5]])[0]
+        weighted = DecisionTreeRegressor(max_depth=0).fit(X, y, sample_weight=w).predict([[1.5]])[0]
+        assert unweighted == pytest.approx(5.0)
+        assert weighted < 1.0
+
+    def test_sample_weight_validation(self):
+        X, y = friedman_like(10)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(X, y, sample_weight=np.ones(3))
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(X, y, sample_weight=-np.ones(10))
+
+    def test_max_features_validation(self):
+        X, y = friedman_like(20)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_features=0).fit(X, y)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_features=2.0).fit(X, y)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_features="cube").fit(X, y)
+
+    def test_max_features_sqrt_runs(self):
+        X, y = friedman_like(100)
+        tree = DecisionTreeRegressor(max_features="sqrt", random_state=0).fit(X, y)
+        assert np.isfinite(tree.predict(X)).all()
+
+    def test_hyperparameter_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_split=1)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_depth_never_exceeds_cap(self, cap):
+        X, y = friedman_like(120, seed=7)
+        tree = DecisionTreeRegressor(max_depth=cap).fit(X, y)
+        assert tree.depth_ <= cap
+
+    def test_deeper_fits_training_better(self):
+        X, y = friedman_like(200, seed=3)
+        errs = [
+            root_mean_squared_error(
+                y, DecisionTreeRegressor(max_depth=d).fit(X, y).predict(X)
+            )
+            for d in [1, 3, 6]
+        ]
+        assert errs[0] > errs[1] > errs[2]
+
+
+class TestEnsemblesBeatBaselines:
+    def test_forest_beats_single_tree_out_of_sample(self):
+        Xtr, ytr = friedman_like(300, seed=0)
+        Xte, yte = friedman_like(200, seed=99)
+        tree_rmse = root_mean_squared_error(
+            yte, DecisionTreeRegressor(random_state=0).fit(Xtr, ytr).predict(Xte)
+        )
+        rf_rmse = root_mean_squared_error(
+            yte,
+            RandomForestRegressor(n_estimators=30, random_state=0).fit(Xtr, ytr).predict(Xte),
+        )
+        assert rf_rmse < tree_rmse
+
+    def test_gbr_beats_linear_on_nonlinear_data(self):
+        Xtr, ytr = friedman_like(300, seed=1)
+        Xte, yte = friedman_like(200, seed=98)
+        lin = root_mean_squared_error(
+            yte, LinearRegression().fit(Xtr, ytr).predict(Xte)
+        )
+        gbr = root_mean_squared_error(
+            yte, GradientBoostingRegressor(random_state=0).fit(Xtr, ytr).predict(Xte)
+        )
+        assert gbr < lin
+
+    def test_hgbr_close_to_gbr(self):
+        Xtr, ytr = friedman_like(400, seed=2)
+        Xte, yte = friedman_like(200, seed=97)
+        gbr = root_mean_squared_error(
+            yte, GradientBoostingRegressor(random_state=0).fit(Xtr, ytr).predict(Xte)
+        )
+        hgbr = root_mean_squared_error(
+            yte, HistGradientBoostingRegressor().fit(Xtr, ytr).predict(Xte)
+        )
+        assert hgbr < 2.0 * gbr  # same ballpark
+
+    def test_adaboost_beats_its_stump_base(self):
+        Xtr, ytr = friedman_like(300, seed=4)
+        Xte, yte = friedman_like(200, seed=96)
+        base = root_mean_squared_error(
+            yte, DecisionTreeRegressor(max_depth=3, random_state=0).fit(Xtr, ytr).predict(Xte)
+        )
+        boosted = root_mean_squared_error(
+            yte, AdaBoostRegressor(random_state=0).fit(Xtr, ytr).predict(Xte)
+        )
+        assert boosted < base
+
+
+class TestEnsembleMechanics:
+    def test_bagging_reproducible(self):
+        X, y = friedman_like(150)
+        a = BaggingRegressor(random_state=5).fit(X, y).predict(X)
+        b = BaggingRegressor(random_state=5).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+    def test_forest_reproducible(self):
+        X, y = friedman_like(150)
+        a = RandomForestRegressor(n_estimators=10, random_state=5).fit(X, y).predict(X)
+        b = RandomForestRegressor(n_estimators=10, random_state=5).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+    def test_forest_different_seeds_differ(self):
+        X, y = friedman_like(150)
+        a = RandomForestRegressor(n_estimators=10, random_state=1).fit(X, y).predict(X)
+        b = RandomForestRegressor(n_estimators=10, random_state=2).fit(X, y).predict(X)
+        assert not np.array_equal(a, b)
+
+    def test_n_estimators_honored(self):
+        X, y = friedman_like(100)
+        model = RandomForestRegressor(n_estimators=7, random_state=0).fit(X, y)
+        assert len(model.estimators_) == 7
+
+    def test_adaboost_weighted_median_between_members(self):
+        X, y = friedman_like(100, seed=6)
+        model = AdaBoostRegressor(n_estimators=10, random_state=0).fit(X, y)
+        preds = np.stack([m.predict(X) for m in model.estimators_])
+        combined = model.predict(X)
+        assert np.all(combined >= preds.min(axis=0) - 1e-9)
+        assert np.all(combined <= preds.max(axis=0) + 1e-9)
+
+    def test_adaboost_loss_variants(self):
+        X, y = friedman_like(80, seed=7)
+        for loss in ("linear", "square", "exponential"):
+            model = AdaBoostRegressor(loss=loss, n_estimators=5, random_state=0).fit(X, y)
+            assert np.isfinite(model.predict(X)).all()
+        with pytest.raises(ValueError):
+            AdaBoostRegressor(loss="cubic")
+
+    def test_gbr_training_loss_decreases(self):
+        X, y = friedman_like(200, seed=8)
+        model = GradientBoostingRegressor(n_estimators=50, random_state=0).fit(X, y)
+        assert model.train_score_[-1] < model.train_score_[0]
+
+    def test_gbr_subsample(self):
+        X, y = friedman_like(200, seed=9)
+        model = GradientBoostingRegressor(subsample=0.5, random_state=0).fit(X, y)
+        assert np.isfinite(model.predict(X)).all()
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(subsample=0.0)
+
+    def test_bagging_without_bootstrap(self):
+        X, y = friedman_like(100)
+        model = BaggingRegressor(bootstrap=False, max_samples=0.8, random_state=0).fit(X, y)
+        assert np.isfinite(model.predict(X)).all()
+
+    def test_hgbr_bins_capped(self):
+        with pytest.raises(ValueError):
+            HistGradientBoostingRegressor(max_bins=1000)
+
+    def test_hgbr_min_samples_leaf(self):
+        X, y = friedman_like(100)
+        model = HistGradientBoostingRegressor(min_samples_leaf=40).fit(X, y)
+        # with so few samples per leaf allowed, trees are tiny but valid
+        assert np.isfinite(model.predict(X)).all()
+
+    def test_hgbr_handles_discrete_features(self):
+        rng = np.random.default_rng(3)
+        X = rng.integers(0, 3, size=(200, 2)).astype(float)
+        y = X[:, 0] * 3.0 + X[:, 1]
+        model = HistGradientBoostingRegressor(min_samples_leaf=5).fit(X, y)
+        assert root_mean_squared_error(y, model.predict(X)) < 0.5
+
+    def test_estimator_count_validation(self):
+        for cls in (BaggingRegressor, RandomForestRegressor, AdaBoostRegressor,
+                    GradientBoostingRegressor):
+            with pytest.raises(ValueError):
+                cls(n_estimators=0)
+        with pytest.raises(ValueError):
+            HistGradientBoostingRegressor(max_iter=0)

@@ -1,0 +1,101 @@
+"""Conservation invariants of the emulator.
+
+Bytes are never created: everything a sender transmits is either
+delivered, dropped at a queue, dropped by a router (TTL/no-route), or
+still in flight when the simulation stops.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import Network, Packet, UdpFlow
+from repro.topologies import random_wan
+
+
+def totals(net):
+    delivered = sum(h.received_bytes() for h in net.hosts.values())
+    q_dropped = sum(
+        link.stats_from(node).dropped_bytes
+        for link in net.links.values()
+        for node in link.endpoints()
+    )
+    r_dropped_pkts = sum(
+        r.stats.dropped_ttl + r.stats.dropped_no_route
+        for r in net.routers.values()
+    )
+    return delivered, q_dropped, r_dropped_pkts
+
+
+class TestConservation:
+    @given(
+        st.integers(min_value=0, max_value=100),
+        st.floats(min_value=1.0, max_value=40.0),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_udp_bytes_conserved_on_random_wans(self, seed, rate):
+        net = random_wan(n_routers=6, extra_edges=4, seed=seed)
+        flow = UdpFlow(
+            net.hosts["h0a"], net.hosts["h0b"], rate_mbps=rate, duration=3.0,
+            packet_size=1000,
+        ).start()
+        net.run(until=10.0)  # long enough to drain everything in flight
+        sent = flow.sent_packets * 1000
+        delivered, q_dropped, r_dropped = totals(net)
+        # ICMP/none here: every sent byte is delivered or queue-dropped
+        assert delivered + q_dropped == sent
+        assert r_dropped == 0
+
+    def test_ttl_drops_accounted(self):
+        net = random_wan(n_routers=5, extra_edges=3, seed=3)
+        for i in range(10):
+            net.hosts["h0a"].send_packet(
+                Packet(src="h0a", dst="h0b", size=500, flow_id=1, ttl=1)
+            )
+        net.run(until=2.0)
+        _, _, r_dropped = totals(net)
+        assert r_dropped == 10
+        assert net.hosts["h0b"].received_bytes(1) == 0
+
+    def test_queue_peak_monotone_under_load(self):
+        net = random_wan(n_routers=4, extra_edges=2, seed=5)
+        UdpFlow(net.hosts["h0a"], net.hosts["h0b"], rate_mbps=500.0,
+                duration=2.0).start()
+        net.run(until=4.0)
+        peaks = [
+            link.stats_from(node).queue_peak
+            for link in net.links.values()
+            for node in link.endpoints()
+        ]
+        assert max(peaks) > 0
+
+    def test_no_unclaimed_deliveries_with_registered_flows(self):
+        net = random_wan(n_routers=5, extra_edges=3, seed=7)
+        flow = UdpFlow(net.hosts["h0a"], net.hosts["h0b"], rate_mbps=5.0,
+                       duration=2.0).start()
+        net.run(until=5.0)
+        assert net.hosts["h0b"].received_unclaimed == 0
+        assert flow.received_bytes > 0
+
+
+class TestDeterminism:
+    def test_identical_runs_bit_identical(self):
+        def run():
+            net = random_wan(n_routers=6, extra_edges=4, seed=11)
+            flow = UdpFlow(net.hosts["h0a"], net.hosts["h0b"],
+                           rate_mbps=20.0, duration=3.0).start()
+            net.run(until=6.0)
+            return (
+                flow.received_bytes,
+                net.sim.events_processed,
+                tuple(sorted(
+                    (f"{min(a,b)}-{max(a,b)}",
+                     link.stats_from(net.node(a)).tx_bytes)
+                    for (a, b), link in (
+                        (tuple(sorted(k)), v) for k, v in net.links.items()
+                    )
+                )),
+            )
+
+        assert run() == run()

@@ -1,0 +1,218 @@
+"""Telemetry sampling and the fluid max-min model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import (
+    FluidFlow,
+    LinkTelemetryCollector,
+    Network,
+    PathTelemetryProbe,
+    TimeSeriesDB,
+    UdpFlow,
+    max_min_fair,
+    total_throughput,
+)
+
+
+def loaded_line():
+    net = Network()
+    net.add_host("h1", ip="1.0.0.1")
+    net.add_host("h2", ip="1.0.0.2")
+    net.add_router("r1", edge=True)
+    net.add_router("r2", edge=True)
+    net.add_link("h1", "r1", rate_mbps=100)
+    net.add_link("r1", "r2", rate_mbps=10.0, delay_ms=2.0)
+    net.add_link("r2", "h2", rate_mbps=100)
+    return net.build()
+
+
+class TestTimeSeriesDB:
+    def test_insert_and_series(self):
+        db = TimeSeriesDB()
+        db.insert("m", 1.0, 5.0)
+        db.insert("m", 2.0, 7.0)
+        t, v = db.series("m")
+        assert np.array_equal(t, [1.0, 2.0])
+        assert np.array_equal(v, [5.0, 7.0])
+
+    def test_window(self):
+        db = TimeSeriesDB()
+        for i in range(10):
+            db.insert("m", float(i), float(i * i))
+        t, v = db.window("m", 3.0, 6.0)
+        assert np.array_equal(t, [3.0, 4.0, 5.0])
+
+    def test_missing_metric_empty(self):
+        t, v = TimeSeriesDB().series("nope")
+        assert t.size == 0 and v.size == 0
+
+    def test_last_n(self):
+        db = TimeSeriesDB()
+        for i in range(5):
+            db.insert("m", float(i), float(i))
+        assert np.array_equal(db.last("m", 2), [3.0, 4.0])
+
+    def test_metrics_sorted(self):
+        db = TimeSeriesDB()
+        db.insert("b", 0, 0)
+        db.insert("a", 0, 0)
+        assert db.metrics() == ["a", "b"]
+
+
+class TestLinkTelemetry:
+    def test_idle_links_report_zero(self):
+        net = loaded_line()
+        db = TimeSeriesDB()
+        LinkTelemetryCollector(net, db, interval=1.0).start()
+        net.run(until=5.0)
+        _, util = db.series("link:r1->r2:util")
+        assert util.size >= 4
+        assert np.allclose(util, 0.0)
+
+    def test_loaded_link_utilization_near_one(self):
+        net = loaded_line()
+        db = TimeSeriesDB()
+        LinkTelemetryCollector(net, db, interval=1.0).start()
+        UdpFlow(net.hosts["h1"], net.hosts["h2"], rate_mbps=20.0, duration=10.0).start()
+        net.run(until=10.0)
+        _, util = db.series("link:r1->r2:util")
+        assert util[3:].mean() > 0.9
+
+    def test_drops_recorded_when_overdriven(self):
+        net = loaded_line()
+        db = TimeSeriesDB()
+        LinkTelemetryCollector(net, db, interval=1.0).start()
+        UdpFlow(net.hosts["h1"], net.hosts["h2"], rate_mbps=50.0, duration=5.0).start()
+        net.run(until=6.0)
+        _, drops = db.series("link:r1->r2:drops")
+        assert drops.sum() > 0
+
+    def test_interval_validation(self):
+        net = loaded_line()
+        with pytest.raises(ValueError):
+            LinkTelemetryCollector(net, TimeSeriesDB(), interval=0.0)
+
+    def test_stop_halts_sampling(self):
+        net = loaded_line()
+        db = TimeSeriesDB()
+        coll = LinkTelemetryCollector(net, db, interval=1.0).start()
+        net.run(until=3.0)
+        coll.stop()
+        net.run(until=10.0)
+        t, _ = db.series("link:r1->r2:util")
+        assert t.max() <= 3.0
+
+
+class TestPathProbe:
+    def test_available_bandwidth_tracks_load(self):
+        net = loaded_line()
+        db = TimeSeriesDB()
+        probe = PathTelemetryProbe(net, db, "P1", ["r1", "r2"], interval=1.0).start()
+        UdpFlow(net.hosts["h1"], net.hosts["h2"], rate_mbps=6.0, duration=10.0).start(at=3.0)
+        net.run(until=12.0)
+        _, avail = db.series("path:P1:available_mbps")
+        assert avail[1] == pytest.approx(10.0, abs=0.5)  # idle at t<3
+        assert avail[-2] == pytest.approx(4.0, abs=1.0)  # 10 - 6 under load
+
+    def test_latency_includes_propagation(self):
+        net = loaded_line()
+        db = TimeSeriesDB()
+        PathTelemetryProbe(net, db, "P1", ["r1", "r2"], interval=1.0).start()
+        net.run(until=3.0)
+        _, lat = db.series("path:P1:latency_ms")
+        assert np.all(lat >= 2.0)
+
+    def test_path_validation(self):
+        net = loaded_line()
+        with pytest.raises(ValueError):
+            PathTelemetryProbe(net, TimeSeriesDB(), "P", ["r1"])
+        with pytest.raises(ValueError):
+            PathTelemetryProbe(net, TimeSeriesDB(), "P", ["r1", "r2"], interval=0)
+
+
+class TestFluidModel:
+    def test_single_flow_gets_bottleneck(self):
+        flows = [FluidFlow.from_path("f", ["a", "b", "c"])]
+        caps = {("a", "b"): 20.0, ("b", "c"): 10.0}
+        rates = max_min_fair(flows, caps)
+        assert rates["f"] == pytest.approx(10.0)
+
+    def test_equal_share_on_shared_bottleneck(self):
+        flows = [FluidFlow.from_path(f"f{i}", ["a", "b"]) for i in range(4)]
+        rates = max_min_fair(flows, {("a", "b"): 20.0})
+        assert all(r == pytest.approx(5.0) for r in rates.values())
+
+    def test_max_min_protects_short_flows(self):
+        # f1 crosses both links; f2 only the second. max-min gives f2 the
+        # slack that f1 cannot use.
+        flows = [
+            FluidFlow.from_path("f1", ["a", "b", "c"]),
+            FluidFlow.from_path("f2", ["b", "c"]),
+        ]
+        caps = {("a", "b"): 5.0, ("b", "c"): 20.0}
+        rates = max_min_fair(flows, caps)
+        assert rates["f1"] == pytest.approx(5.0)
+        assert rates["f2"] == pytest.approx(15.0)
+
+    def test_paper_fig12_allocation(self):
+        """The Fig. 12 scenario in fluid form: after the optimizer spreads
+        the three flows over three tunnels the aggregate roughly triples
+        the per-tunnel fair share."""
+        caps = {
+            ("MIA", "SAO"): 20.0, ("SAO", "AMS"): 20.0,
+            ("MIA", "CHI"): 10.0, ("CHI", "AMS"): 20.0,
+            ("MIA", "CAL"): 5.0, ("CAL", "CHI"): 5.0,
+        }
+        t1 = ["MIA", "SAO", "AMS"]
+        t2 = ["MIA", "CHI", "AMS"]
+        t3 = ["MIA", "CAL", "CHI", "AMS"]
+        before = max_min_fair(
+            [FluidFlow.from_path(f"f{i}", t1) for i in range(3)], caps
+        )
+        after = max_min_fair(
+            [
+                FluidFlow.from_path("f0", t1),
+                FluidFlow.from_path("f1", t2),
+                FluidFlow.from_path("f2", t3),
+            ],
+            caps,
+        )
+        assert total_throughput(before) == pytest.approx(20.0)
+        assert total_throughput(after) == pytest.approx(35.0)
+
+    def test_direction_insensitive_capacity_lookup(self):
+        flows = [FluidFlow.from_path("f", ["b", "a"])]
+        rates = max_min_fair(flows, {("a", "b"): 7.0})
+        assert rates["f"] == pytest.approx(7.0)
+
+    def test_unknown_link_raises(self):
+        with pytest.raises(KeyError):
+            max_min_fair([FluidFlow.from_path("f", ["x", "y"])], {})
+
+    def test_duplicate_flow_name_raises(self):
+        flows = [
+            FluidFlow.from_path("f", ["a", "b"]),
+            FluidFlow.from_path("f", ["a", "b"]),
+        ]
+        with pytest.raises(ValueError):
+            max_min_fair(flows, {("a", "b"): 1.0})
+
+    def test_short_path_raises(self):
+        with pytest.raises(ValueError):
+            FluidFlow.from_path("f", ["a"])
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.floats(min_value=1.0, max_value=100.0),
+    )
+    @settings(max_examples=30)
+    def test_aggregate_never_exceeds_capacity(self, n_flows, cap):
+        flows = [FluidFlow.from_path(f"f{i}", ["a", "b"]) for i in range(n_flows)]
+        rates = max_min_fair(flows, {("a", "b"): cap})
+        assert total_throughput(rates) <= cap + 1e-9
+        # and max-min on a single bottleneck is exactly fair
+        values = list(rates.values())
+        assert max(values) - min(values) < 1e-9

@@ -1,0 +1,106 @@
+"""Proof-of-Transit (PoT-PolKA extension, paper ref. [18])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polka import PolkaDomain, PotAuthority
+from repro.topologies import fig1_line
+
+
+@pytest.fixture
+def setup():
+    adjacency, node_ids = fig1_line()
+    domain = PolkaDomain(adjacency, node_ids=node_ids)
+    authority = PotAuthority(domain, seed=1)
+    route = domain.route_for_path(["s1", "s2", "s3", "edge_out"])
+    return domain, authority, route
+
+
+class TestHonestPath:
+    def test_compliant_walk_verifies(self, setup):
+        _, authority, route = setup
+        proof, ok = authority.walk_with_proof(route, nonce=12345)
+        assert ok
+        assert proof.tag == authority.expected_tag(route.path, 12345)
+
+    def test_different_nonces_give_different_tags(self, setup):
+        _, authority, route = setup
+        p1, _ = authority.walk_with_proof(route, nonce=1)
+        p2, _ = authority.walk_with_proof(route, nonce=7)
+        assert p1.tag != p2.tag
+
+    @given(st.integers(min_value=1, max_value=2**30 - 1))
+    @settings(max_examples=50)
+    def test_any_nonce_verifies_on_compliant_path(self, nonce):
+        adjacency, node_ids = fig1_line()
+        domain = PolkaDomain(adjacency, node_ids=node_ids)
+        authority = PotAuthority(domain, seed=2)
+        route = domain.route_for_path(["s1", "s2", "s3", "edge_out"])
+        _, ok = authority.walk_with_proof(route, nonce=nonce)
+        assert ok
+
+
+class TestMisbehaviour:
+    def test_skipped_node_detected(self, setup):
+        _, authority, route = setup
+        _, ok = authority.walk_with_proof(route, nonce=999, skip=["s2"])
+        assert not ok
+
+    def test_extra_node_detected(self, setup):
+        _, authority, route = setup
+        _, ok = authority.walk_with_proof(route, nonce=999, extra=["s2"])
+        assert not ok  # s2 stamped twice -> marks cancel -> mismatch
+
+    def test_skip_all_detected(self, setup):
+        """Skipping every node yields tag 0; detection requires a nonce
+        whose expected tag is non-zero (Fig. 1's rings are tiny, so some
+        nonces legitimately have an all-cancelling expected tag)."""
+        _, authority, route = setup
+        nonce = next(
+            n for n in range(1, 64)
+            if authority.expected_tag(route.path, n) != 0
+        )
+        _, ok = authority.walk_with_proof(
+            route, nonce=nonce, skip=["s1", "s2", "s3"]
+        )
+        assert not ok
+
+    def test_forged_tag_rarely_verifies(self, setup):
+        _, authority, route = setup
+        rng = np.random.default_rng(0)
+        hits = 0
+        trials = 200
+        for _ in range(trials):
+            proof = authority.new_proof(int(rng.integers(1, 2**20)))
+            proof.tag = int(rng.integers(0, 2**6))  # blind forgery
+            if authority.verify(route, proof):
+                hits += 1
+        assert hits <= 10  # ~2^-deg per mark; far below chance of passing
+
+
+class TestAuthorityMechanics:
+    def test_secrets_fit_node_degree(self, setup):
+        domain, authority, _ = setup
+        from repro.polka import gf2
+
+        for name, node in domain.nodes.items():
+            assert 1 <= authority.secrets[name] < (1 << gf2.deg(node.node_id))
+
+    def test_nonce_validation(self, setup):
+        _, authority, _ = setup
+        with pytest.raises(ValueError):
+            authority.new_proof(0)
+
+    def test_rng_nonce_generation(self, setup):
+        _, authority, _ = setup
+        proof = authority.new_proof(np.random.default_rng(3))
+        assert proof.nonce >= 1
+
+    def test_deterministic_secrets_per_seed(self):
+        adjacency, node_ids = fig1_line()
+        domain = PolkaDomain(adjacency, node_ids=node_ids)
+        a = PotAuthority(domain, seed=5).secrets
+        b = PotAuthority(domain, seed=5).secrets
+        assert a == b

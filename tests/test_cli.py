@@ -1,0 +1,40 @@
+"""CLI entry point (fast experiments only)."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_fig1_runs(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "routeID" in out and "0b10000" in out
+
+    def test_fig2_runs(self, capsys):
+        assert main(["fig2"]) == 0
+        assert "two-path TE optimization" in capsys.readouterr().out
+
+    def test_fig5_runs(self, capsys):
+        assert main(["fig5"]) == 0
+        assert "indoor" in capsys.readouterr().out
+
+    def test_fig9_runs(self, capsys):
+        assert main(["fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "PolKA node IDs" in out and "config applied: True" in out
+
+    def test_every_registered_experiment_has_description(self):
+        for key, (description, runner) in EXPERIMENTS.items():
+            assert description
+            assert callable(runner)
