@@ -1,0 +1,87 @@
+"""Scenario-suite sweep: representative scenarios through the runner.
+
+Each bench runs one scenario once at a moderate horizon and asserts the
+qualitative shape its description promises: hotspot congestion caps the
+aggregate, link flaps drop packets then heal, the fat-tree core absorbs
+incast, and the fluid model agrees with the packet level where the
+workload is steady.
+"""
+
+import pytest
+
+from repro.scenarios import ScenarioRunner, get_scenario
+
+
+def test_p4lab_hotspot_spread(run_once, benchmark):
+    scenario = get_scenario("p4lab-hotspot").with_overrides(
+        horizon=20.0, warmup=35.0
+    )
+    result = run_once(benchmark, ScenarioRunner(scenario, backend="des").run)
+    print("\n" + result.summary())
+    assert result.placed == result.offered > 0
+    # Fig. 12 caps: all-to-host2 traffic cannot exceed the three tunnels'
+    # combined 35 Mbps, and re-optimization must have spread some flows
+    assert result.total_throughput_mbps < 36.0
+    assert result.total_throughput_mbps > 15.0
+    assert result.migrations >= 1
+
+
+def test_fat_tree_incast(run_once, benchmark):
+    scenario = get_scenario("fat-tree-hotspot").with_overrides(
+        horizon=15.0, warmup=3.0
+    )
+    result = run_once(benchmark, ScenarioRunner(scenario, backend="des").run)
+    print("\n" + result.summary())
+    assert result.placed == result.offered > 0
+    # the hot host's 50 Mbps uplink is the incast ceiling
+    assert 5.0 < result.total_throughput_mbps < 120.0
+    assert result.min_flow_mbps > 0.0
+
+
+def test_line_link_flap_heals(run_once, benchmark):
+    scenario = get_scenario("line-link-flap").with_overrides(
+        horizon=15.0, warmup=2.0
+    )
+    result = run_once(benchmark, ScenarioRunner(scenario, backend="des").run)
+    print("\n" + result.summary())
+    assert result.failure_events == 2
+    assert result.drops > 0  # blackout on the only path
+    assert result.total_throughput_mbps > 5.0  # recovered after restore
+
+
+def test_fluid_tracks_des_on_steady_load(run_once, benchmark):
+    """Backend cross-check: steady single-direction TCP on the paper
+    topology — the packet level should approach the fluid steady state."""
+    scenario = get_scenario("fig12-flow-aggregation").with_overrides(
+        horizon=30.0, warmup=35.0
+    )
+
+    def both():
+        des = ScenarioRunner(scenario, backend="des").run()
+        fluid = ScenarioRunner(scenario, backend="fluid").run()
+        return des, fluid
+
+    des, fluid = run_once(benchmark, both)
+    print("\n" + des.summary() + "\n" + fluid.summary())
+    assert fluid.total_throughput_mbps == pytest.approx(35.0, abs=1.0)
+    assert des.total_throughput_mbps == pytest.approx(
+        fluid.total_throughput_mbps, rel=0.35
+    )
+
+
+def test_fluid_sweep_all_builtins(run_once, benchmark):
+    """The whole registry through the fluid backend in one go — the
+    cross-scenario comparison table the subsystem exists to produce."""
+    from repro.scenarios import list_scenarios
+
+    def sweep():
+        return [
+            ScenarioRunner(s, backend="fluid").run() for s in list_scenarios()
+        ]
+
+    results = run_once(benchmark, sweep)
+    for result in results:
+        print(f"{result.scenario:26s} {result.total_throughput_mbps:9.2f} Mbps "
+              f"drops={result.drops} migrations={result.migrations}")
+    assert len(results) >= 10
+    assert all(r.placed == r.offered for r in results)

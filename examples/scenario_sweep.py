@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Sweep the built-in scenario suite and compare backends.
+
+Runs every registered scenario through the closed-form fluid backend
+(instant), then replays one interesting scenario — a ring whose busiest
+arc flaps mid-run — at packet level to watch the self-driving loop steer
+flows around the outage.
+
+Run:  python examples/scenario_sweep.py
+"""
+
+from repro.scenarios import ScenarioRunner, get_scenario, list_scenarios
+
+
+def main() -> None:
+    print("fluid sweep over the whole suite")
+    print(f"{'scenario':26s} {'Mbps':>9s} {'worst':>8s} {'lat ms':>8s} "
+          f"{'outages':>8s} {'migr':>5s}")
+    for scenario in list_scenarios():
+        result = ScenarioRunner(scenario, backend="fluid").run()
+        print(f"{result.scenario:26s} {result.total_throughput_mbps:9.2f} "
+              f"{result.min_flow_mbps:8.2f} {result.mean_latency_ms:8.2f} "
+              f"{result.drops:8d} {result.migrations:5d}")
+
+    print("\npacket-level replay: ring-link-flap (DES backend)")
+    scenario = get_scenario("ring-link-flap").with_overrides(horizon=25.0)
+    result = ScenarioRunner(scenario, backend="des").run()
+    print(result.summary())
+    print("\nthe flap fails r0-r1 at 40% of the horizon and restores at "
+          "70%; drops spike during the blackout and the re-optimizer's "
+          "migrations steer flows onto the surviving direction.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,11 +1,42 @@
-"""Setup shim.
+"""Packaging for the path-aware-source-routing reproduction.
 
-The offline environment ships setuptools 65 without the ``wheel`` package,
-so PEP 660 editable installs (``pip install -e .``) cannot build the
-editable wheel.  This shim keeps the legacy ``python setup.py develop``
-path working; all metadata lives in pyproject.toml.
+Kept as a plain setup.py (no pyproject build isolation): the offline
+environment ships setuptools 65 without the ``wheel`` package, so PEP
+660 editable installs cannot build an editable wheel — but both
+``pip install -e .`` (legacy fallback) and ``python setup.py develop``
+work with this file alone.
 """
 
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-path-aware-sr",
+    version="0.2.0",
+    description=(
+        "Reproduction of 'Framework for Integrating Machine Learning "
+        "Methods for Path-Aware Source Routing' with a declarative "
+        "scenario evaluation suite"
+    ),
+    long_description=Path(__file__).with_name("README.md").read_text(
+        encoding="utf-8"
+    ),
+    long_description_content_type="text/markdown",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=[
+        "numpy",
+        "scipy",
+        "networkx",
+    ],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+)

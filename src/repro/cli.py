@@ -1,7 +1,20 @@
-"""Command-line entry point: regenerate any paper figure from the shell.
+"""Command-line entry point: paper figures and the scenario suite.
 
-``python -m repro list`` shows the available experiments;
-``python -m repro fig11`` runs one and prints its terminal report.
+Figure replays (the original interface)::
+
+    repro list          # available experiments
+    repro fig11         # run one, print its terminal report
+    repro all           # run everything
+
+Scenario suite (see :mod:`repro.scenarios`)::
+
+    repro scenarios list
+    repro scenarios run ring-link-flap [--backend des|fluid]
+                                       [--seed N] [--horizon S] [--warmup S]
+    repro scenarios compare line-baseline ring-uniform   # or --all
+
+``repro`` is installed as a console script by setup.py; ``python -m
+repro`` is equivalent.
 """
 
 from __future__ import annotations
@@ -87,15 +100,148 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[], str]]] = {
 }
 
 
+def _scenario_with_overrides(name: str, args: argparse.Namespace):
+    from repro.scenarios import get_scenario
+
+    scenario = get_scenario(name)
+    overrides = {}
+    if args.horizon is not None:
+        overrides["horizon"] = args.horizon
+    if args.warmup is not None:
+        overrides["warmup"] = args.warmup
+    return scenario.with_overrides(**overrides) if overrides else scenario
+
+
+def _scenarios_list() -> int:
+    from repro.scenarios import list_scenarios
+
+    scenarios = list_scenarios()
+    width = max(len(s.name) for s in scenarios)
+    header = (
+        f"{'name':<{width}}  {'topology':<17}{'traffic':<14}"
+        f"{'failures':<10}{'backend':<8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for s in scenarios:
+        print(
+            f"{s.name:<{width}}  {s.topology.kind:<17}"
+            f"{s.traffic.pattern:<14}{s.failures.kind:<10}{s.backend:<8}"
+        )
+        print(f"{'':<{width}}    {s.description}")
+    return 0
+
+
+class _UserError(Exception):
+    """A bad name or override from the command line (not an internal bug)."""
+
+
+def _resolve(name: str, args: argparse.Namespace):
+    """Scenario lookup + overrides, with user mistakes wrapped so the
+    CLI can report them cleanly while internal errors still traceback."""
+    try:
+        return _scenario_with_overrides(name, args)
+    except (KeyError, ValueError) as exc:
+        raise _UserError(exc.args[0]) from exc
+
+
+def _scenarios_run(args: argparse.Namespace) -> int:
+    from repro.scenarios import ScenarioRunner
+
+    scenario = _resolve(args.name, args)
+    runner = ScenarioRunner(scenario, backend=args.backend, seed=args.seed)
+    print(runner.run().summary())
+    return 0
+
+
+def _scenarios_compare(args: argparse.Namespace) -> int:
+    from repro.scenarios import ScenarioRunner, list_scenarios
+
+    names = args.names or []
+    if args.all or not names:
+        names = [s.name for s in list_scenarios()]
+    rows = []
+    for name in names:
+        scenario = _resolve(name, args)
+        for backend in ("des", "fluid"):
+            result = ScenarioRunner(
+                scenario, backend=backend, seed=args.seed
+            ).run()
+            rows.append(result)
+    width = max(len(r.scenario) for r in rows)
+    print(
+        f"{'scenario':<{width}}  {'backend':<8}{'Mbps total':>11}"
+        f"{'worst Mbps':>12}{'latency ms':>12}{'drops':>8}"
+        f"{'migr':>6}{'fail ev':>9}"
+    )
+    for r in rows:
+        print(
+            f"{r.scenario:<{width}}  {r.backend:<8}"
+            f"{r.total_throughput_mbps:>11.2f}{r.min_flow_mbps:>12.2f}"
+            f"{r.mean_latency_ms:>12.2f}{r.drops:>8d}"
+            f"{r.migrations:>6d}{r.failure_events:>9d}"
+        )
+    return 0
+
+
+def _scenarios_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro scenarios",
+        description="Run declarative evaluation scenarios through the "
+        "framework (see repro.scenarios).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="show the registered scenarios")
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=None,
+                       help="override the scenario's seed")
+        p.add_argument("--horizon", type=float, default=None,
+                       help="override the measurement horizon (seconds)")
+        p.add_argument("--warmup", type=float, default=None,
+                       help="override the telemetry warmup (seconds)")
+
+    run = sub.add_parser("run", help="run one scenario")
+    run.add_argument("name", help="scenario name (see 'list')")
+    run.add_argument("--backend", choices=("des", "fluid"), default=None,
+                     help="override the scenario's backend")
+    common(run)
+
+    compare = sub.add_parser(
+        "compare", help="run scenarios on both backends, tabulate"
+    )
+    compare.add_argument("names", nargs="*", help="scenario names")
+    compare.add_argument("--all", action="store_true",
+                         help="compare every registered scenario")
+    common(compare)
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _scenarios_list()
+        if args.command == "run":
+            return _scenarios_run(args)
+        return _scenarios_compare(args)
+    except _UserError as exc:
+        # unknown scenario names and invalid spec overrides (e.g. a
+        # negative --horizon); internal errors still traceback
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "scenarios":
+        return _scenarios_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce figures from 'Framework for Integrating ML "
         "Methods for Path-Aware Source Routing'.",
+        epilog="'repro scenarios --help' documents the scenario suite.",
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), or 'list'/'all'",
+        help="experiment id (see 'list'), 'list'/'all', or 'scenarios'",
     )
     args = parser.parse_args(argv)
 

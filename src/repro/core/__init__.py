@@ -12,6 +12,12 @@ stand that loop up in a few lines:
 >>> sdn.request_flow(flow_name="f1", src="host1", dst="host2", tos=32,
 ...                  duration=30.0)
 >>> sdn.run(until=40.0)
+
+For whole-suite evaluation rather than a single deployment, use the
+declarative scenario layer (also re-exported here):
+
+>>> from repro.core import ScenarioRunner, get_scenario
+>>> result = ScenarioRunner(get_scenario("ring-uniform").quick()).run()
 """
 
 from repro.bus import MessageBus
@@ -20,6 +26,13 @@ from repro.framework import FlowRequest, SelfDrivingNetwork
 from repro.hecate import HecateService, QoSPredictor, run_tournament
 from repro.net import Network
 from repro.polka import PolkaDomain
+from repro.scenarios import (
+    Scenario,
+    ScenarioResult,
+    ScenarioRunner,
+    get_scenario,
+    list_scenarios,
+)
 from repro.topologies import (
     TUNNEL1,
     TUNNEL2,
@@ -45,4 +58,9 @@ __all__ = [
     "TUNNEL1",
     "TUNNEL2",
     "TUNNEL3",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "get_scenario",
+    "list_scenarios",
 ]

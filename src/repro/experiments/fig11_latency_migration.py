@@ -7,23 +7,25 @@ minimization request with MIA-CHI-AMS and the flow migrates by a single
 PBR re-bind at the MIA edge.  Reported shape: the RTT series steps down
 by ~the injected one-way delay at the migration instant, and no core
 router is reconfigured.
+
+The environment (topology, framework stack, Tunnels 1-2, the probe flow)
+is assembled by the scenario suite — this module replays the registered
+``fig11-latency-migration`` scenario in its staged two-phase form, which
+is the part a declarative spec cannot express: *when* the operator asks
+for minimum latency.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 
-from repro.bus import MessageBus
-from repro.freertr.service import RECONFIG_TOPIC, RouterConfigService
-from repro.net import PingApp
-from repro.topologies import TUNNEL1, TUNNEL2, global_p4_lab
+from repro.scenarios import PolicySpec, ScenarioRunner, TrafficSpec, get_scenario
 
 from .plotting import ascii_timeseries
 
-__all__ = ["Fig11Result", "run"]
+__all__ = ["Fig11Result", "run", "scenario"]
 
 INJECTED_DELAY_MS = 20.0
 
@@ -40,39 +42,53 @@ class Fig11Result:
     core_reconfigurations: int
 
 
+def scenario(phase_duration: float = 60.0, warmup: float = 1.0):
+    """The Fig. 11 spec, rescaled to ``phase_duration`` per phase."""
+    base = get_scenario("fig11-latency-migration")
+    return base.with_overrides(
+        horizon=2 * phase_duration,
+        warmup=warmup,
+        traffic=TrafficSpec("explicit", n_flows=1, params={"flows": [
+            {"flow_name": "ping1", "src": "host1", "dst": "host2",
+             "protocol": "icmp", "duration": 2 * phase_duration},
+        ]}),
+        # phase (i) must ride Tunnel 1: with equal headroom on both
+        # tunnels, max_bandwidth keeps the first registered candidate
+        policy=PolicySpec(objective="max_bandwidth"),
+    )
+
+
 def run(
     phase_duration: float = 60.0,
-    probe_interval: float = 1.0,
+    warmup: float = 1.0,
 ) -> Fig11Result:
-    net = global_p4_lab(delays={("MIA", "SAO"): 1.0 + INJECTED_DELAY_MS})
-    bus = MessageBus()
-    service = RouterConfigService(net, bus)
-    config = (
-        "access-list ping1\n"
-        " permit icmp 40.40.1.0 255.255.255.0 40.40.2.2 255.255.255.255\n"
-        "exit\n"
-        f"interface tunnel1\n tunnel domain-name {' '.join(TUNNEL1)}\nexit\n"
-        f"interface tunnel2\n tunnel domain-name {' '.join(TUNNEL2)}\nexit\n"
-        "pbr ping1 tunnel 1\n"
+    runner = ScenarioRunner(scenario(phase_duration, warmup)).setup()
+    sdn = runner.sdn
+    sdn.run(until=warmup)
+    runner.inject_traffic()
+    policy = sdn.router_config.policy("MIA")
+    touches_before = policy.reconfigurations
+    sdn.run(until=warmup + phase_duration)
+
+    # phase (ii): ask the Optimizer for the minimum-latency path and
+    # migrate with one PBR re-bind (the paper's "single modification of a
+    # PBR entry in the ingress edge node")
+    migration_at = sdn.network.sim.now
+    recommendation = sdn.hecate.recommend(
+        [name for name, _, _ in runner.tunnels], objective="min_latency"
     )
-    bus.request(RECONFIG_TOPIC, command="apply_config", router="MIA", text=config)
-    touches_before = service.policy("MIA").reconfigurations
+    sdn.migrate_flow("ping1", recommendation.path)
+    sdn.run(until=warmup + 2 * phase_duration)
 
-    ping = PingApp(net.hosts["host1"], net.hosts["host2"],
-                   interval=probe_interval).start(at=0.5)
-    net.run(until=phase_duration)
-
-    # phase (ii): the optimizer's min-latency answer is Tunnel 2; migrate
-    # with one PBR re-bind (the paper's "single modification of a PBR
-    # entry in the ingress edge node")
-    migration_at = net.sim.now
-    bus.request(RECONFIG_TOPIC, command="bind_pbr", router="MIA",
-                acl="ping1", tunnel_id=2)
-    net.run(until=2 * phase_duration)
-
+    ping = sdn.flow("ping1").app
     t, rtts = ping.rtt_series()
     before = rtts[t < migration_at - 1.0]
     after = rtts[t > migration_at + 1.0]
+    core_touches = sum(
+        p.reconfigurations
+        for router, p in sdn.router_config.policies.items()
+        if router != "MIA"
+    )
     return Fig11Result(
         times=t,
         rtts_ms=rtts,
@@ -80,8 +96,8 @@ def run(
         rtt_before_ms=float(before.mean()),
         rtt_after_ms=float(after.mean()),
         improvement_ms=float(before.mean() - after.mean()),
-        pbr_touches=service.policy("MIA").reconfigurations - touches_before,
-        core_reconfigurations=0,  # no command ever addresses a core node
+        pbr_touches=policy.reconfigurations - touches_before,
+        core_reconfigurations=core_touches,
     )
 
 

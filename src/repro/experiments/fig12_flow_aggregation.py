@@ -9,6 +9,12 @@ Tunnel 3, lifting the aggregate to ≈30 Mbps.
 This runner executes the packet-level version through the full framework
 (telemetry -> assignment optimizer -> PBR re-binds) and cross-checks the
 steady states against the closed-form max-min fluid model.
+
+The environment (topology with Fig. 12 caps, framework stack, Tunnels
+1-3, the three ToS-tagged flows) is assembled by the scenario suite —
+this module replays the registered ``fig12-flow-aggregation`` scenario in
+its staged two-phase form: measure on Tunnel 1, trigger one joint
+re-optimization, measure again.
 """
 
 from __future__ import annotations
@@ -18,14 +24,13 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.core import SelfDrivingNetwork, fig12_capacities, global_p4_lab
-from repro.ml import LinearRegression
 from repro.net.fluid import FluidFlow, max_min_fair, total_throughput
-from repro.topologies import TUNNEL1, TUNNEL2, TUNNEL3
+from repro.scenarios import PolicySpec, ScenarioRunner, TrafficSpec, get_scenario
+from repro.topologies import TUNNEL1, TUNNEL2, TUNNEL3, fig12_capacities
 
 from .plotting import ascii_timeseries, comparison_table
 
-__all__ = ["Fig12Result", "run", "fluid_prediction"]
+__all__ = ["Fig12Result", "run", "fluid_prediction", "scenario"]
 
 PAPER_BEFORE_MBPS = 20.0  # "maximum throughput of less than 20 Mbps"
 PAPER_AFTER_MBPS = 30.0  # "increase in total throughput (30 Mbps)"
@@ -62,23 +67,31 @@ def fluid_prediction() -> Tuple[float, float]:
     return total_throughput(before), total_throughput(after)
 
 
+def scenario(phase_duration: float = 45.0, warmup: float = 35.0):
+    """The Fig. 12 spec, rescaled to ``phase_duration`` per phase and
+    with periodic re-optimization disabled (the staged replay triggers
+    exactly one joint pass between the phases)."""
+    base = get_scenario("fig12-flow-aggregation")
+    return base.with_overrides(
+        horizon=2 * phase_duration + 1.0,
+        warmup=warmup,
+        traffic=TrafficSpec("explicit", n_flows=3, params={"flows": [
+            {"flow_name": f"f{i}", "src": "host1", "dst": "host2",
+             "protocol": "tcp", "tos": tos, "duration": 2 * phase_duration}
+            for i, tos in ((1, 32), (2, 64), (3, 96))
+        ]}),
+        policy=PolicySpec(reoptimize_every=None),
+    )
+
+
 def run(
     phase_duration: float = 45.0,
     warmup: float = 35.0,
 ) -> Fig12Result:
-    net = global_p4_lab(rates=fig12_capacities())
-    sdn = SelfDrivingNetwork(net, model_factory=LinearRegression)
-    sdn.add_tunnel("T1", 1, TUNNEL1)
-    sdn.add_tunnel("T2", 2, TUNNEL2)
-    sdn.add_tunnel("T3", 3, TUNNEL3)
+    runner = ScenarioRunner(scenario(phase_duration, warmup)).setup()
+    sdn = runner.sdn
     sdn.run(until=warmup)
-
-    duration = 2 * phase_duration
-    for i, tos in enumerate([32, 64, 96], start=1):
-        sdn.request_flow(
-            flow_name=f"f{i}", src="host1", dst="host2", protocol="tcp",
-            tos=tos, duration=duration,
-        )
+    runner.inject_traffic()
     # phase (i): everything on Tunnel 1
     phase1_end = warmup + phase_duration
     sdn.run(until=phase1_end)

@@ -12,6 +12,13 @@ A periodic re-optimization loop (enabled with ``reoptimize_every``) then
 keeps asking Hecate and re-points PBR entries when the recommendation
 changes — the "self-driving" behaviour the paper targets; each change is
 one edge-router touch, never a core reconfiguration.
+
+Multi-pair deployments (the scenario suite runs traffic between many
+edge pairs at once) rely on two behaviours beyond the paper's single
+MIA->AMS testbed: candidate tunnels are filtered by the *egress* edge of
+the flow's destination (see :meth:`Controller._candidates_for`), and
+links downed by failure injection advertise near-zero capacity to the
+assignment optimizer so re-optimization steers flows around outages.
 """
 
 from __future__ import annotations
@@ -29,7 +36,30 @@ from repro.net.topology import Network
 from .scheduler import NEW_FLOW_TOPIC, FlowRequest
 from .telemetry_service import TELEMETRY_GET_TOPIC, TelemetryService
 
-__all__ = ["Controller", "TunnelInfo", "FlowRecord"]
+__all__ = ["Controller", "TunnelInfo", "FlowRecord", "select_candidates"]
+
+
+def select_candidates(
+    paths_by_name: Dict[str, Tuple[str, ...]], ingress: str, egress: str
+) -> List[str]:
+    """The candidate-tunnel rule, shared by the Controller and the
+    scenario runner's fluid backend so both backends place flows by the
+    same policy.
+
+    Prefer tunnels terminating at the flow's egress edge (packets leaving
+    another egress would fall back to FIB forwarding for the tail of the
+    journey); when none match — e.g. a single-egress deployment
+    registered before the destination's edge was known — fall back to
+    every tunnel from the ingress, the pre-multi-pair behaviour.
+    Preserves the mapping's insertion (registration) order.
+    """
+    from_ingress = [
+        name for name, path in paths_by_name.items() if path[0] == ingress
+    ]
+    matching = [
+        name for name in from_ingress if paths_by_name[name][-1] == egress
+    ]
+    return matching or from_ingress
 
 
 @dataclass(frozen=True)
@@ -43,6 +73,10 @@ class TunnelInfo:
     @property
     def ingress(self) -> str:
         return self.path[0]
+
+    @property
+    def egress(self) -> str:
+        return self.path[-1]
 
 
 @dataclass
@@ -99,15 +133,18 @@ class Controller:
         self.telemetry.create_path_probe(name, path)
         self.tunnels[name] = TunnelInfo(name=name, tunnel_id=tunnel_id, path=path)
 
-    def _tunnels_from(self, ingress: str) -> List[TunnelInfo]:
-        return [t for t in self.tunnels.values() if t.ingress == ingress]
+    def _candidates_for(self, ingress: str, egress: str) -> List[TunnelInfo]:
+        """Tunnels usable by a flow entering at ``ingress`` towards a host
+        behind ``egress`` (the shared :func:`select_candidates` rule)."""
+        names = select_candidates(
+            {t.name: t.path for t in self.tunnels.values()}, ingress, egress
+        )
+        return [self.tunnels[name] for name in names]
 
     # ------------------------------------------------------------- placing
 
     def _edge_router_of(self, host_name: str) -> str:
-        host = self.network.hosts[host_name]
-        link = host.ports[host.uplink_port]
-        return link.other(host).name
+        return self.network.edge_router_of(host_name)
 
     def _ask_hecate(self, candidates: List[TunnelInfo], objective: str) -> Dict:
         # Fig. 4 getTelemetry: the Controller retrieves stored history
@@ -167,7 +204,8 @@ class Controller:
     def place_flow(self, request: FlowRequest) -> FlowRecord:
         """The full Fig. 4 newFlow sequence."""
         ingress = self._edge_router_of(request.src)
-        candidates = self._tunnels_from(ingress)
+        egress = self._edge_router_of(request.dst)
+        candidates = self._candidates_for(ingress, egress)
         if not candidates:
             raise RuntimeError(f"no tunnels registered at ingress {ingress!r}")
         recommendation = self._ask_hecate(candidates, request.objective)
@@ -245,7 +283,15 @@ class Controller:
             for a, b in zip(tunnel.path[:-1], tunnel.path[1:]):
                 if (a, b) in caps:
                     continue
-                link_rate = self.network.link(a, b).rate_mbps
+                link = self.network.link(a, b)
+                if not link.up:
+                    # failure injection: a down link black-holes traffic,
+                    # so any tunnel crossing it must look useless to the
+                    # assignment optimizer (near-zero, not zero, keeps
+                    # max-min fair allocation well-defined)
+                    caps[(a, b)] = 1e-3
+                    continue
+                link_rate = link.rate_mbps
                 _, carried = self.telemetry.db.series(f"link:{a}->{b}:mbps")
                 carried_now = float(carried[-1]) if carried.size else 0.0
                 unmanaged = max(
@@ -269,20 +315,30 @@ class Controller:
         }
         if not active:
             return
-        # group by ingress: flows can only use tunnels from their edge
-        by_ingress: Dict[str, Dict[str, str]] = {}
+        # group by (ingress, egress): flows can only use tunnels from
+        # their own edge towards their destination's edge
+        by_edges: Dict[Tuple[str, str], Dict[str, str]] = {}
         for name, tunnel in active.items():
-            by_ingress.setdefault(self.tunnels[tunnel].ingress, {})[name] = tunnel
-        for ingress, flows in by_ingress.items():
-            candidates = self._tunnels_from(ingress)
+            key = (
+                self.tunnels[tunnel].ingress,
+                self._edge_router_of(self.flows[name].request.dst),
+            )
+            by_edges.setdefault(key, {})[name] = tunnel
+        for (ingress, egress), flows in by_edges.items():
+            candidates = self._candidates_for(ingress, egress)
             try:
                 recommendation = self._ask_hecate(candidates, "max_bandwidth")
                 self.decisions.append(recommendation)
             except RuntimeError:
                 pass  # forecasting failure must not stall reallocation
+            tunnel_paths = {t.name: t.path for t in candidates}
+            for tunnel in flows.values():
+                # a flow may sit on a fallback tunnel outside the egress-
+                # filtered candidate set; keep it assignable regardless
+                tunnel_paths.setdefault(tunnel, self.tunnels[tunnel].path)
             result = assign_flows(
                 current=flows,
-                tunnel_paths={t.name: t.path for t in candidates},
+                tunnel_paths=tunnel_paths,
                 capacities=self._effective_link_capacities(flows),
             )
             for name, tunnel in result.assignment.items():

@@ -1,8 +1,28 @@
 """Dashboard (Fig. 3/4): the user's window into the framework.
 
-Provides the ``insertNewFlow`` entry point and the "link occupation
-graphs" the paper describes — rendered as ASCII sparklines/tables since
-this reproduction is terminal-first.
+Provides the two halves of the paper's Dashboard:
+
+- **input** — :meth:`Dashboard.request_flow` is the ``insertNewFlow``
+  entry point: it publishes the request on
+  ``dashboard.insert_new_flow`` and returns the Scheduler's (and,
+  nested, the Controller's) verdict.  The Dashboard never talks to the
+  Controller directly; like every component here it only knows the bus.
+- **output** — the "link occupation graphs" the paper shows its users,
+  rendered terminal-first: :meth:`Dashboard.render_links` (per-link
+  utilization sparklines), :meth:`Dashboard.render_paths` (per-tunnel
+  available bandwidth) and :meth:`Dashboard.flow_table` (active flows,
+  their tunnels and migration counts).
+
+:func:`sparkline` is the rendering primitive: it bins an arbitrary-
+length series down to a fixed character width (mean per bin) and maps
+values onto a ten-character density ramp, so a whole telemetry history
+reads as one line of ASCII.  Fixed ``lo``/``hi`` bounds keep multiple
+lines comparable (utilization is always drawn on 0..1).
+
+All views read the same :class:`~repro.net.telemetry.TimeSeriesDB` the
+Telemetry Service writes (metric schema documented in
+:mod:`repro.framework.telemetry_service`), so what the user sees is
+exactly what Hecate decides from.
 """
 
 from __future__ import annotations

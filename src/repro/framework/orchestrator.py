@@ -1,10 +1,38 @@
 """SelfDrivingNetwork: one object wiring the whole Fig. 3 architecture.
 
-Construction assembles, over a shared message bus and simulator:
-Network (emulated testbed) + RouterConfigService (PolKA/freeRtr service)
-+ TelemetryService + HecateService (Optimizer) + Scheduler + Controller +
-Dashboard.  This is the public façade the examples and experiments use —
-the closest thing to "deploying the framework" on the emulated testbed.
+The paper's contribution is an *integration*: six services that only
+talk through a message queue, closing the telemetry -> ML -> routing
+loop.  Constructing a :class:`SelfDrivingNetwork` assembles exactly that
+picture over one shared :class:`~repro.bus.MessageBus` and one
+deterministic simulator clock:
+
+========================  =================================================
+component                 role (Fig. 3 name)
+========================  =================================================
+``network``               the emulated testbed (virtualized Global P4 Lab)
+``router_config``         PolKA/freeRtr reconfiguration service, topic
+                          ``freertr.reconfig``
+``telemetry``             Telemetry Service + time-series DB, topics
+                          ``telemetry.start`` / ``telemetry.get``
+``hecate``                the ML Optimizer, topic ``hecate.ask_path``
+``scheduler``             user-request intake, topic ``scheduler.new_flow``
+``controller``            closes the loop: placement, PBR binds, migration
+``dashboard``             user entry point + terminal "link occupation"
+                          views, topic ``dashboard.insert_new_flow``
+========================  =================================================
+
+Lifecycle: construct (telemetry starts sampling immediately), register
+candidate tunnels with :meth:`add_tunnel`, advance virtual time with
+:meth:`run` until Hecate has history, then :meth:`request_flow` — the
+full Fig. 4 sequence executes synchronously over the bus and the traffic
+application starts inside the simulation.  Everything is deterministic:
+two identically-constructed instances driven identically produce
+bit-identical telemetry, decisions and flow metrics (the property the
+scenario suite's reproducibility tests pin down).
+
+This façade is what examples, experiments and the scenario runner
+(:mod:`repro.scenarios`) all build on — the closest thing in this repo
+to "deploying the framework" on a testbed.
 """
 
 from __future__ import annotations

@@ -3,8 +3,26 @@ Controller.
 
 Fig. 4's sequence — Dashboard ``insertNewFlow`` -> Scheduler
 ``requestScheduler`` -> Controller ``newFlow`` — runs over the message
-bus: the Scheduler validates and queues each request, stamps a flow id,
-and republishes on ``scheduler.new_flow``.
+bus: the Scheduler subscribes to ``dashboard.insert_new_flow``,
+validates each request (:meth:`FlowRequest.validate` — protocol, ToS
+byte, positive duration, UDP rate), rejects duplicates by flow name, and
+republishes accepted requests on ``scheduler.new_flow`` for the
+Controller to place.  The reply dict propagates the Controller's verdict
+back to the caller, so a Dashboard user sees both "request accepted" and
+"flow placed on tunnel X" (or the reason it wasn't) from one call.
+
+:class:`FlowRequest` is the framework's *lingua franca* for offered
+load: the Dashboard builds one per user request, the scenario suite's
+traffic patterns (:mod:`repro.scenarios.traffic`) generate lists of them,
+and the Controller turns each into an access-list + PBR entry + traffic
+application.  ``tos`` is the flow's ToS tag — the field the ingress
+access-lists match on, and therefore what lets PBR steer flows of the
+same host pair independently (the Fig. 12 trick); ``objective`` is
+forwarded verbatim to Hecate.
+
+Rejected requests are counted in :attr:`Scheduler.rejected` and never
+reach the Controller; accepted ones are retained in order in
+:attr:`Scheduler.requests` as the audit trail of offered load.
 """
 
 from __future__ import annotations

@@ -5,6 +5,31 @@ Fig. 4's ``startTelemetry``/``createTelemetry`` pair maps to
 :meth:`TelemetryService.create_path_probe` (per-tunnel agents).  The
 Controller retrieves stored history with ``getTelemetry`` — topic
 ``telemetry.get`` — as "a dataset of time-indexed values".
+
+What lands in the DB, at every ``interval`` seconds of virtual time
+(metric-name schema shared with the Dashboard and Hecate):
+
+==============================  ==========================================
+metric                          meaning
+==============================  ==========================================
+``link:A->B:mbps``              achieved directed throughput, last interval
+``link:A->B:util``              that throughput / configured link rate
+``link:A->B:drops``             packets tail-dropped in the interval
+``path:NAME:available_mbps``    bottleneck headroom along tunnel ``NAME``
+                                (the series Hecate forecasts)
+``path:NAME:latency_ms``        propagation + current-queue estimate
+``path:NAME:util``              bottleneck-link utilization
+==============================  ==========================================
+
+Creating a tunnel implicitly arms its path probe (the Controller calls
+:meth:`create_path_probe` from ``register_tunnel``), so Hecate can be
+asked about a path the moment one sample exists: with fewer than
+``HecateService.MIN_TRAIN_SAMPLES`` observations it falls back to the
+latest raw measurement instead of a trained forecast — the cold-start
+behaviour a freshly deployed controller needs.  Bus access
+(``telemetry.get`` / ``telemetry.start``) exists so remote components
+never touch the DB object directly, mirroring the paper's
+service-over-message-queue layering.
 """
 
 from __future__ import annotations

@@ -12,9 +12,12 @@ ablation benchmark comparing fluid vs. packet-level predictions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Sequence, Tuple
 
-__all__ = ["FluidFlow", "max_min_fair", "total_throughput"]
+if TYPE_CHECKING:  # pragma: no cover
+    from .topology import Network
+
+__all__ = ["FluidFlow", "max_min_fair", "total_throughput", "link_capacities"]
 
 
 @dataclass(frozen=True)
@@ -96,3 +99,17 @@ def max_min_fair(
 
 def total_throughput(rates: Mapping[str, float]) -> float:
     return float(sum(rates.values()))
+
+
+def link_capacities(network: "Network") -> Dict[Tuple[str, str], float]:
+    """Static per-link capacities of a built :class:`Network`.
+
+    Keys are sorted endpoint-name pairs (one entry per full-duplex link,
+    matching :func:`max_min_fair`'s direction-insensitive lookup).  This
+    is the bridge the scenario runner's fluid backend uses to evaluate a
+    declared topology without running packets through it.
+    """
+    return {
+        tuple(sorted(key)): link.rate_mbps
+        for key, link in network.links.items()
+    }

@@ -176,6 +176,21 @@ class Network:
 
     # ------------------------------------------------------------- queries
 
+    def edge_router_of(self, host_name: str) -> str:
+        """The router a host's single uplink attaches to.
+
+        The one canonical implementation of this lookup — the Controller,
+        traffic generators and scenario runner all resolve ingress/egress
+        edges through it, so a future multi-homed-host model only needs
+        changing here.
+        """
+        if host_name not in self.hosts:
+            raise KeyError(f"unknown host {host_name!r}")
+        for neighbour in self.graph.neighbors(host_name):
+            if neighbour in self.routers:
+                return neighbour
+        raise ValueError(f"host {host_name!r} has no router uplink")
+
     def router_path(self, path: Iterable[str]) -> List[str]:
         """Validate that ``path`` crosses only known routers."""
         path = list(path)

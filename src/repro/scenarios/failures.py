@@ -1,0 +1,139 @@
+"""Failure models: FailureSpec -> a deterministic event plan.
+
+A plan is a tuple of ``FailureEvent(at, action, a, b)`` entries with
+``action`` in ``{"fail", "restore"}`` and times relative to the start of
+traffic.  Planning is separated from execution so both backends consume
+the identical plan: the DES runner schedules each event on the simulator
+(:meth:`~repro.net.topology.Network.fail_link` /
+:meth:`~repro.net.topology.Network.restore_link`), while the fluid
+backend slices the horizon into capacity epochs at the same instants.
+
+Kinds
+-----
+``none``
+    No events.
+``link_flap``
+    One link goes down at ``at`` (default: 40% of the horizon) and comes
+    back at ``restore_at`` (default: 70%).  With ``period`` set, the
+    down/up cycle repeats until the horizon ends.  The link is
+    ``params["link"]`` or, unpinned, a deterministic rng pick among
+    router-router links.
+``node_down``
+    Every link of router ``params["node"]`` (or an rng pick among
+    non-edge routers, falling back to any router) fails at ``at``;
+    ``restore_at`` optionally heals them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.net.topology import Network
+
+from .spec import FailureSpec
+
+__all__ = ["FailureEvent", "plan_failures"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One link state change, relative to traffic start."""
+
+    at: float
+    action: str  # "fail" | "restore"
+    a: str
+    b: str
+
+
+def _router_links(network: Network) -> List[Tuple[str, str]]:
+    return sorted(
+        tuple(sorted(key))
+        for key in network.links
+        if all(end in network.routers for end in key)
+    )
+
+
+def _pick_link(
+    network: Network, spec: FailureSpec, rng: np.random.Generator
+) -> Tuple[str, str]:
+    link = spec.params.get("link")
+    if link is not None:
+        a, b = link
+        network.link(a, b)  # raises KeyError for unknown links
+        return a, b
+    candidates = _router_links(network)
+    if not candidates:
+        raise ValueError("topology has no router-router links to fail")
+    return candidates[int(rng.integers(len(candidates)))]
+
+
+def _link_flap(
+    network: Network, spec: FailureSpec, horizon: float, rng: np.random.Generator
+) -> List[FailureEvent]:
+    a, b = _pick_link(network, spec, rng)
+    at = float(spec.params.get("at", 0.4 * horizon))
+    restore_at = float(spec.params.get("restore_at", 0.7 * horizon))
+    if restore_at <= at:
+        raise ValueError("restore_at must come after at")
+    period = spec.params.get("period")
+    events = []
+    while at < horizon:
+        events.append(FailureEvent(at=at, action="fail", a=a, b=b))
+        if restore_at < horizon:
+            events.append(FailureEvent(at=restore_at, action="restore", a=a, b=b))
+        if period is None:
+            break
+        at += float(period)
+        restore_at += float(period)
+    return events
+
+
+def _node_down(
+    network: Network, spec: FailureSpec, horizon: float, rng: np.random.Generator
+) -> List[FailureEvent]:
+    node = spec.params.get("node")
+    if node is None:
+        core = sorted(
+            name for name, router in network.routers.items() if not router.edge
+        ) or sorted(network.routers)
+        node = core[int(rng.integers(len(core)))]
+    if node not in network.routers:
+        raise ValueError(f"{node!r} is not a router")
+    at = float(spec.params.get("at", 0.4 * horizon))
+    restore_at = spec.params.get("restore_at")
+    if restore_at is not None and float(restore_at) <= at:
+        raise ValueError("restore_at must come after at")
+    touched = sorted(
+        tuple(sorted(key)) for key in network.links if node in key
+    )
+    events = [FailureEvent(at=at, action="fail", a=a, b=b) for a, b in touched]
+    if restore_at is not None:
+        events.extend(
+            FailureEvent(at=float(restore_at), action="restore", a=a, b=b)
+            for a, b in touched
+        )
+    return events
+
+
+def plan_failures(
+    network: Network,
+    spec: FailureSpec,
+    horizon: float,
+    rng: np.random.Generator,
+) -> Tuple[FailureEvent, ...]:
+    """Expand ``spec`` into a time-ordered, deterministic event plan."""
+    if spec.kind == "none":
+        events: List[FailureEvent] = []
+    elif spec.kind == "link_flap":
+        events = _link_flap(network, spec, horizon, rng)
+    elif spec.kind == "node_down":
+        events = _node_down(network, spec, horizon, rng)
+    else:
+        raise KeyError(
+            f"unknown failure kind {spec.kind!r}; "
+            "choose from ['none', 'link_flap', 'node_down']"
+        )
+    return tuple(sorted(events, key=lambda e: (e.at, e.action, e.a, e.b)))

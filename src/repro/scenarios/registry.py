@@ -1,0 +1,200 @@
+"""Named scenario registry: the evaluation suite that ships with the repo.
+
+Eleven built-ins cover the cross product the related work evaluates over
+— topology families (line / ring / fat tree / random geometric / random
+WAN / the paper's Global P4 Lab), traffic patterns (uniform / hotspot /
+bursty UDP / elephant-mice / the paper's explicit flow sets) and failure
+models (healthy / link flap / node failure).  Every scenario runs on
+both backends::
+
+    repro scenarios list
+    repro scenarios run ring-link-flap
+    repro scenarios run ring-link-flap --backend fluid
+    repro scenarios compare line-baseline ring-uniform
+
+Register your own with :func:`register` (e.g. from a notebook or a
+plugin module); names must be unique.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .spec import FailureSpec, PolicySpec, Scenario, TopologySpec, TrafficSpec
+
+__all__ = ["register", "get_scenario", "list_scenarios", "SCENARIOS"]
+
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario) -> Scenario:
+    """Add one scenario to the registry; duplicate names are an error."""
+    if scenario.name in SCENARIOS:
+        raise ValueError(f"scenario {scenario.name!r} already registered")
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        ) from None
+
+
+def list_scenarios() -> List[Scenario]:
+    """All registered scenarios, sorted by name."""
+    return [SCENARIOS[name] for name in sorted(SCENARIOS)]
+
+
+# --------------------------------------------------------------- built-ins
+
+register(Scenario(
+    name="line-baseline",
+    description="Single-path sanity floor: three-router line, uniform TCP",
+    topology=TopologySpec("line", {"n_routers": 3, "rate_mbps": 50.0}),
+    traffic=TrafficSpec("uniform", n_flows=3),
+    horizon=30.0,
+))
+
+register(Scenario(
+    name="ring-uniform",
+    description="Six-router ring, two host pairs, uniform TCP over the "
+                "two disjoint directions",
+    topology=TopologySpec("ring", {"n_routers": 6, "n_host_pairs": 2,
+                                   "rate_mbps": 50.0,
+                                   "host_rate_mbps": 100.0}),
+    traffic=TrafficSpec("uniform", n_flows=6),
+    horizon=40.0,
+))
+
+register(Scenario(
+    name="fat-tree-hotspot",
+    description="k=4 fat tree with incast: most flows converge on one "
+                "host, the ECMP core absorbs what it can",
+    topology=TopologySpec("fat_tree", {"k": 4, "n_hosts": 4,
+                                       "rate_mbps": 25.0,
+                                       "host_rate_mbps": 50.0}),
+    traffic=TrafficSpec("hotspot", n_flows=6, params={"hot_host": "h1"}),
+    horizon=30.0,
+))
+
+register(Scenario(
+    name="geo-mesh-uniform",
+    description="Random geometric WAN (distance-proportional delays), "
+                "uniform TCP between peripheral hosts",
+    topology=TopologySpec("random_geometric",
+                          {"n_routers": 10, "n_host_pairs": 2, "seed": 7,
+                           "rate_mbps": 50.0, "host_rate_mbps": 100.0}),
+    traffic=TrafficSpec("uniform", n_flows=5),
+    horizon=40.0,
+))
+
+register(Scenario(
+    name="wan-elephant-mice",
+    description="Random WAN with a heavy-tailed mix: long-lived elephants "
+                "plus short mice flows",
+    topology=TopologySpec("random_wan",
+                          {"n_routers": 8, "extra_edges": 5, "seed": 11,
+                           "n_host_pairs": 2, "rate_mbps": 50.0}),
+    traffic=TrafficSpec("elephant_mice", n_flows=8),
+    horizon=40.0,
+))
+
+register(Scenario(
+    name="p4lab-hotspot",
+    description="The paper's Global P4 Lab under Fig. 12 link caps with "
+                "every flow converging on host2 behind AMS",
+    topology=TopologySpec("p4lab_fig12"),
+    traffic=TrafficSpec("hotspot", n_flows=5, params={"hot_host": "host2"}),
+    policy=PolicySpec(reoptimize_every=5.0),
+    horizon=45.0,
+))
+
+register(Scenario(
+    name="p4lab-bursty-udp",
+    description="Global P4 Lab under Fig. 12 caps, hammered by waves of "
+                "CBR UDP that overrun the 20 Mbps bottleneck",
+    topology=TopologySpec("p4lab_fig12"),
+    traffic=TrafficSpec("bursty", n_flows=6,
+                        params={"n_bursts": 3, "rate_mbps": 15.0}),
+    horizon=45.0,
+))
+
+register(Scenario(
+    name="ring-link-flap",
+    description="Ring whose busiest arc flaps mid-run: the self-driving "
+                "loop must steer flows to the surviving direction",
+    topology=TopologySpec("ring", {"n_routers": 6, "n_host_pairs": 2,
+                                   "rate_mbps": 50.0,
+                                   "host_rate_mbps": 100.0}),
+    traffic=TrafficSpec("uniform", n_flows=4),
+    failures=FailureSpec("link_flap", {"link": ("r0", "r1")}),
+    policy=PolicySpec(reoptimize_every=4.0),
+    horizon=40.0,
+))
+
+register(Scenario(
+    name="geo-node-failure",
+    description="Random geometric WAN losing a whole router mid-run; "
+                "FIBs and tunnels must route around the hole",
+    topology=TopologySpec("random_geometric",
+                          {"n_routers": 10, "n_host_pairs": 2, "seed": 7,
+                           "rate_mbps": 50.0, "host_rate_mbps": 100.0}),
+    traffic=TrafficSpec("uniform", n_flows=4),
+    failures=FailureSpec("node_down", {}),
+    policy=PolicySpec(reoptimize_every=4.0),
+    horizon=40.0,
+))
+
+register(Scenario(
+    name="fig11-latency-migration",
+    description="Paper Fig. 11: ICMP probe on the Global P4 Lab with the "
+                "20 ms tc delay on MIA-SAO; min-latency objective steers "
+                "it onto Tunnel 2 (the staged two-phase replay lives in "
+                "repro.experiments.fig11_latency_migration)",
+    topology=TopologySpec("global_p4_lab",
+                          {"delays": {("MIA", "SAO"): 21.0}}),
+    traffic=TrafficSpec("explicit", n_flows=1, params={"flows": [
+        {"flow_name": "ping1", "src": "host1", "dst": "host2",
+         "protocol": "icmp", "duration": 120.0},
+    ]}),
+    policy=PolicySpec(objective="min_latency"),
+    tunnels=(("T1", 1, ("MIA", "SAO", "AMS")),
+             ("T2", 2, ("MIA", "CHI", "AMS"))),
+    horizon=120.0,
+    warmup=2.0,
+))
+
+register(Scenario(
+    name="fig12-flow-aggregation",
+    description="Paper Fig. 12: three TCP flows start on Tunnel 1 under "
+                "the Fig. 12 caps; periodic re-optimization spreads them "
+                "over Tunnels 1-3 for ~30 Mbps aggregate (the staged "
+                "replay lives in repro.experiments.fig12_flow_aggregation)",
+    topology=TopologySpec("p4lab_fig12"),
+    traffic=TrafficSpec("explicit", n_flows=3, params={"flows": [
+        {"flow_name": f"f{i}", "src": "host1", "dst": "host2",
+         "protocol": "tcp", "tos": tos, "duration": 90.0}
+        for i, tos in ((1, 32), (2, 64), (3, 96))
+    ]}),
+    policy=PolicySpec(reoptimize_every=5.0),
+    tunnels=(("T1", 1, ("MIA", "SAO", "AMS")),
+             ("T2", 2, ("MIA", "CHI", "AMS")),
+             ("T3", 3, ("MIA", "CAL", "CHI", "AMS"))),
+    horizon=90.0,
+    warmup=35.0,
+))
+
+register(Scenario(
+    name="line-link-flap",
+    description="Worst case for the optimizer: the only path flaps, so "
+                "drops are unavoidable and recovery is pure FIB/PBR "
+                "healing",
+    topology=TopologySpec("line", {"n_routers": 3, "rate_mbps": 50.0}),
+    traffic=TrafficSpec("uniform", n_flows=2),
+    failures=FailureSpec("link_flap", {"link": ("r0", "r1")}),
+    horizon=30.0,
+))

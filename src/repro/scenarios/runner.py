@@ -1,0 +1,532 @@
+"""ScenarioRunner: execute any Scenario, on either backend, uniformly.
+
+The runner turns a declarative :class:`~repro.scenarios.spec.Scenario`
+into a :class:`ScenarioResult` through five deterministic stages:
+
+1. **build** the topology (:class:`~repro.scenarios.spec.TopologySpec`);
+2. **derive tunnels** — explicit triples when the scenario pins them,
+   otherwise the ``k_paths`` shortest router paths for every
+   (ingress, egress) pair the traffic will use;
+3. **generate traffic** (:mod:`repro.scenarios.traffic`) and **plan
+   failures** (:mod:`repro.scenarios.failures`) from one seeded rng, in
+   that fixed order, so both backends see the identical workload;
+4. **execute**:
+
+   - ``des`` — assemble a :class:`~repro.framework.SelfDrivingNetwork`
+     (message bus, freeRtr config service, telemetry, Hecate, scheduler,
+     controller, dashboard), warm telemetry, offer every flow through the
+     Dashboard exactly like a user would, schedule the failure plan on
+     the simulator and run the horizon;
+   - ``fluid`` — slice the horizon into capacity epochs at every flow
+     start/stop and failure event, solve the joint flow->tunnel
+     assignment (:func:`repro.hecate.objectives.assign_flows`) and the
+     max-min fair rates per epoch (:func:`repro.net.fluid.max_min_fair`)
+     — the closed-form steady state the packet level should approximate;
+
+5. **collect** a uniform :class:`ScenarioResult` (throughput, latency,
+   drops, migrations, reconfigurations) so scenarios and backends are
+   directly comparable.
+
+Staged use (for experiments that need mid-run control, e.g. the Fig. 11
+and Fig. 12 replays): call :meth:`ScenarioRunner.setup`, drive
+``runner.sdn`` yourself, then :meth:`ScenarioRunner.inject_traffic` and
+your own phase logic.
+
+Metric semantics differ slightly by backend and are recorded as-is:
+``drops`` counts tail-dropped packets in DES but (flow, epoch) outages in
+fluid; ``migrations`` counts PBR re-binds in DES but assignment moves off
+the default tunnel in fluid.  ICMP probe flows report 0 Mbps on both
+backends (they are latency instruments, not load), and the fluid model
+shares each full-duplex link's capacity between both directions — its
+inherited direction-insensitive convention — so it under-reports
+bidirectional workloads relative to DES.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from itertools import islice
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.framework import SelfDrivingNetwork
+from repro.framework.controller import select_candidates
+from repro.framework.scheduler import FlowRequest
+from repro.hecate.objectives import assign_flows
+from repro.hecate.service import default_model_factory
+from repro.ml import LinearRegression
+from repro.net.apps import PingApp, TcpFlow, UdpFlow
+from repro.net.fluid import FluidFlow, link_capacities, max_min_fair
+from repro.net.topology import Network
+
+from .failures import FailureEvent, plan_failures
+from .spec import Scenario
+from .traffic import generate_traffic
+
+__all__ = ["ScenarioResult", "ScenarioRunner", "MODEL_FACTORIES"]
+
+#: PolicySpec.model -> regressor factory for Hecate's predictor.
+MODEL_FACTORIES = {
+    "linear": LinearRegression,
+    "rfr": default_model_factory,
+}
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Uniform cross-scenario, cross-backend metrics of one run."""
+
+    scenario: str
+    backend: str
+    seed: int
+    horizon_s: float
+    warmup_s: float
+    tunnels: int
+    offered: int
+    placed: int
+    rejected: int
+    per_flow_mbps: Dict[str, float]
+    total_throughput_mbps: float
+    min_flow_mbps: float
+    mean_latency_ms: float
+    max_latency_ms: float
+    drops: int
+    migrations: int
+    reconfigurations: int
+    failure_events: int
+
+    def summary(self) -> str:
+        lines = [
+            f"scenario {self.scenario} [{self.backend}] "
+            f"seed={self.seed} horizon={self.horizon_s:g}s warmup={self.warmup_s:g}s",
+            f"  flows     : {self.placed}/{self.offered} placed"
+            + (f" ({self.rejected} rejected)" if self.rejected else "")
+            + f", {self.tunnels} candidate tunnels",
+            f"  throughput: {self.total_throughput_mbps:8.2f} Mbps total, "
+            f"{self.min_flow_mbps:.2f} Mbps worst flow",
+            f"  latency   : {self.mean_latency_ms:8.2f} ms mean, "
+            f"{self.max_latency_ms:.2f} ms worst",
+            f"  drops={self.drops}  migrations={self.migrations}  "
+            f"reconfigurations={self.reconfigurations}  "
+            f"failure_events={self.failure_events}",
+        ]
+        if self.per_flow_mbps:
+            worst = sorted(self.per_flow_mbps.items(), key=lambda kv: kv[1])
+            shown = ", ".join(f"{k}:{v:.2f}" for k, v in worst[:8])
+            suffix = " ..." if len(worst) > 8 else ""
+            lines.append(f"  per flow  : {shown}{suffix} (Mbps)")
+        return "\n".join(lines)
+
+
+def _max_min_with_bounds(
+    flow_paths: Dict[str, Tuple[str, ...]],
+    capacities: Dict[Tuple[str, str], float],
+    bounds: Dict[str, float],
+) -> Dict[str, float]:
+    """Max-min fair allocation with per-flow rate ceilings.
+
+    Water-filling with bounds: flows whose fair share exceeds their
+    ceiling (CBR UDP senders) are pinned at the ceiling, their usage is
+    subtracted from link capacities, and the unbounded flows re-share
+    the remainder — so elastic flows soak up what rigid ones leave,
+    matching what AIMD does at packet level.  Converges in at most
+    ``len(bounds)`` rounds.
+    """
+    rates: Dict[str, float] = {}
+    pending = dict(flow_paths)
+    remaining = dict(capacities)
+    while pending:
+        fair = max_min_fair(
+            [FluidFlow.from_path(n, p) for n, p in pending.items()], remaining
+        )
+        capped = {
+            name for name, rate in fair.items()
+            if name in bounds and rate > bounds[name]
+        }
+        if not capped:
+            rates.update(fair)
+            break
+        for name in sorted(capped):
+            rate = bounds[name]
+            rates[name] = rate
+            for hop in zip(flow_paths[name][:-1], flow_paths[name][1:]):
+                key = tuple(sorted(hop))
+                remaining[key] = max(0.0, remaining[key] - rate)
+            del pending[name]
+    return rates
+
+
+def derive_tunnels(
+    network: Network,
+    requests: Sequence[FlowRequest],
+    k_paths: int,
+) -> Tuple[Tuple[str, int, Tuple[str, ...]], ...]:
+    """Candidate tunnels: ``k_paths`` shortest router paths per
+    (ingress, egress) pair used by the traffic, in traffic order."""
+    router_graph = network.graph.subgraph(network.routers)
+    pairs: List[Tuple[str, str]] = []
+    for request in requests:
+        pair = (
+            network.edge_router_of(request.src),
+            network.edge_router_of(request.dst),
+        )
+        if pair[0] != pair[1] and pair not in pairs:
+            pairs.append(pair)
+    tunnels: List[Tuple[str, int, Tuple[str, ...]]] = []
+    tid = 1
+    for ingress, egress in pairs:
+        for path in islice(
+            nx.shortest_simple_paths(router_graph, ingress, egress), k_paths
+        ):
+            tunnels.append((f"T{tid}", tid, tuple(path)))
+            tid += 1
+    return tuple(tunnels)
+
+
+class ScenarioRunner:
+    """Executes one :class:`Scenario`; see the module docstring."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        backend: Optional[str] = None,
+        seed: Optional[int] = None,
+    ):
+        self.scenario = scenario
+        self.backend = backend or scenario.backend
+        if self.backend not in ("des", "fluid"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        self.seed = scenario.seed if seed is None else int(seed)
+        self.network: Optional[Network] = None
+        self.sdn: Optional[SelfDrivingNetwork] = None
+        self.tunnels: Tuple[Tuple[str, int, Tuple[str, ...]], ...] = ()
+        self.requests: List[FlowRequest] = []
+        self.failure_plan: Tuple[FailureEvent, ...] = ()
+        self.placed = 0
+        self.rejected = 0
+        self._injected = False
+        self._armed = False
+
+    # ----------------------------------------------------------- assembly
+
+    def setup(self) -> "ScenarioRunner":
+        """Build network + tunnels + workload (and, for DES, the framework
+        stack).  Idempotent; returns self for chaining."""
+        if self.network is not None:
+            return self
+        scenario = self.scenario
+        rng = np.random.default_rng(self.seed)
+        self.network = scenario.topology.build()
+        # fixed order: traffic first, then failures, so a given seed means
+        # the same workload regardless of failure model changes
+        self.requests = generate_traffic(
+            self.network, scenario.traffic, scenario.horizon, rng
+        )
+        self.failure_plan = plan_failures(
+            self.network, scenario.failures, scenario.horizon, rng
+        )
+        if scenario.tunnels is not None:
+            self.tunnels = tuple(
+                (name, tid, tuple(path)) for name, tid, path in scenario.tunnels
+            )
+        else:
+            self.tunnels = derive_tunnels(
+                self.network, self.requests, scenario.policy.k_paths
+            )
+        if not self.tunnels:
+            raise ValueError(
+                f"scenario {scenario.name!r} derives no tunnels; "
+                "check its topology and traffic"
+            )
+        if self.backend == "des":
+            try:
+                model_factory = MODEL_FACTORIES[scenario.policy.model]
+            except KeyError:
+                raise KeyError(
+                    f"unknown model {scenario.policy.model!r}; "
+                    f"choose from {sorted(MODEL_FACTORIES)}"
+                ) from None
+            self.sdn = SelfDrivingNetwork(
+                self.network,
+                model_factory=model_factory,
+                telemetry_interval=scenario.policy.telemetry_interval,
+                reoptimize_every=scenario.policy.reoptimize_every,
+            )
+            for name, tid, path in self.tunnels:
+                self.sdn.add_tunnel(name, tid, path)
+        return self
+
+    def inject_traffic(self) -> Tuple[int, int]:
+        """Offer every generated flow through the Dashboard (DES only).
+
+        Returns ``(placed, rejected)``.  Flow ``start_at`` offsets are
+        relative to this call (normally the end of warmup).  The
+        scenario-wide policy objective applies to every flow that did
+        not set its own; an explicit per-flow objective wins."""
+        if self.sdn is None:
+            raise RuntimeError("call setup() first (DES backend only)")
+        if self._injected:
+            return self.placed, self.rejected
+        self._injected = True
+        default_objective = FlowRequest.__dataclass_fields__["objective"].default
+        for request in self.requests:
+            kwargs = asdict(request)
+            if request.objective == default_objective:
+                kwargs["objective"] = self.scenario.policy.objective
+            reply = self.sdn.request_flow(**kwargs)
+            controller_ok = reply.get("ok") and reply.get("controller", {}).get("ok")
+            if controller_ok:
+                self.placed += 1
+            else:
+                self.rejected += 1
+        return self.placed, self.rejected
+
+    def arm_failures(self) -> None:
+        """Schedule the failure plan on the simulator, offset so event
+        times are relative to the start of traffic (DES only)."""
+        if self.sdn is None:
+            raise RuntimeError("call setup() first (DES backend only)")
+        if self._armed:
+            return
+        self._armed = True
+        sim = self.network.sim
+        base = sim.now
+
+        def apply(event: FailureEvent) -> None:
+            if event.action == "fail":
+                self.network.fail_link(event.a, event.b)
+            else:
+                self.network.restore_link(event.a, event.b)
+
+        for event in self.failure_plan:
+            sim.schedule_at(base + event.at, lambda e=event: apply(e))
+
+    # ---------------------------------------------------------- execution
+
+    def run(self) -> ScenarioResult:
+        """Execute the scenario end-to-end on the configured backend."""
+        self.setup()
+        if self.backend == "fluid":
+            return self._run_fluid()
+        scenario = self.scenario
+        self.sdn.run(until=scenario.warmup)
+        self.inject_traffic()
+        self.arm_failures()
+        self.sdn.run(until=scenario.warmup + scenario.horizon)
+        return self.collect()
+
+    # --------------------------------------------------------- collection
+
+    def collect(self) -> ScenarioResult:
+        """Uniform metrics from a DES run (callable after staged use)."""
+        if self.sdn is None:
+            raise RuntimeError("collect() needs a DES run; see setup()")
+        scenario = self.scenario
+        now = self.network.sim.now
+        per_flow: Dict[str, float] = {}
+        latencies: List[float] = []
+        for name, record in self.sdn.controller.flows.items():
+            app = record.app
+            if isinstance(app, TcpFlow):
+                # a flow whose duration outlives the horizon must be
+                # averaged over simulated time only, not its full window
+                end = now if app.stop_at is None else min(app.stop_at, now)
+                per_flow[name] = app.goodput_mbps(t1=end)
+                if app.srtt is not None:
+                    latencies.append(app.srtt * 1e3)
+            elif isinstance(app, UdpFlow):
+                per_flow[name] = app.delivered_mbps()
+            elif isinstance(app, PingApp):
+                per_flow[name] = 0.0
+                _, rtts = app.rtt_series()
+                if rtts.size:
+                    latencies.append(float(rtts.mean()))
+        drops = 0
+        for link in self.network.links.values():
+            node_a, node_b = link.endpoints()
+            drops += link.stats_from(node_a).dropped_packets
+            drops += link.stats_from(node_b).dropped_packets
+        migrations = sum(
+            len(record.migrations)
+            for record in self.sdn.controller.flows.values()
+        )
+        reconfigurations = sum(
+            policy.reconfigurations
+            for policy in self.sdn.router_config.policies.values()
+        )
+        return ScenarioResult(
+            scenario=scenario.name,
+            backend="des",
+            seed=self.seed,
+            horizon_s=scenario.horizon,
+            warmup_s=scenario.warmup,
+            tunnels=len(self.tunnels),
+            offered=len(self.requests),
+            placed=self.placed,
+            rejected=self.rejected,
+            per_flow_mbps=per_flow,
+            total_throughput_mbps=float(sum(per_flow.values())),
+            min_flow_mbps=float(min(per_flow.values())) if per_flow else 0.0,
+            mean_latency_ms=float(np.mean(latencies)) if latencies else 0.0,
+            max_latency_ms=float(max(latencies)) if latencies else 0.0,
+            drops=drops,
+            migrations=migrations,
+            reconfigurations=reconfigurations,
+            failure_events=len(self.failure_plan),
+        )
+
+    # ------------------------------------------------------ fluid backend
+
+    def _assign_fluid(
+        self, capacities: Dict[Tuple[str, str], float]
+    ) -> Tuple[Dict[str, Tuple[str, ...]], int, int]:
+        """Assign flows to tunnels per (ingress, egress) group, honouring
+        the scenario objective: ``min_latency`` puts every flow on its
+        group's lowest-delay tunnel (what Hecate recommends in DES when
+        latency forecasts dominate); the bandwidth-flavoured objectives
+        solve the joint throughput assignment.
+
+        Returns (flow -> router path, migrations off the default tunnel,
+        unplaceable-flow count)."""
+        by_name = {name: path for name, _, path in self.tunnels}
+        objective = self.scenario.policy.objective
+        groups: Dict[Tuple[str, str], List[FlowRequest]] = {}
+        for request in self.requests:
+            pair = (
+                self.network.edge_router_of(request.src),
+                self.network.edge_router_of(request.dst),
+            )
+            groups.setdefault(pair, []).append(request)
+        paths: Dict[str, Tuple[str, ...]] = {}
+        migrations = 0
+        unplaced = 0
+        for (ingress, egress), members in groups.items():
+            # the Controller's own candidate rule, so fluid-vs-DES
+            # differences come from modelling, never placement policy
+            candidates = select_candidates(by_name, ingress, egress)
+            if not candidates:
+                unplaced += len(members)
+                continue
+            if objective == "min_latency":
+                best = min(
+                    candidates,
+                    key=lambda n: self.network.path_delay_ms(list(by_name[n])),
+                )
+                for request in members:
+                    paths[request.flow_name] = by_name[best]
+                migrations += len(members) if best != candidates[0] else 0
+                continue
+            current = {r.flow_name: candidates[0] for r in members}
+            result = assign_flows(
+                current=current,
+                tunnel_paths={name: by_name[name] for name in candidates},
+                capacities=capacities,
+            )
+            migrations += result.migrations
+            for flow_name, tunnel_name in result.assignment.items():
+                paths[flow_name] = by_name[tunnel_name]
+        return paths, migrations, unplaced
+
+    def _run_fluid(self) -> ScenarioResult:
+        """Closed-form evaluation: epoch-sliced max-min steady states."""
+        scenario = self.scenario
+        horizon = scenario.horizon
+        capacities = link_capacities(self.network)
+        paths, migrations, unplaced = self._assign_fluid(capacities)
+
+        spans = {
+            r.flow_name: (
+                min(r.start_at, horizon),
+                min(r.start_at + r.duration, horizon),
+            )
+            for r in self.requests
+            if r.flow_name in paths
+        }
+        boundaries = {0.0, horizon}
+        boundaries.update(t for span in spans.values() for t in span)
+        boundaries.update(
+            e.at for e in self.failure_plan if 0.0 < e.at < horizon
+        )
+        edges = sorted(boundaries)
+
+        rate_caps = {
+            r.flow_name: r.rate_mbps
+            for r in self.requests
+            if r.protocol == "udp" and r.rate_mbps
+        }
+        # ICMP probes send a packet per second — inelastic, negligible
+        # load; modelling them as elastic flows would credit them with
+        # the whole path capacity (DES reports them at 0 Mbps too)
+        probes = {
+            r.flow_name for r in self.requests if r.protocol == "icmp"
+        }
+        delivered: Dict[str, float] = {name: 0.0 for name in spans}
+        outages = 0
+        plan = list(self.failure_plan)  # already time-ordered
+        next_event = 0
+        failed: set = set()
+        for t0, t1 in zip(edges[:-1], edges[1:]):
+            if t1 <= t0:
+                continue
+            while next_event < len(plan) and plan[next_event].at <= t0:
+                event = plan[next_event]
+                key = tuple(sorted((event.a, event.b)))
+                if event.action == "fail":
+                    failed.add(key)
+                else:
+                    failed.discard(key)
+                next_event += 1
+            active = [
+                name for name, (start, end) in spans.items()
+                if start <= t0 < end
+            ]
+            healthy = []
+            for name in active:
+                links = {
+                    tuple(sorted(hop))
+                    for hop in zip(paths[name][:-1], paths[name][1:])
+                }
+                if links & failed:
+                    outages += 1  # blacked out for this whole epoch
+                elif name not in probes:
+                    healthy.append(name)
+            if not healthy:
+                continue
+            rates = _max_min_with_bounds(
+                {n: paths[n] for n in healthy}, capacities, rate_caps
+            )
+            for name, rate in rates.items():
+                delivered[name] += rate * (t1 - t0)
+
+        per_flow = {
+            name: delivered[name] / (span[1] - span[0])
+            if span[1] > span[0] else 0.0
+            for name, span in spans.items()
+        }
+        latencies = [
+            self.network.path_delay_ms(list(paths[name])) for name in spans
+        ]
+        return ScenarioResult(
+            scenario=scenario.name,
+            backend="fluid",
+            seed=self.seed,
+            horizon_s=horizon,
+            warmup_s=0.0,
+            tunnels=len(self.tunnels),
+            offered=len(self.requests),
+            placed=len(spans),
+            rejected=unplaced,
+            per_flow_mbps=per_flow,
+            total_throughput_mbps=float(
+                sum(delivered.values()) / horizon
+            ),
+            min_flow_mbps=float(min(per_flow.values())) if per_flow else 0.0,
+            mean_latency_ms=float(np.mean(latencies)) if latencies else 0.0,
+            max_latency_ms=float(max(latencies)) if latencies else 0.0,
+            drops=outages,
+            migrations=migrations,
+            reconfigurations=0,
+            failure_events=len(self.failure_plan),
+        )

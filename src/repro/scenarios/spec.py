@@ -1,0 +1,198 @@
+"""Declarative scenario specifications.
+
+A :class:`Scenario` is a small, immutable value object that fully
+describes one evaluation of the framework:
+
+====================  ====================================================
+component             declares
+====================  ====================================================
+:class:`TopologySpec` which network to build (generator name + kwargs)
+:class:`TrafficSpec`  which flows to offer (pattern name + kwargs)
+:class:`FailureSpec`  which links/nodes fail, and when
+:class:`PolicySpec`   how the framework reacts (objective, regressor,
+                      re-optimization period, tunnel fan-out)
+``backend``           ``"des"`` (packet-level discrete-event emulation via
+                      :class:`repro.framework.SelfDrivingNetwork`) or
+                      ``"fluid"`` (closed-form max-min steady states via
+                      :mod:`repro.net.fluid`)
+====================  ====================================================
+
+Everything downstream — tunnel derivation, traffic generation, failure
+scheduling, execution, metric collection — is owned by
+:class:`repro.scenarios.runner.ScenarioRunner`.  Specs never hold live
+objects, so the same ``Scenario`` can be run repeatedly, on either
+backend, with overridden seeds/horizons, and two runs with the same seed
+produce identical :class:`~repro.scenarios.runner.ScenarioResult`\\ s.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from repro.net.topology import Network
+from repro.topologies import (
+    fat_tree_topology,
+    fig12_capacities,
+    global_p4_lab,
+    line_topology,
+    random_geometric,
+    random_wan,
+    ring_topology,
+)
+
+__all__ = [
+    "TopologySpec",
+    "TrafficSpec",
+    "FailureSpec",
+    "PolicySpec",
+    "Scenario",
+    "TOPOLOGY_BUILDERS",
+]
+
+
+def _p4lab_fig12(**overrides: Any) -> Network:
+    """Global P4 Lab with the paper's Fig. 12 link caps (the default
+    "congested" configuration of the testbed)."""
+    params: Dict[str, Any] = {"rates": fig12_capacities()}
+    params.update(overrides)
+    return global_p4_lab(**params)
+
+
+#: Topology generator registry: ``TopologySpec.kind`` -> builder returning
+#: a built :class:`~repro.net.topology.Network`.
+TOPOLOGY_BUILDERS: Dict[str, Callable[..., Network]] = {
+    "line": line_topology,
+    "ring": ring_topology,
+    "fat_tree": fat_tree_topology,
+    "random_geometric": random_geometric,
+    "random_wan": random_wan,
+    "global_p4_lab": global_p4_lab,
+    "p4lab_fig12": _p4lab_fig12,
+}
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Which network to build: a generator name plus its kwargs."""
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def build(self) -> Network:
+        try:
+            builder = TOPOLOGY_BUILDERS[self.kind]
+        except KeyError:
+            raise KeyError(
+                f"unknown topology kind {self.kind!r}; "
+                f"choose from {sorted(TOPOLOGY_BUILDERS)}"
+            ) from None
+        return builder(**dict(self.params))
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Which flows to offer: a pattern name, a flow budget and kwargs.
+
+    Patterns are registered in :mod:`repro.scenarios.traffic`; the
+    ``explicit`` pattern takes literal flow dicts in
+    ``params["flows"]`` (used by the paper-figure scenarios).
+    """
+
+    pattern: str = "uniform"
+    n_flows: int = 6
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class FailureSpec:
+    """Which impairments strike the network, and when.
+
+    Kinds (see :mod:`repro.scenarios.failures`):
+
+    - ``"none"`` — healthy network (the default);
+    - ``"link_flap"`` — one link fails at ``params["at"]`` and recovers at
+      ``params["restore_at"]``, optionally repeating every
+      ``params["period"]`` seconds;
+    - ``"node_down"`` — every link of ``params["node"]`` fails at
+      ``params["at"]`` (and recovers at ``params["restore_at"]`` if set).
+    """
+
+    kind: str = "none"
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """How the framework reacts to what telemetry shows it.
+
+    Parameters
+    ----------
+    objective:
+        Hecate objective forwarded with every flow request
+        (``max_bandwidth`` / ``min_latency`` / ``min_max_utilization``).
+    model:
+        Regressor behind Hecate's forecaster: ``"linear"`` (fast,
+        deterministic — the default for scenario sweeps) or ``"rfr"``
+        (the paper's Random Forest).
+    reoptimize_every:
+        If set, the Controller re-runs the joint flow->tunnel assignment
+        this often and migrates flows (the self-driving loop).
+    k_paths:
+        Candidate tunnels derived per (ingress, egress) router pair when
+        the scenario does not pin explicit tunnels.
+    telemetry_interval:
+        Sampling period of the link/path telemetry agents (seconds).
+    """
+
+    objective: str = "max_bandwidth"
+    model: str = "linear"
+    reoptimize_every: Optional[float] = None
+    k_paths: int = 3
+    telemetry_interval: float = 1.0
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-described evaluation of the framework.
+
+    ``horizon`` is measured from the instant traffic is offered; the DES
+    backend first runs ``warmup`` seconds of telemetry-only time so
+    Hecate has history to decide with (the paper warms its testbed the
+    same way).  ``tunnels``, when set, pins explicit candidate tunnels
+    as ``(name, tunnel_id, router path)`` triples — the paper scenarios
+    use this to reproduce Tunnels 1-3; generated topologies leave it
+    ``None`` and let the runner derive ``k_paths`` shortest paths per
+    (ingress, egress) pair.
+    """
+
+    name: str
+    description: str
+    topology: TopologySpec
+    traffic: TrafficSpec = TrafficSpec()
+    failures: FailureSpec = FailureSpec()
+    policy: PolicySpec = PolicySpec()
+    backend: str = "des"
+    horizon: float = 60.0
+    warmup: float = 5.0
+    seed: int = 0
+    tunnels: Optional[Tuple[Tuple[str, int, Tuple[str, ...]], ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("des", "fluid"):
+            raise ValueError(
+                f"backend must be 'des' or 'fluid', got {self.backend!r}"
+            )
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if self.warmup < 0:
+            raise ValueError("warmup must be non-negative")
+
+    def with_overrides(self, **changes: Any) -> "Scenario":
+        """A copy with the given fields replaced (spec stays immutable)."""
+        return dataclasses.replace(self, **changes)
+
+    def quick(self, horizon: float = 8.0, warmup: float = 2.0) -> "Scenario":
+        """A short-horizon copy for tests and smoke runs."""
+        return self.with_overrides(horizon=horizon, warmup=warmup)

@@ -1,0 +1,228 @@
+"""Traffic pattern generators: TrafficSpec -> list of FlowRequests.
+
+Each pattern is a pure function of ``(network, spec, horizon, rng)``; the
+runner seeds ``rng`` from the scenario, so a fixed seed always yields the
+identical offered load — on either backend.
+
+Patterns
+--------
+``uniform``
+    Flows between random (src, dst) host pairs on distinct edge routers,
+    staggered starts in the first quarter of the horizon, each running to
+    the end of the horizon.  The steady, symmetric baseline.
+``hotspot``
+    A fraction of all flows (default 0.7) converge on one "hot"
+    destination host, the rest are uniform — the incast-style skew that
+    makes one egress the bottleneck.
+``bursty``
+    Waves of short constant-bit-rate UDP flows (default 3 bursts), each
+    burst saturating its paths for a fraction of the horizon — the
+    on/off load that stresses drop handling and re-optimization.
+``elephant_mice``
+    A few long-lived TCP elephants (a quarter of the budget, minimum
+    one) that span the horizon, plus many short mice flows arriving
+    throughout — the classic heavy-tailed mix.
+``explicit``
+    Literal flow dicts from ``spec.params["flows"]`` (each a
+    :class:`~repro.framework.scheduler.FlowRequest` kwargs dict).  Used
+    by the paper-figure scenarios where the exact flows matter.
+
+Every generated flow gets a distinct ToS byte: the ingress access-lists
+match on (src ip, dst ip, tos), so the ToS is what lets PBR steer flows
+of the same host pair independently (exactly the paper's Fig. 12 trick).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.framework.scheduler import FlowRequest
+from repro.net.topology import Network
+
+from .spec import TrafficSpec
+
+__all__ = ["generate_traffic", "host_pairs", "TRAFFIC_PATTERNS"]
+
+
+def host_pairs(network: Network) -> List[Tuple[str, str]]:
+    """Ordered (src, dst) host pairs whose edge routers differ."""
+    hosts = sorted(network.hosts)
+    pairs = [
+        (a, b)
+        for a in hosts
+        for b in hosts
+        if a != b and network.edge_router_of(a) != network.edge_router_of(b)
+    ]
+    if not pairs:
+        raise ValueError(
+            "topology has no host pairs on distinct edge routers; "
+            "scenario traffic needs at least one"
+        )
+    return pairs
+
+
+MAX_FLOWS = 255  # distinct non-zero ToS bytes available per scenario
+
+
+def _tos(i: int) -> int:
+    """Distinct non-zero ToS byte per flow index.
+
+    The ingress access-lists match on (src ip, dst ip, tos), so two flows
+    of the same host pair sharing a ToS would be steered as one;
+    :func:`generate_traffic` rejects flow budgets beyond the 255 distinct
+    values rather than silently wrapping.
+    """
+    return (i % MAX_FLOWS) + 1
+
+
+def _uniform(
+    network: Network, spec: TrafficSpec, horizon: float, rng: np.random.Generator
+) -> List[FlowRequest]:
+    pairs = host_pairs(network)
+    requests = []
+    for i in range(spec.n_flows):
+        src, dst = pairs[int(rng.integers(len(pairs)))]
+        start = round(float(rng.uniform(0.0, 0.25 * horizon)), 3)
+        requests.append(
+            FlowRequest(
+                flow_name=f"u{i}",
+                src=src,
+                dst=dst,
+                protocol="tcp",
+                tos=_tos(i),
+                duration=max(1.0, horizon - start),
+                start_at=start,
+            )
+        )
+    return requests
+
+
+def _hotspot(
+    network: Network, spec: TrafficSpec, horizon: float, rng: np.random.Generator
+) -> List[FlowRequest]:
+    pairs = host_pairs(network)
+    fraction = float(spec.params.get("fraction", 0.7))
+    hot = spec.params.get("hot_host") or pairs[int(rng.integers(len(pairs)))][1]
+    to_hot = [p for p in pairs if p[1] == hot]
+    requests = []
+    for i in range(spec.n_flows):
+        pool = to_hot if (i < fraction * spec.n_flows and to_hot) else pairs
+        src, dst = pool[int(rng.integers(len(pool)))]
+        start = round(float(rng.uniform(0.0, 0.25 * horizon)), 3)
+        requests.append(
+            FlowRequest(
+                flow_name=f"h{i}",
+                src=src,
+                dst=dst,
+                protocol="tcp",
+                tos=_tos(i),
+                duration=max(1.0, horizon - start),
+                start_at=start,
+            )
+        )
+    return requests
+
+
+def _bursty(
+    network: Network, spec: TrafficSpec, horizon: float, rng: np.random.Generator
+) -> List[FlowRequest]:
+    pairs = host_pairs(network)
+    n_bursts = int(spec.params.get("n_bursts", 3))
+    rate = float(spec.params.get("rate_mbps", 15.0))
+    slot = horizon / (n_bursts + 1)
+    requests = []
+    for i in range(spec.n_flows):
+        burst = i % n_bursts
+        src, dst = pairs[int(rng.integers(len(pairs)))]
+        start = round(burst * slot + float(rng.uniform(0.0, 0.2 * slot)), 3)
+        requests.append(
+            FlowRequest(
+                flow_name=f"b{i}",
+                src=src,
+                dst=dst,
+                protocol="udp",
+                tos=_tos(i),
+                duration=max(1.0, 0.6 * slot),
+                start_at=start,
+                rate_mbps=rate,
+            )
+        )
+    return requests
+
+
+def _elephant_mice(
+    network: Network, spec: TrafficSpec, horizon: float, rng: np.random.Generator
+) -> List[FlowRequest]:
+    pairs = host_pairs(network)
+    n_elephants = max(1, spec.n_flows // 4)
+    requests = []
+    for i in range(spec.n_flows):
+        src, dst = pairs[int(rng.integers(len(pairs)))]
+        if i < n_elephants:
+            start, duration = 0.0, horizon
+            name = f"elephant{i}"
+        else:
+            duration = round(float(rng.uniform(0.1, 0.25)) * horizon, 3)
+            start = round(
+                float(rng.uniform(0.0, max(0.001, horizon - duration))), 3
+            )
+            name = f"mouse{i}"
+        requests.append(
+            FlowRequest(
+                flow_name=name,
+                src=src,
+                dst=dst,
+                protocol="tcp",
+                tos=_tos(i),
+                duration=max(1.0, duration),
+                start_at=start,
+            )
+        )
+    return requests
+
+
+def _explicit(
+    network: Network, spec: TrafficSpec, horizon: float, rng: np.random.Generator
+) -> List[FlowRequest]:
+    flows = spec.params.get("flows")
+    if not flows:
+        raise ValueError("explicit traffic needs params['flows']")
+    return [FlowRequest(**dict(kwargs)) for kwargs in flows]
+
+
+TRAFFIC_PATTERNS: Dict[
+    str, Callable[[Network, TrafficSpec, float, np.random.Generator], List[FlowRequest]]
+] = {
+    "uniform": _uniform,
+    "hotspot": _hotspot,
+    "bursty": _bursty,
+    "elephant_mice": _elephant_mice,
+    "explicit": _explicit,
+}
+
+
+def generate_traffic(
+    network: Network,
+    spec: TrafficSpec,
+    horizon: float,
+    rng: np.random.Generator,
+) -> List[FlowRequest]:
+    """Instantiate ``spec`` on ``network``: validated FlowRequests."""
+    try:
+        pattern = TRAFFIC_PATTERNS[spec.pattern]
+    except KeyError:
+        raise KeyError(
+            f"unknown traffic pattern {spec.pattern!r}; "
+            f"choose from {sorted(TRAFFIC_PATTERNS)}"
+        ) from None
+    if spec.n_flows > MAX_FLOWS:
+        raise ValueError(
+            f"n_flows={spec.n_flows} exceeds the {MAX_FLOWS} distinct ToS "
+            "bytes available for per-flow PBR steering"
+        )
+    requests = pattern(network, spec, horizon, rng)
+    for request in requests:
+        request.validate()
+    return requests

@@ -5,6 +5,9 @@
 - :func:`global_p4_lab` — the emulated Global P4 Lab subset (Fig. 9) with
   the link capacities/delays of the Fig. 11/12 experiments.
 - :func:`random_wan` — seeded connected WANs for stress/property tests.
+- :func:`line_topology` / :func:`ring_topology` / :func:`fat_tree_topology`
+  / :func:`random_geometric` — parametric families used by the scenario
+  suite (:mod:`repro.scenarios`).
 """
 
 from .paper import (
@@ -18,7 +21,13 @@ from .paper import (
     global_p4_lab,
     three_node,
 )
-from .generators import line_topology, random_wan
+from .generators import (
+    fat_tree_topology,
+    line_topology,
+    random_geometric,
+    random_wan,
+    ring_topology,
+)
 
 __all__ = [
     "fig1_line",
@@ -31,5 +40,8 @@ __all__ = [
     "TUNNEL2",
     "TUNNEL3",
     "line_topology",
+    "ring_topology",
+    "fat_tree_topology",
+    "random_geometric",
     "random_wan",
 ]

@@ -1,4 +1,23 @@
-"""Parametric topology generators for stress and property tests."""
+"""Parametric topology generators for stress tests and scenario sweeps.
+
+Each generator returns a built :class:`repro.net.topology.Network` with at
+least one host pair attached to edge routers, so the scenario runner
+(:mod:`repro.scenarios`) can derive tunnels and place traffic on any of
+them.  All generators are deterministic for a given ``seed``.
+
+Families:
+
+- :func:`line_topology` — ``h1 - r0 - ... - r{n-1} - h2``, the minimal
+  single-path tunnel testbed.
+- :func:`ring_topology` — a router cycle; every host pair has exactly two
+  disjoint candidate paths (clockwise/counter-clockwise).
+- :func:`fat_tree_topology` — a k-ary fat tree (core/aggregation/edge),
+  the canonical datacenter multi-path fabric.
+- :func:`random_geometric` — routers scattered in the unit square, linked
+  within a radius, with distance-proportional propagation delays (a WAN
+  where geography matters).
+- :func:`random_wan` — random spanning tree plus chords.
+"""
 
 from __future__ import annotations
 
@@ -9,7 +28,13 @@ import numpy as np
 
 from repro.net.topology import Network
 
-__all__ = ["line_topology", "random_wan"]
+__all__ = [
+    "line_topology",
+    "ring_topology",
+    "fat_tree_topology",
+    "random_geometric",
+    "random_wan",
+]
 
 
 def line_topology(
@@ -30,6 +55,164 @@ def line_topology(
     net.add_link(names[-1], "h2", rate_mbps=1000.0, delay_ms=0.1)
     for a, b in zip(names[:-1], names[1:]):
         net.add_link(a, b, rate_mbps=rate_mbps, delay_ms=delay_ms)
+    return net.build()
+
+
+def ring_topology(
+    n_routers: int = 6,
+    n_host_pairs: int = 1,
+    rate_mbps: float = 100.0,
+    delay_ms: float = 1.0,
+    host_rate_mbps: float = 1000.0,
+) -> Network:
+    """Router cycle ``r0 - r1 - ... - r{n-1} - r0``.
+
+    Every router may terminate tunnels (``edge=True``); host pairs sit on
+    opposite sides of the ring so the two directions around it are
+    genuinely different candidate paths.
+    """
+    if n_routers < 3:
+        raise ValueError("a ring needs at least three routers")
+    if n_host_pairs < 1 or 2 * n_host_pairs > n_routers:
+        raise ValueError("host pairs must fit on distinct routers")
+    net = Network()
+    names = [f"r{i}" for i in range(n_routers)]
+    for name in names:
+        net.add_router(name, edge=True)
+    for i in range(n_routers):
+        net.add_link(names[i], names[(i + 1) % n_routers],
+                     rate_mbps=rate_mbps, delay_ms=delay_ms)
+    half = n_routers // 2
+    for pair in range(n_host_pairs):
+        src_r = names[pair % n_routers]
+        dst_r = names[(pair + half) % n_routers]
+        net.add_host(f"h{pair}a", ip=f"10.{pair}.1.2")
+        net.add_host(f"h{pair}b", ip=f"10.{pair}.2.2")
+        net.add_link(f"h{pair}a", src_r, rate_mbps=host_rate_mbps, delay_ms=0.1)
+        net.add_link(dst_r, f"h{pair}b", rate_mbps=host_rate_mbps, delay_ms=0.1)
+    return net.build()
+
+
+def fat_tree_topology(
+    k: int = 4,
+    n_hosts: int = 4,
+    rate_mbps: float = 50.0,
+    delay_ms: float = 0.5,
+    host_rate_mbps: float = 100.0,
+) -> Network:
+    """k-ary fat tree: ``(k/2)^2`` core, ``k`` pods of ``k/2`` aggregation
+    and ``k/2`` edge switches (the standard datacenter Clos fabric).
+
+    ``n_hosts`` hosts are attached round-robin to the edge switches;
+    consecutive hosts land in different pods, so any (even, odd) host pair
+    crosses the core and sees ``(k/2)^2`` equal-cost paths.
+    """
+    if k < 2 or k % 2:
+        raise ValueError("k must be a positive even number")
+    if n_hosts < 2:
+        raise ValueError("need at least two hosts")
+    half = k // 2
+    edge_names = []
+    net = Network()
+    cores = [f"c{i}" for i in range(half * half)]
+    for name in cores:
+        net.add_router(name)
+    for pod in range(k):
+        aggs = [f"p{pod}a{i}" for i in range(half)]
+        edges = [f"p{pod}e{i}" for i in range(half)]
+        for name in aggs:
+            net.add_router(name)
+        for name in edges:
+            net.add_router(name, edge=True)
+            edge_names.append(name)
+        for a_idx, agg in enumerate(aggs):
+            # aggregation switch i of every pod uplinks to core group i
+            for c_idx in range(half):
+                net.add_link(agg, cores[a_idx * half + c_idx],
+                             rate_mbps=rate_mbps, delay_ms=delay_ms)
+            for edge in edges:
+                net.add_link(agg, edge, rate_mbps=rate_mbps, delay_ms=delay_ms)
+    # hosts round-robin over edge switches, interleaving pods so that
+    # consecutive hosts are in different pods
+    order = sorted(range(len(edge_names)), key=lambda i: (i % half, i // half))
+    for h in range(n_hosts):
+        edge = edge_names[order[h % len(order)]]
+        name = f"h{h}"
+        net.add_host(name, ip=f"10.{h // 250}.{h % 250}.2")
+        net.add_link(name, edge, rate_mbps=host_rate_mbps, delay_ms=0.05)
+    return net.build()
+
+
+def random_geometric(
+    n_routers: int = 10,
+    radius: float = 0.45,
+    seed: int = 0,
+    n_host_pairs: int = 2,
+    rate_mbps: float = 100.0,
+    delay_per_unit_ms: float = 10.0,
+    host_rate_mbps: float = 1000.0,
+) -> Network:
+    """Random geometric WAN: routers at uniform points in the unit square,
+    linked when closer than ``radius``; link delay is proportional to
+    Euclidean distance (``delay_per_unit_ms`` per unit).
+
+    Disconnected components are stitched to their nearest neighbour so
+    the result is always connected.  Deterministic for a given ``seed``.
+    """
+    if n_routers < 2:
+        raise ValueError("need at least two routers")
+    if n_host_pairs < 1 or 2 * n_host_pairs > n_routers:
+        raise ValueError("host pairs must fit on distinct routers")
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0.0, 1.0, size=(n_routers, 2))
+    names = [f"r{i}" for i in range(n_routers)]
+    net = Network()
+    for name in names:
+        net.add_router(name, edge=True)
+
+    def dist(i: int, j: int) -> float:
+        return float(np.hypot(*(points[i] - points[j])))
+
+    def connect(i: int, j: int) -> None:
+        net.add_link(names[i], names[j], rate_mbps=rate_mbps,
+                     delay_ms=max(0.1, dist(i, j) * delay_per_unit_ms))
+
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n_routers))
+    for i in range(n_routers):
+        for j in range(i + 1, n_routers):
+            if dist(i, j) <= radius:
+                connect(i, j)
+                graph.add_edge(i, j)
+    # stitch components: repeatedly join the closest cross-component pair
+    components = [sorted(c) for c in nx.connected_components(graph)]
+    while len(components) > 1:
+        best = None
+        for a in components[0]:
+            for comp in components[1:]:
+                for b in comp:
+                    d = dist(a, b)
+                    if best is None or d < best[0]:
+                        best = (d, a, b)
+        _, a, b = best
+        connect(a, b)
+        graph.add_edge(a, b)
+        components = [sorted(c) for c in nx.connected_components(graph)]
+    # host pairs on the routers farthest from the centroid (peripheral
+    # attachment gives longer, more interesting candidate paths)
+    centroid = points.mean(axis=0)
+    by_spread = sorted(
+        range(n_routers),
+        key=lambda i: (-float(np.hypot(*(points[i] - centroid))), i),
+    )
+    chosen = by_spread[: 2 * n_host_pairs]
+    for pair in range(n_host_pairs):
+        src_r = names[chosen[2 * pair]]
+        dst_r = names[chosen[2 * pair + 1]]
+        net.add_host(f"h{pair}a", ip=f"10.{pair}.1.2")
+        net.add_host(f"h{pair}b", ip=f"10.{pair}.2.2")
+        net.add_link(f"h{pair}a", src_r, rate_mbps=host_rate_mbps, delay_ms=0.1)
+        net.add_link(dst_r, f"h{pair}b", rate_mbps=host_rate_mbps, delay_ms=0.1)
     return net.build()
 
 

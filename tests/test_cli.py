@@ -38,3 +38,51 @@ class TestCli:
         for key, (description, runner) in EXPERIMENTS.items():
             assert description
             assert callable(runner)
+
+
+class TestScenarioCli:
+    def test_scenarios_list(self, capsys):
+        from repro.scenarios import list_scenarios
+
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for scenario in list_scenarios():
+            assert scenario.name in out
+        assert "topology" in out and "traffic" in out
+
+    def test_scenarios_run_fluid(self, capsys):
+        assert main([
+            "scenarios", "run", "ring-uniform",
+            "--backend", "fluid", "--horizon", "8", "--warmup", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ring-uniform" in out and "[fluid]" in out
+        assert "throughput" in out
+
+    def test_scenarios_run_des(self, capsys):
+        assert main([
+            "scenarios", "run", "p4lab-bursty-udp",
+            "--horizon", "5", "--warmup", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[des]" in out and "migrations" in out
+
+    def test_scenarios_run_unknown_name(self, capsys):
+        assert main(["scenarios", "run", "atlantis"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_scenarios_compare(self, capsys):
+        assert main([
+            "scenarios", "compare", "line-baseline",
+            "--horizon", "5", "--warmup", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "des" in out and "fluid" in out
+        assert "Mbps total" in out
+
+    def test_scenarios_seed_override_is_reported(self, capsys):
+        assert main([
+            "scenarios", "run", "ring-uniform",
+            "--backend", "fluid", "--seed", "5",
+        ]) == 0
+        assert "seed=5" in capsys.readouterr().out
