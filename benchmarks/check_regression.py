@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Gate CI on benchmark regressions against a committed baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py bench.json benchmarks/baseline.json
+    python benchmarks/check_regression.py bench.json benchmarks/baseline.json \
+        --update          # rewrite the baseline from this run
+    python benchmarks/check_regression.py ... --threshold 2.0
+
+``bench.json`` is pytest-benchmark output
+(``pytest benchmarks --benchmark-json=bench.json``); the baseline is the
+trimmed per-benchmark mean map this script writes with ``--update``.
+
+A benchmark regresses when ``current_mean > threshold * baseline_mean``.
+The threshold is deliberately loose (default 2x) because CI runners are
+shared and noisy: the gate exists to catch algorithmic blowups — a
+linear path going quadratic — not a few percent of jitter.  Benchmarks
+missing from either side are reported but never fail the gate, so adding
+or renaming a bench doesn't break CI before the baseline is refreshed.
+
+Exit status: 0 when no benchmark regresses, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Dict
+
+
+def load_current(path: Path) -> Dict[str, float]:
+    """fullname -> mean seconds, from pytest-benchmark JSON output."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    return {
+        bench["fullname"]: float(bench["stats"]["mean"])
+        for bench in payload["benchmarks"]
+    }
+
+
+def load_baseline(path: Path) -> Dict[str, float]:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    return {name: float(mean) for name, mean in payload["benchmarks"].items()}
+
+
+def write_baseline(path: Path, means: Dict[str, float]) -> None:
+    payload = {
+        "comment": (
+            "Benchmark baseline for benchmarks/check_regression.py: "
+            "fullname -> mean seconds. Refresh with --update after "
+            "intentional performance changes."
+        ),
+        "benchmarks": {name: means[name] for name in sorted(means)},
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def compare(
+    current: Dict[str, float], baseline: Dict[str, float], threshold: float
+) -> int:
+    regressions = []
+    width = max((len(name) for name in baseline), default=10)
+    for name in sorted(baseline):
+        if name not in current:
+            print(f"MISSING  {name}  (in baseline, not in this run)")
+            continue
+        ratio = current[name] / baseline[name] if baseline[name] else float("inf")
+        verdict = "REGRESSED" if ratio > threshold else "ok"
+        print(
+            f"{verdict:<9} {name:<{width}}  "
+            f"{baseline[name] * 1e3:10.2f}ms -> {current[name] * 1e3:10.2f}ms "
+            f"({ratio:5.2f}x)"
+        )
+        if ratio > threshold:
+            regressions.append((name, ratio))
+    for name in sorted(set(current) - set(baseline)):
+        print(f"NEW      {name}  (not in baseline; --update to track it)")
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed beyond "
+            f"{threshold:.1f}x the committed baseline:"
+        )
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x")
+        return 1
+    print(f"\nno regression beyond {threshold:.1f}x ({len(baseline)} tracked)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path,
+                        help="pytest-benchmark JSON from this run")
+    parser.add_argument("baseline", type=Path,
+                        help="committed baseline JSON")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="fail when current mean exceeds this multiple "
+                        "of the baseline mean (default 2.0)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this run instead "
+                        "of comparing")
+    args = parser.parse_args(argv)
+
+    current = load_current(args.current)
+    if args.update:
+        write_baseline(args.baseline, current)
+        print(f"baseline updated: {len(current)} benchmarks "
+              f"-> {args.baseline}")
+        return 0
+    return compare(current, load_baseline(args.baseline), args.threshold)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,7 +6,6 @@ WiFi path) and the degradation of recursive multi-step forecasts.
 """
 
 import numpy as np
-import pytest
 
 from repro.datasets import generate_uq_wireless
 from repro.hecate import QoSPredictor, evaluate_pipeline

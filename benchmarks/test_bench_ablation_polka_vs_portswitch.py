@@ -6,9 +6,7 @@ header size on the Fig. 9 tunnels and on longer random-WAN paths.
 """
 
 import networkx as nx
-import pytest
 
-from repro.polka import PolkaDomain
 from repro.topologies import random_wan
 
 

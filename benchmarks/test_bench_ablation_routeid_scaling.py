@@ -5,7 +5,6 @@ bench measures actual header bits against that bound as paths lengthen,
 and times compilation.
 """
 
-import numpy as np
 
 from repro.polka import PolkaDomain, gf2
 

@@ -8,7 +8,6 @@ off-scale/excluded, Lasso & ElasticNet trailing the field.
 import numpy as np
 
 from repro.experiments import fig6_regressor_tournament as fig6
-from repro.hecate import PAPER_FIG6_RMSE
 
 
 def test_fig6_tournament(run_once, benchmark):

@@ -14,7 +14,7 @@ from repro.ml import (
     StandardScaler,
     make_lag_matrix,
 )
-from repro.net import Network, Packet, Simulator, UdpFlow
+from repro.net import Network, Simulator, UdpFlow
 from repro.polka import gf2
 
 

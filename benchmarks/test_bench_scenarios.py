@@ -4,12 +4,15 @@ Each bench runs one scenario once at a moderate horizon and asserts the
 qualitative shape its description promises: hotspot congestion caps the
 aggregate, link flaps drop packets then heal, the fat-tree core absorbs
 incast, and the fluid model agrees with the packet level where the
-workload is steady.
+workload is steady.  Multi-run benches go through
+:class:`repro.sweep.SweepEngine` — the layer real sweeps use — so these
+numbers track the cost users actually pay, cache reads included.
 """
 
 import pytest
 
 from repro.scenarios import ScenarioRunner, get_scenario
+from repro.sweep import ResultCache, SweepEngine, SweepSpec
 
 
 def test_p4lab_hotspot_spread(run_once, benchmark):
@@ -51,17 +54,17 @@ def test_line_link_flap_heals(run_once, benchmark):
 
 def test_fluid_tracks_des_on_steady_load(run_once, benchmark):
     """Backend cross-check: steady single-direction TCP on the paper
-    topology — the packet level should approach the fluid steady state."""
-    scenario = get_scenario("fig12-flow-aggregation").with_overrides(
-        horizon=30.0, warmup=35.0
+    topology — the packet level should approach the fluid steady state.
+    Both runs go through one uncached engine sweep."""
+    spec = SweepSpec(
+        scenarios=("fig12-flow-aggregation",),
+        backends=("des", "fluid"),
+        overrides={"horizon": 30.0, "warmup": 35.0},
     )
+    engine = SweepEngine(spec, jobs=1)
 
-    def both():
-        des = ScenarioRunner(scenario, backend="des").run()
-        fluid = ScenarioRunner(scenario, backend="fluid").run()
-        return des, fluid
-
-    des, fluid = run_once(benchmark, both)
+    outcome = run_once(benchmark, engine.run)
+    des, fluid = outcome.results
     print("\n" + des.summary() + "\n" + fluid.summary())
     assert fluid.total_throughput_mbps == pytest.approx(35.0, abs=1.0)
     assert des.total_throughput_mbps == pytest.approx(
@@ -70,18 +73,39 @@ def test_fluid_tracks_des_on_steady_load(run_once, benchmark):
 
 
 def test_fluid_sweep_all_builtins(run_once, benchmark):
-    """The whole registry through the fluid backend in one go — the
-    cross-scenario comparison table the subsystem exists to produce."""
+    """The whole registry through the fluid backend in one engine pass —
+    the cross-scenario comparison table the subsystem exists to produce."""
     from repro.scenarios import list_scenarios
 
-    def sweep():
-        return [
-            ScenarioRunner(s, backend="fluid").run() for s in list_scenarios()
-        ]
+    spec = SweepSpec(
+        scenarios=tuple(s.name for s in list_scenarios()),
+        backends=("fluid",),
+    )
+    engine = SweepEngine(spec, jobs=1)
 
-    results = run_once(benchmark, sweep)
-    for result in results:
+    outcome = run_once(benchmark, engine.run)
+    for result in outcome.results:
         print(f"{result.scenario:26s} {result.total_throughput_mbps:9.2f} Mbps "
               f"drops={result.drops} migrations={result.migrations}")
-    assert len(results) >= 10
-    assert all(r.placed == r.offered for r in results)
+    assert len(outcome.results) >= 10
+    assert all(r.placed == r.offered for r in outcome.results)
+
+
+def test_sweep_served_from_cache(run_once, benchmark, tmp_path):
+    """The cache read path: a fully-warmed sweep must be served entirely
+    from disk artifacts — this is the cost every repeated sweep pays."""
+    from repro.scenarios import list_scenarios
+
+    spec = SweepSpec(
+        scenarios=tuple(s.name for s in list_scenarios()),
+        seeds=(0, 1),
+        backends=("fluid",),
+        overrides={"horizon": 8.0, "warmup": 2.0},
+    )
+    SweepEngine(spec, jobs=1, cache=ResultCache(tmp_path)).run()  # warm
+
+    outcome = run_once(
+        benchmark, SweepEngine(spec, jobs=1, cache=ResultCache(tmp_path)).run
+    )
+    assert outcome.executed == 0
+    assert outcome.cache_hits == len(outcome.runs) == len(spec.expand())

@@ -1,26 +1,39 @@
 #!/usr/bin/env python3
-"""Sweep the built-in scenario suite and compare backends.
+"""Sweep the built-in scenario suite through the sweep engine.
 
 Runs every registered scenario through the closed-form fluid backend
-(instant), then replays one interesting scenario — a ring whose busiest
-arc flaps mid-run — at packet level to watch the self-driving loop steer
-flows around the outage.
+over three seeds — fanned out over worker processes and cached on disk,
+so a second invocation is served almost entirely from the cache — prints
+the per-scenario seed statistics, then replays one interesting scenario
+(a ring whose busiest arc flaps mid-run) at packet level to watch the
+self-driving loop steer flows around the outage.
 
 Run:  python examples/scenario_sweep.py
 """
 
 from repro.scenarios import ScenarioRunner, get_scenario, list_scenarios
+from repro.sweep import (
+    ResultCache,
+    SweepEngine,
+    SweepSpec,
+    aggregate,
+    render_table,
+)
 
 
 def main() -> None:
-    print("fluid sweep over the whole suite")
-    print(f"{'scenario':26s} {'Mbps':>9s} {'worst':>8s} {'lat ms':>8s} "
-          f"{'outages':>8s} {'migr':>5s}")
-    for scenario in list_scenarios():
-        result = ScenarioRunner(scenario, backend="fluid").run()
-        print(f"{result.scenario:26s} {result.total_throughput_mbps:9.2f} "
-              f"{result.min_flow_mbps:8.2f} {result.mean_latency_ms:8.2f} "
-              f"{result.drops:8d} {result.migrations:5d}")
+    print("fluid sweep over the whole suite, 3 seeds, 4 workers")
+    spec = SweepSpec(
+        scenarios=tuple(s.name for s in list_scenarios()),
+        seeds=(0, 1, 2),
+        backends=("fluid",),
+        overrides={"horizon": 10.0, "warmup": 2.0},
+    )
+    engine = SweepEngine(spec, jobs=4, cache=ResultCache())
+    outcome = engine.run()
+    print(render_table(aggregate(outcome.runs, outcome.results)))
+    print(outcome.stats_line())
+    print("(re-run this script: the sweep is then served from .sweep-cache)")
 
     print("\npacket-level replay: ring-link-flap (DES backend)")
     scenario = get_scenario("ring-link-flap").with_overrides(horizon=25.0)

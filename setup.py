@@ -4,7 +4,9 @@ Kept as a plain setup.py (no pyproject build isolation): the offline
 environment ships setuptools 65 without the ``wheel`` package, so PEP
 660 editable installs cannot build an editable wheel — but both
 ``pip install -e .`` (legacy fallback) and ``python setup.py develop``
-work with this file alone.
+work with this file alone.  The repo's ``pyproject.toml`` holds tool
+configuration only (ruff) and deliberately has no ``[build-system]``
+table, so packaging stays here.
 """
 
 from pathlib import Path

@@ -11,8 +11,8 @@ subscribe with synchronous delivery and a full audit log.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
 
 __all__ = ["Message", "MessageBus"]
 

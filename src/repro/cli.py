@@ -13,6 +13,13 @@ Scenario suite (see :mod:`repro.scenarios`)::
                                        [--seed N] [--horizon S] [--warmup S]
     repro scenarios compare line-baseline ring-uniform   # or --all
 
+Sweeps (see :mod:`repro.sweep`) — parameter grids over the registry,
+fanned out over worker processes and served from an on-disk cache::
+
+    repro scenarios sweep ring-uniform line-baseline \
+        --seeds 0-4 --backend fluid --jobs 4 --stats --json sweep.json
+    repro scenarios compare --all --from-cache
+
 ``repro`` is installed as a console script by setup.py; ``python -m
 repro`` is equivalent.
 """
@@ -136,6 +143,13 @@ class _UserError(Exception):
     """A bad name or override from the command line (not an internal bug)."""
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _resolve(name: str, args: argparse.Namespace):
     """Scenario lookup + overrides, with user mistakes wrapped so the
     CLI can report them cleanly while internal errors still traceback."""
@@ -154,20 +168,183 @@ def _scenarios_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_policy(text: str):
+    """``"k=v,k=v"`` -> a PolicySpec-override mapping with typed values."""
+    patch = {}
+    for item in text.split(","):
+        key, eq, raw = item.strip().partition("=")
+        if not eq or not key:
+            raise _UserError(
+                f"bad policy override {item!r}; use e.g. "
+                "'reoptimize_every=5.0' or 'objective=min_latency'"
+            )
+        value: object = raw
+        if raw.lower() == "none":
+            value = None
+        else:
+            for cast in (int, float):
+                try:
+                    value = cast(raw)
+                    break
+                except ValueError:
+                    pass
+        patch[key] = value
+    return patch
+
+
+def _sweep_names(args: argparse.Namespace):
+    from repro.scenarios import get_scenario, list_scenarios
+
+    names = list(args.names or [])
+    if args.all or not names:
+        return [s.name for s in list_scenarios()]
+    for name in names:  # fail fast on typos, before any run executes
+        try:
+            get_scenario(name)
+        except KeyError as exc:
+            raise _UserError(exc.args[0]) from exc
+    return names
+
+
+def _result_cache(args: argparse.Namespace):
+    from repro.sweep import ResultCache
+
+    return ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+
+
+def _sweep_overrides(args: argparse.Namespace):
+    overrides = {}
+    if args.horizon is not None:
+        overrides["horizon"] = args.horizon
+    if args.warmup is not None:
+        overrides["warmup"] = args.warmup
+    return overrides
+
+
+def _scenarios_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import (
+        ResultCache,
+        SweepEngine,
+        SweepSpec,
+        aggregate,
+        pairwise_table,
+        parse_seeds,
+        render_csv,
+        render_json,
+        render_table,
+    )
+
+    try:
+        seeds = parse_seeds(args.seeds)
+        spec = SweepSpec(
+            scenarios=tuple(_sweep_names(args)),
+            seeds=seeds,
+            backends=tuple(args.backend or ()),
+            overrides=_sweep_overrides(args),
+            policies=tuple(_parse_policy(p) for p in args.policy or ()),
+        )
+        spec.expand()  # surface bad overrides (e.g. --horizon -5) now,
+        # as a clean user error rather than a traceback mid-sweep
+    except (ValueError, TypeError) as exc:
+        raise _UserError(exc.args[0]) from exc
+    cache = None if args.no_cache else _result_cache(args)
+    engine = SweepEngine(
+        spec, jobs=args.jobs, cache=cache, refresh=args.refresh
+    )
+    outcome = engine.run()
+    aggregates = aggregate(outcome.runs, outcome.results)
+    print(render_table(aggregates))
+    variants = {(a.backend, a.variant) for a in aggregates}
+    if len(variants) > 1:
+        print()
+        print(pairwise_table(aggregates))
+    for path, render in ((args.json, render_json), (args.csv, render_csv)):
+        if not path:
+            continue
+        text = (
+            render(outcome.runs, outcome.results, aggregates)
+            if render is render_json
+            else render(aggregates)
+        )
+        if path == "-":
+            print(text, end="")
+        else:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+    if args.stats:
+        line = outcome.stats_line()
+        if cache is not None:
+            line += f", cache at {cache.root} ({cache.stats.summary()})"
+        print(line)
+    return 0
+
+
+def _compare_results(args: argparse.Namespace, names):
+    """One result per (scenario, backend) through the sweep engine —
+    cached/parallel when asked, each scenario keeping its own seed
+    unless ``--seed`` overrides all of them."""
+    from repro.sweep import RunSpec, SweepEngine, SweepSpec
+
+    cache = _result_cache(args) if args.from_cache else None
+    if args.from_cache:
+        missing, rows = [], []
+        for name in names:
+            scenario = _resolve(name, args)
+            seed = args.seed if args.seed is not None else scenario.seed
+            for backend in ("des", "fluid"):
+                run = RunSpec(scenario, backend, seed)
+                result = cache.get(run)
+                if result is None:
+                    missing.append(run.label())
+                else:
+                    rows.append(result)
+        if not rows:
+            raise _UserError(
+                "--from-cache found no artifact for: "
+                + ", ".join(missing)
+                + f" (cache dir {cache.root}; run 'repro scenarios sweep' "
+                "with matching --backend/--seed/--horizon/--warmup first)"
+            )
+        if missing:
+            # a fluid-only (or des-only) sweep is a legitimate source:
+            # tabulate what exists, but say what is absent
+            print(
+                f"note: {len(missing)} cell(s) not cached, omitted: "
+                + ", ".join(missing),
+                file=sys.stderr,
+            )
+        return rows
+    # group by effective seed so each scenario keeps its registry default
+    by_seed = {}
+    for name in names:
+        scenario = _resolve(name, args)
+        seed = args.seed if args.seed is not None else scenario.seed
+        by_seed.setdefault(seed, []).append(name)
+    results = {}
+    for seed, group in by_seed.items():
+        spec = SweepSpec(
+            scenarios=tuple(group),
+            seeds=(seed,),
+            backends=("des", "fluid"),
+            overrides=_sweep_overrides(args),
+        )
+        outcome = SweepEngine(spec, jobs=args.jobs).run()
+        for run, result in zip(outcome.runs, outcome.results):
+            results[(run.name, run.backend)] = result
+    return [
+        results[(name, backend)]
+        for name in names
+        for backend in ("des", "fluid")
+    ]
+
+
 def _scenarios_compare(args: argparse.Namespace) -> int:
-    from repro.scenarios import ScenarioRunner, list_scenarios
+    from repro.scenarios import list_scenarios
 
     names = args.names or []
     if args.all or not names:
         names = [s.name for s in list_scenarios()]
-    rows = []
-    for name in names:
-        scenario = _resolve(name, args)
-        for backend in ("des", "fluid"):
-            result = ScenarioRunner(
-                scenario, backend=backend, seed=args.seed
-            ).run()
-            rows.append(result)
+    rows = _compare_results(args, names)
     width = max(len(r.scenario) for r in rows)
     print(
         f"{'scenario':<{width}}  {'backend':<8}{'Mbps total':>11}"
@@ -213,7 +390,54 @@ def _scenarios_main(argv) -> int:
     compare.add_argument("names", nargs="*", help="scenario names")
     compare.add_argument("--all", action="store_true",
                          help="compare every registered scenario")
+    compare.add_argument("--jobs", type=_positive_int, default=1,
+                         help="worker processes (default 1: in-process)")
+    compare.add_argument("--from-cache", action="store_true",
+                         help="serve results from the sweep cache instead "
+                         "of running; errors on missing artifacts")
+    compare.add_argument("--cache-dir", default=None,
+                         help="sweep cache directory "
+                         "(default .sweep-cache)")
     common(compare)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a (scenario x seed x backend x policy) grid in "
+        "parallel, with result caching and seed aggregation",
+    )
+    sweep.add_argument("names", nargs="*", help="scenario names")
+    sweep.add_argument("--all", action="store_true",
+                       help="sweep every registered scenario")
+    sweep.add_argument("--seeds", default="0",
+                       help="seed list, e.g. '0,1,2' or '0-4' "
+                       "(default '0')")
+    sweep.add_argument("--backend", action="append",
+                       choices=("des", "fluid"),
+                       help="backend axis (repeatable; default: each "
+                       "scenario's own backend)")
+    sweep.add_argument("--policy", action="append", metavar="K=V[,K=V]",
+                       help="policy-override variant, e.g. "
+                       "'reoptimize_every=5.0' (repeatable: each adds "
+                       "one grid axis value)")
+    sweep.add_argument("--jobs", type=_positive_int, default=1,
+                       help="worker processes (default 1: in-process)")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="result cache directory "
+                       "(default .sweep-cache)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="neither read nor write the result cache")
+    sweep.add_argument("--refresh", action="store_true",
+                       help="re-execute every cell but still write the "
+                       "cache back")
+    sweep.add_argument("--stats", action="store_true",
+                       help="print cache/executor statistics")
+    sweep.add_argument("--json", metavar="PATH",
+                       help="write runs + aggregates as JSON "
+                       "('-' for stdout)")
+    sweep.add_argument("--csv", metavar="PATH",
+                       help="write the aggregate table as CSV "
+                       "('-' for stdout)")
+    common(sweep)
 
     args = parser.parse_args(argv)
     try:
@@ -221,6 +445,8 @@ def _scenarios_main(argv) -> int:
             return _scenarios_list()
         if args.command == "run":
             return _scenarios_run(args)
+        if args.command == "sweep":
+            return _scenarios_sweep(args)
         return _scenarios_compare(args)
     except _UserError as exc:
         # unknown scenario names and invalid spec overrides (e.g. a

@@ -28,8 +28,6 @@ from __future__ import annotations
 
 import csv
 from dataclasses import dataclass
-from pathlib import Path
-from typing import Tuple
 
 import numpy as np
 

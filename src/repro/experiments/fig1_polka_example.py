@@ -9,7 +9,7 @@ label 2 — the paper's "for instance" check.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict
 
 from repro.polka import PolkaDomain, gf2
 from repro.topologies import fig1_line
@@ -48,7 +48,7 @@ def run() -> Fig1Result:
 def summary(result: Fig1Result) -> str:
     lines = [
         "Fig. 1 — PolKA polynomial source routing example",
-        f"  node IDs : " + ", ".join(f"{k}={v}" for k, v in result.node_ids.items()),
+        "  node IDs : " + ", ".join(f"{k}={v}" for k, v in result.node_ids.items()),
         f"  routeID  : 0b{result.route_id:b}  ({result.header_bits} header bits; paper: 10000)",
     ]
     for node, port in result.hop_ports.items():

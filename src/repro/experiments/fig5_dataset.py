@@ -10,7 +10,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-import numpy as np
 
 from repro.datasets import WirelessDataset, generate_uq_wireless
 from repro.datasets.uq_wireless import INDOOR_END_S, TRANSITION_END_S

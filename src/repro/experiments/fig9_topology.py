@@ -9,7 +9,7 @@ proves the testbed substrate matches the paper's description.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.bus import MessageBus
 from repro.freertr.service import RECONFIG_TOPIC, RouterConfigService

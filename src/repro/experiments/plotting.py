@@ -7,7 +7,7 @@ raw arrays so downstream users can plot with their own tooling.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

@@ -46,7 +46,7 @@ from repro.net.topology import Network
 
 from .controller import Controller, FlowRecord
 from .dashboard import Dashboard
-from .scheduler import FlowRequest, Scheduler
+from .scheduler import Scheduler
 from .telemetry_service import TelemetryService
 
 __all__ = ["SelfDrivingNetwork"]

@@ -27,8 +27,7 @@ reach the Controller; accepted ones are retained in order in
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.bus import Message, MessageBus

@@ -34,7 +34,7 @@ service-over-message-queue layering.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.bus import Message, MessageBus
 from repro.net.telemetry import LinkTelemetryCollector, PathTelemetryProbe, TimeSeriesDB

@@ -22,7 +22,7 @@ here); the trailing ``pbr`` statement binds the access-list to the tunnel.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.net.topology import Network
 

@@ -20,7 +20,7 @@ Each handled message returns an ``{"ok": bool, ...}`` dict through
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.bus import Message, MessageBus
 from repro.net.topology import Network

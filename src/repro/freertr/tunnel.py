@@ -9,8 +9,8 @@ to migrate traffic (the property Figs. 11-12 demonstrate).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.net.packets import Packet
 from repro.net.topology import Network

@@ -17,9 +17,7 @@ Demand ``h`` from source to destination splits over the direct path
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
-import numpy as np
 from scipy import optimize
 
 __all__ = [

@@ -9,7 +9,7 @@ the flow onto the path with the most predicted available bandwidth.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Optional
 
 import numpy as np
 

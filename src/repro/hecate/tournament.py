@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.datasets import WirelessDataset
-from repro.ml.registry import REGRESSOR_SPECS, RegressorSpec, roster
+from repro.ml.registry import REGRESSOR_SPECS, roster
 
 from .predictor import evaluate_pipeline
 

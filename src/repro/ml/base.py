@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import copy
 import inspect
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Tuple
 
 import numpy as np
 

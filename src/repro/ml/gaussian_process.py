@@ -13,11 +13,11 @@ that failure mode faithfully rather than fixing it.
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 from scipy import optimize
-from scipy.linalg import cho_factor, cho_solve, cholesky, solve_triangular
+from scipy.linalg import cho_solve, cholesky, solve_triangular
 
 from .base import (
     BaseEstimator,

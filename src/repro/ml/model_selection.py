@@ -11,7 +11,7 @@ Reproduces the paper's evaluation protocol (Sec. V.B):
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Tuple
 
 import numpy as np
 

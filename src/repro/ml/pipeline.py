@@ -12,7 +12,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from .base import BaseEstimator, RegressorMixin, check_is_fitted, clone
+from .base import BaseEstimator, RegressorMixin, clone
 
 __all__ = ["Pipeline", "make_pipeline"]
 

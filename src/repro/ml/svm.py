@@ -16,7 +16,6 @@ Defaults follow sklearn: ``C=1.0, epsilon=0.1, gamma="scale"``.
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 import numpy as np

@@ -15,7 +15,7 @@ access-lists + PBR and returns the PolKA tunnel to encapsulate into.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.polka.routing import PolkaNode

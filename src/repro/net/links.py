@@ -11,8 +11,8 @@ Per-direction byte/packet/drop counters feed :mod:`repro.net.telemetry`.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Optional, TYPE_CHECKING
+from dataclasses import dataclass
+from typing import Callable, Deque, TYPE_CHECKING
 
 from .packets import Packet
 from .sim import Simulator

@@ -15,7 +15,7 @@ into its virtual testbed.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 import networkx as nx
 

@@ -10,7 +10,7 @@ these failed elements" in O(#alternatives).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import islice
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 

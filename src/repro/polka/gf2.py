@@ -24,7 +24,7 @@ benchmarks (millions of ops), so the hot ones avoid any object churn.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Tuple
 
 __all__ = [
     "deg",

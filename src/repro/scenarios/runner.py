@@ -46,7 +46,7 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass
 from itertools import islice
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
@@ -96,6 +96,60 @@ class ScenarioResult:
     migrations: int
     reconfigurations: int
     failure_events: int
+
+    #: numeric field -> coercion applied on both to_dict and from_dict, so
+    #: results survive a JSON round-trip (and numpy scalars never leak
+    #: into artifacts or across process boundaries).
+    _FIELD_TYPES = {
+        "scenario": str,
+        "backend": str,
+        "seed": int,
+        "horizon_s": float,
+        "warmup_s": float,
+        "tunnels": int,
+        "offered": int,
+        "placed": int,
+        "rejected": int,
+        "total_throughput_mbps": float,
+        "min_flow_mbps": float,
+        "mean_latency_ms": float,
+        "max_latency_ms": float,
+        "drops": int,
+        "migrations": int,
+        "reconfigurations": int,
+        "failure_events": int,
+    }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict of plain builtins (inverse of :meth:`from_dict`).
+
+        Workers use this to ship results across process boundaries and
+        the sweep cache stores it verbatim, so every value is coerced to
+        a builtin ``str``/``int``/``float`` here rather than trusting
+        whatever numpy scalar a backend produced."""
+        payload: Dict[str, Any] = {
+            name: coerce(getattr(self, name))
+            for name, coerce in self._FIELD_TYPES.items()
+        }
+        payload["per_flow_mbps"] = {
+            str(name): float(rate) for name, rate in self.per_flow_mbps.items()
+        }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioResult":
+        """Rebuild a result from :meth:`to_dict` output (or its JSON
+        round-trip); raises ``KeyError`` on missing fields and ignores
+        unknown ones, so cache artifacts from newer minor versions load."""
+        kwargs: Dict[str, Any] = {
+            name: coerce(payload[name])
+            for name, coerce in cls._FIELD_TYPES.items()
+        }
+        kwargs["per_flow_mbps"] = {
+            str(name): float(rate)
+            for name, rate in payload["per_flow_mbps"].items()
+        }
+        return cls(**kwargs)
 
     def summary(self) -> str:
         lines = [
@@ -235,7 +289,7 @@ class ScenarioRunner:
             self.tunnels = derive_tunnels(
                 self.network, self.requests, scenario.policy.k_paths
             )
-        if not self.tunnels:
+        if not self.tunnels and self.requests:
             raise ValueError(
                 f"scenario {scenario.name!r} derives no tunnels; "
                 "check its topology and traffic"

@@ -1,0 +1,63 @@
+"""Parallel scenario-sweep engine with on-disk result caching.
+
+The layer above :class:`~repro.scenarios.runner.ScenarioRunner`: where
+the runner executes *one* resolved scenario, this package executes
+*grids* of them — every (scenario, seed, backend, policy-variant) cell —
+fanned out over worker processes, served from a content-addressed JSON
+cache when the same cell ran before, and reduced to seed statistics and
+pairwise comparison tables:
+
+>>> from repro.sweep import SweepEngine, SweepSpec, aggregate
+>>> spec = SweepSpec(scenarios=("ring-uniform", "line-baseline"),
+...                  seeds=(0, 1), backends=("fluid",),
+...                  overrides={"horizon": 8.0, "warmup": 2.0})
+>>> outcome = SweepEngine(spec, jobs=2).run()
+>>> len(outcome.results)
+4
+
+From the shell: ``repro scenarios sweep`` / ``repro scenarios compare
+--from-cache``.  Training and evaluation pipelines should sit on this
+engine rather than looping over the runner themselves.
+"""
+
+from .aggregate import (
+    METRICS,
+    Aggregate,
+    aggregate,
+    pairwise_table,
+    render_csv,
+    render_json,
+    render_table,
+)
+from .cache import (
+    CACHE_VERSION,
+    DEFAULT_CACHE_DIR,
+    CacheStats,
+    ResultCache,
+    run_key,
+    scenario_fingerprint,
+)
+from .engine import SweepEngine, SweepOutcome, execute_run
+from .spec import RunSpec, SweepSpec, parse_seeds
+
+__all__ = [
+    "SweepSpec",
+    "RunSpec",
+    "parse_seeds",
+    "SweepEngine",
+    "SweepOutcome",
+    "execute_run",
+    "ResultCache",
+    "CacheStats",
+    "CACHE_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "run_key",
+    "scenario_fingerprint",
+    "Aggregate",
+    "aggregate",
+    "METRICS",
+    "pairwise_table",
+    "render_table",
+    "render_json",
+    "render_csv",
+]

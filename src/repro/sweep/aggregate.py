@@ -1,0 +1,236 @@
+"""Aggregation of sweep results: seed statistics and comparison tables.
+
+One :class:`Aggregate` summarises every seed of one grid variant —
+``(scenario, backend, policy-variant)`` — with mean/p50/p95/min/max per
+metric.  Renderers turn a list of aggregates into the sweep's artifacts:
+a human table, a machine JSON payload (sorted keys, no timing or host
+state, so byte-identical across ``--jobs`` settings), CSV, and the
+pairwise variant-comparison table.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.scenarios import ScenarioResult
+
+from .spec import RunSpec
+
+__all__ = [
+    "METRICS",
+    "Aggregate",
+    "aggregate",
+    "pairwise_table",
+    "render_csv",
+    "render_json",
+    "render_table",
+]
+
+#: ScenarioResult metrics summarised across seeds, in artifact order.
+METRICS: Tuple[str, ...] = (
+    "total_throughput_mbps",
+    "min_flow_mbps",
+    "mean_latency_ms",
+    "max_latency_ms",
+    "drops",
+    "migrations",
+    "reconfigurations",
+    "placed",
+    "rejected",
+)
+
+#: Per-metric statistics, in artifact order.
+STATS: Tuple[str, ...] = ("mean", "p50", "p95", "min", "max")
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Seed statistics for one ``(scenario, backend, variant)`` group."""
+
+    scenario: str
+    backend: str
+    variant: str
+    seeds: Tuple[int, ...]
+    metrics: Dict[str, Dict[str, float]]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "backend": self.backend,
+            "variant": self.variant,
+            "seeds": list(self.seeds),
+            "metrics": {
+                name: dict(stats) for name, stats in self.metrics.items()
+            },
+        }
+
+
+def _stats(values: Sequence[float]) -> Dict[str, float]:
+    data = np.asarray(values, dtype=float)
+    return {
+        "mean": float(data.mean()),
+        "p50": float(np.percentile(data, 50)),
+        "p95": float(np.percentile(data, 95)),
+        "min": float(data.min()),
+        "max": float(data.max()),
+    }
+
+
+def aggregate(
+    runs: Sequence[RunSpec], results: Sequence[ScenarioResult]
+) -> List[Aggregate]:
+    """Group run results by (scenario, backend, variant) across seeds.
+
+    Groups are emitted in sorted key order so the output is independent
+    of grid-expansion order."""
+    groups: Dict[Tuple[str, str, str], List[Tuple[RunSpec, ScenarioResult]]]
+    groups = {}
+    for run, result in zip(runs, results):
+        key = (run.name, run.backend, run.variant)
+        groups.setdefault(key, []).append((run, result))
+    aggregates = []
+    for group_key in sorted(groups):
+        scenario, backend, variant = group_key
+        cells = sorted(groups[group_key], key=lambda cell: cell[0].seed)
+        metrics = {
+            metric: _stats(
+                [float(getattr(result, metric)) for _, result in cells]
+            )
+            for metric in METRICS
+        }
+        aggregates.append(
+            Aggregate(
+                scenario=scenario,
+                backend=backend,
+                variant=variant,
+                seeds=tuple(run.seed for run, _ in cells),
+                metrics=metrics,
+            )
+        )
+    return aggregates
+
+
+def render_table(aggregates: Sequence[Aggregate]) -> str:
+    """The human-facing sweep summary (mean over seeds, p95 throughput)."""
+    width = max([len(a.scenario) for a in aggregates] + [8])
+    vwidth = max([len(a.variant) for a in aggregates] + [0])
+    header = (
+        f"{'scenario':<{width}}  {'backend':<8}"
+        + (f"{'variant':<{vwidth + 2}}" if vwidth else "")
+        + f"{'seeds':>6}{'Mbps mean':>11}{'Mbps p95':>10}"
+        f"{'lat ms':>9}{'drops':>8}{'migr':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for agg in aggregates:
+        mbps = agg.metrics["total_throughput_mbps"]
+        lines.append(
+            f"{agg.scenario:<{width}}  {agg.backend:<8}"
+            + (f"{agg.variant:<{vwidth + 2}}" if vwidth else "")
+            + f"{len(agg.seeds):>6}{mbps['mean']:>11.2f}{mbps['p95']:>10.2f}"
+            f"{agg.metrics['mean_latency_ms']['mean']:>9.2f}"
+            f"{agg.metrics['drops']['mean']:>8.1f}"
+            f"{agg.metrics['migrations']['mean']:>7.1f}"
+        )
+    return "\n".join(lines)
+
+
+def render_json(
+    runs: Sequence[RunSpec],
+    results: Sequence[ScenarioResult],
+    aggregates: Sequence[Aggregate],
+) -> str:
+    """The machine artifact: per-run results plus aggregates.
+
+    Deliberately excludes wall-clock timing, job counts and cache stats
+    so the same grid always serialises to the same bytes."""
+    payload = {
+        "runs": [
+            {
+                "scenario": run.name,
+                "backend": run.backend,
+                "seed": run.seed,
+                "variant": run.variant,
+                "result": result.to_dict(),
+            }
+            for run, result in zip(runs, results)
+        ],
+        "aggregates": [agg.to_dict() for agg in aggregates],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def render_csv(aggregates: Sequence[Aggregate]) -> str:
+    """Flat CSV of the aggregates: one row per group, one column per
+    (metric, statistic) pair."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(
+        ["scenario", "backend", "variant", "n_seeds"]
+        + [f"{metric}_{stat}" for metric in METRICS for stat in STATS]
+    )
+    for agg in aggregates:
+        writer.writerow(
+            [agg.scenario, agg.backend, agg.variant, len(agg.seeds)]
+            + [
+                repr(agg.metrics[metric][stat])
+                for metric in METRICS
+                for stat in STATS
+            ]
+        )
+    return buffer.getvalue()
+
+
+def pairwise_table(
+    aggregates: Sequence[Aggregate],
+    metric: str = "total_throughput_mbps",
+) -> str:
+    """Pairwise variant comparison per scenario.
+
+    Every (backend, variant) pair that ran the same scenario is compared
+    on the metric's seed mean — the table the sweep exists to produce:
+    which policy/backend wins where, and by how much."""
+    by_scenario: Dict[str, List[Aggregate]] = {}
+    for agg in aggregates:
+        by_scenario.setdefault(agg.scenario, []).append(agg)
+    rows = []
+    for scenario in sorted(by_scenario):
+        group = by_scenario[scenario]
+        for a, b in combinations(group, 2):
+            mean_a = a.metrics[metric]["mean"]
+            mean_b = b.metrics[metric]["mean"]
+            rows.append(
+                (
+                    scenario,
+                    _variant_id(a),
+                    _variant_id(b),
+                    mean_a,
+                    mean_b,
+                    mean_b - mean_a,
+                )
+            )
+    if not rows:
+        return f"pairwise {metric}: single variant, nothing to compare"
+    width = max(len(r[0]) for r in rows)
+    awidth = max([len(r[1]) for r in rows] + [len(r[2]) for r in rows] + [1])
+    header = (
+        f"{'scenario':<{width}}  {'A':<{awidth}}  {'B':<{awidth}}"
+        f"{'A mean':>11}{'B mean':>11}{'B - A':>11}   ({metric})"
+    )
+    lines = [header, "-" * len(header)]
+    for scenario, va, vb, mean_a, mean_b, delta in rows:
+        lines.append(
+            f"{scenario:<{width}}  {va:<{awidth}}  {vb:<{awidth}}"
+            f"{mean_a:>11.2f}{mean_b:>11.2f}{delta:>+11.2f}"
+        )
+    return "\n".join(lines)
+
+
+def _variant_id(agg: Aggregate) -> str:
+    return f"{agg.backend}:{agg.variant}" if agg.variant else agg.backend

@@ -1,0 +1,174 @@
+"""On-disk result cache: one JSON artifact per resolved sweep cell.
+
+Artifacts are keyed by a stable content hash of everything that
+determines a run's outcome: the fully-resolved :class:`Scenario` spec
+(canonicalised so mapping order, tuple-vs-list and numpy scalars never
+change the key), the backend, the seed, and :data:`CACHE_VERSION` — a
+knob bumped whenever runner semantics change enough that old artifacts
+must not be served.  Two sweeps that resolve to the same cell therefore
+share one artifact, regardless of how their grids were written.
+
+Artifacts are plain JSON (a header echoing what was run plus the
+``ScenarioResult.to_dict()`` payload), written atomically so a killed
+sweep never leaves a half-written file that poisons later runs; corrupt
+or unreadable artifacts are treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import numbers
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Optional, Union
+
+from repro.scenarios import Scenario, ScenarioResult
+
+from .spec import RunSpec
+
+__all__ = [
+    "CACHE_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "CacheStats",
+    "ResultCache",
+    "run_key",
+    "scenario_fingerprint",
+]
+
+#: Bump when ScenarioRunner semantics change: stale artifacts from the
+#: previous behaviour then miss instead of silently serving old numbers.
+CACHE_VERSION = 1
+
+#: Where sweeps cache by default (relative to the working directory).
+DEFAULT_CACHE_DIR = Path(".sweep-cache")
+
+
+def _canonical(obj: Any) -> Any:
+    """JSON-dumpable canonical form with a stable serialisation.
+
+    Dataclasses become tagged field dicts, mappings become sorted
+    ``[key, value]`` pair lists (tuple keys — e.g. the link-delay
+    overrides — are canonicalised too, which plain ``json.dumps`` cannot
+    do), sequences become lists, and numpy scalars collapse to builtin
+    numbers.  Equal specs therefore always hash equal.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__dataclass__": type(obj).__name__,
+            "fields": {
+                f.name: _canonical(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    if isinstance(obj, Mapping):
+        pairs = [[_canonical(k), _canonical(v)] for k, v in obj.items()]
+        pairs.sort(key=lambda pair: json.dumps(pair[0], sort_keys=True))
+        return {"__mapping__": pairs}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(item) for item in obj]
+    if isinstance(obj, (str, bool)) or obj is None:
+        return obj
+    if isinstance(obj, numbers.Integral):
+        return int(obj)
+    if isinstance(obj, numbers.Real):
+        return float(obj)
+    raise TypeError(
+        f"cannot canonicalise {type(obj).__name__!r} for cache keying"
+    )
+
+
+def scenario_fingerprint(scenario: Scenario) -> str:
+    """Content hash of a fully-resolved scenario spec."""
+    blob = json.dumps(
+        _canonical(scenario), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def run_key(run: RunSpec) -> str:
+    """Stable cache key of one sweep cell (hex sha256)."""
+    blob = json.dumps(
+        {
+            "version": CACHE_VERSION,
+            "scenario": _canonical(run.scenario),
+            "backend": run.backend,
+            "seed": int(run.seed),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Read/write counters for one cache lifetime (one sweep, usually)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 when none made)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.hits}/{self.lookups} lookups hit "
+            f"({100.0 * self.hit_rate():.1f}%), {self.stores} stored"
+        )
+
+
+class ResultCache:
+    """Directory of ``<run_key>.json`` artifacts with hit/miss stats."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def path(self, run: RunSpec) -> Path:
+        return self.root / f"{run_key(run)}.json"
+
+    def get(self, run: RunSpec) -> Optional[ScenarioResult]:
+        """The cached result for this cell, or ``None`` on a miss.
+
+        Unreadable and corrupt artifacts count as misses (the sweep will
+        re-execute and overwrite them)."""
+        try:
+            payload = json.loads(self.path(run).read_text(encoding="utf-8"))
+            result = ScenarioResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, run: RunSpec, result: ScenarioResult) -> Path:
+        """Write one artifact atomically (write-then-rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(run)
+        artifact = {
+            "key": run_key(run),
+            "cache_version": CACHE_VERSION,
+            "scenario": run.scenario.name,
+            "backend": run.backend,
+            "seed": int(run.seed),
+            "variant": run.variant,
+            "scenario_fingerprint": scenario_fingerprint(run.scenario),
+            "result": result.to_dict(),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(
+            json.dumps(artifact, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)
+        self.stats.stores += 1
+        return path

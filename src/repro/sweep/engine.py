@@ -1,0 +1,150 @@
+"""SweepEngine: fan a resolved sweep grid out over worker processes.
+
+The engine expands a :class:`~repro.sweep.spec.SweepSpec`, serves every
+cell it can from the :class:`~repro.sweep.cache.ResultCache`, and
+executes the remainder — serially in-process for ``jobs=1``, or over a
+``ProcessPoolExecutor`` otherwise.  Three properties make parallel
+sweeps interchangeable with serial ones:
+
+- **deterministic per-run seeding** — each cell carries its own explicit
+  seed into :class:`~repro.scenarios.runner.ScenarioRunner`, so a run's
+  outcome depends only on its resolved spec, never on which worker (or
+  how many) executed it;
+- **ordered collection** — results come back in grid-expansion order no
+  matter the completion order, so downstream aggregation sees the same
+  sequence either way;
+- **builtin-only transport** — workers return
+  ``ScenarioResult.to_dict()`` payloads, the same representation the
+  cache stores, so a result is identical whether it crossed a process
+  boundary, a JSON file, or neither.
+
+Executed cells are written back to the cache, making a repeated sweep
+(or any sweep sharing cells with an earlier one) nearly free.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.scenarios import ScenarioResult, ScenarioRunner
+
+from .cache import ResultCache
+from .spec import RunSpec, SweepSpec
+
+__all__ = ["SweepEngine", "SweepOutcome", "execute_run"]
+
+
+def execute_run(run: RunSpec) -> Dict[str, object]:
+    """Execute one sweep cell; the worker entry point.
+
+    Returns the ``to_dict()`` payload rather than the dataclass so the
+    parent rebuilds results through the exact code path the cache uses.
+    """
+    runner = ScenarioRunner(run.scenario, backend=run.backend, seed=run.seed)
+    return runner.run().to_dict()
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """Everything one engine pass produced, in grid order."""
+
+    runs: Tuple[RunSpec, ...]
+    results: Tuple[ScenarioResult, ...]
+    cache_hits: int
+    executed: int
+    jobs: int
+
+    def stats_line(self) -> str:
+        """One-line cache/executor accounting, e.g. for ``--stats``."""
+        total = len(self.runs)
+        rate = 100.0 * self.cache_hits / total if total else 0.0
+        return (
+            f"sweep stats: {total} runs, {self.cache_hits} cache hits "
+            f"({rate:.1f}%), {self.executed} executed, jobs={self.jobs}"
+        )
+
+
+class SweepEngine:
+    """Execute a sweep grid with caching and optional parallelism.
+
+    Parameters
+    ----------
+    spec:
+        The grid to run.
+    jobs:
+        Worker processes; ``1`` executes serially in-process (no pool,
+        no pickling) and any higher value fans pending cells out while
+        preserving result order.
+    cache:
+        Result cache, or ``None`` to neither read nor write artifacts.
+    refresh:
+        Skip cache reads but still write back — the ``--refresh`` escape
+        hatch for artifacts invalidated by something outside the key.
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        refresh: bool = False,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.spec = spec
+        self.jobs = jobs
+        self.cache = cache
+        self.refresh = refresh
+
+    def run(
+        self, log: Optional[Callable[[str], None]] = None
+    ) -> SweepOutcome:
+        """Expand, serve from cache, execute the rest, collect in order."""
+        runs = self.spec.expand()
+        results: List[Optional[ScenarioResult]] = [None] * len(runs)
+        pending: List[int] = []
+        for index, run in enumerate(runs):
+            cached = (
+                self.cache.get(run)
+                if self.cache is not None and not self.refresh
+                else None
+            )
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append(index)
+        if log:
+            log(
+                f"sweep: {len(runs)} cells, {len(runs) - len(pending)} "
+                f"cached, executing {len(pending)} with jobs={self.jobs}"
+            )
+        if pending:
+            payloads = self._execute_pending(runs, pending)
+            for index, payload in zip(pending, payloads):
+                result = ScenarioResult.from_dict(payload)
+                results[index] = result
+                if self.cache is not None:
+                    self.cache.put(runs[index], result)
+                if log:
+                    log(f"  done {runs[index].label()}")
+        return SweepOutcome(
+            runs=runs,
+            results=tuple(results),
+            cache_hits=len(runs) - len(pending),
+            executed=len(pending),
+            jobs=self.jobs,
+        )
+
+    def _execute_pending(self, runs, pending):
+        """Payloads for the pending cells, in ``pending`` order."""
+        cells = [runs[index] for index in pending]
+        if self.jobs == 1 or len(cells) == 1:
+            return [execute_run(cell) for cell in cells]
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(cells))
+        ) as pool:
+            # Executor.map preserves submission order, so collection is
+            # deterministic even though completion order is not.
+            return list(pool.map(execute_run, cells))

@@ -1,0 +1,144 @@
+"""Sweep specifications: a parameter grid over the scenario suite.
+
+A :class:`SweepSpec` names the axes of a sweep — scenario names, seeds,
+backend overrides and policy-override variants — plus scenario-level
+overrides (horizon, warmup) applied to every cell.  :meth:`SweepSpec.expand`
+resolves the grid into an ordered tuple of :class:`RunSpec` cells, each a
+fully-resolved ``(Scenario, backend, seed)`` triple ready to execute,
+cache-key, or ship to a worker process.
+
+Expansion order is fixed (scenario -> policy variant -> backend -> seed)
+so two expansions of the same spec are identical, which is what makes
+parallel execution collectable in deterministic order and sweep output
+byte-stable across ``--jobs`` settings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, List, Mapping, Tuple
+
+from repro.scenarios import Scenario, get_scenario
+
+__all__ = ["RunSpec", "SweepSpec", "parse_seeds"]
+
+
+def parse_seeds(text: str) -> Tuple[int, ...]:
+    """Parse a seed list: ``"0,1,2"``, ``"0-4"``, or a mix (``"0-2,7"``).
+
+    Ranges are inclusive.  Duplicates are dropped, first occurrence wins,
+    so the order written on the command line is the sweep order.
+    """
+    seeds: List[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        lo, dash, hi = part.partition("-")
+        try:
+            values = range(int(lo), int(hi) + 1) if dash else (int(part),)
+        except ValueError:
+            raise ValueError(
+                f"bad seed spec {part!r}; use e.g. '0,1,2' or '0-4'"
+            ) from None
+        if not values:
+            raise ValueError(
+                f"empty seed range {part!r}; did you mean '{hi}-{lo}'?"
+            )
+        for seed in values:
+            if seed not in seeds:
+                seeds.append(seed)
+    if not seeds:
+        raise ValueError(f"seed spec {text!r} names no seeds")
+    return tuple(seeds)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-resolved cell of a sweep grid.
+
+    ``variant`` tags which policy-override variant produced this cell
+    (empty for the scenario's own policy); it is carried through results
+    so aggregation and comparison tables can tell variants apart.
+    """
+
+    scenario: Scenario
+    backend: str
+    seed: int
+    variant: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.scenario.name
+
+    def label(self) -> str:
+        """Human-readable cell id, e.g. ``ring-uniform[fluid] seed=2``."""
+        tag = f" {self.variant}" if self.variant else ""
+        return f"{self.name}[{self.backend}]{tag} seed={self.seed}"
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The axes of a sweep over the scenario registry.
+
+    Parameters
+    ----------
+    scenarios:
+        Registry names (see ``repro scenarios list``).
+    seeds:
+        RNG seeds; every grid cell runs once per seed.
+    backends:
+        Backend overrides (``"des"``/``"fluid"``); empty means "each
+        scenario's own backend".
+    overrides:
+        ``Scenario`` field overrides (``horizon``, ``warmup``, ...)
+        applied to every scenario before expansion.
+    policies:
+        Policy-override variants: each mapping patches
+        :class:`~repro.scenarios.spec.PolicySpec` fields and becomes one
+        grid axis value (tagged in results); empty means "each
+        scenario's own policy".
+    """
+
+    scenarios: Tuple[str, ...]
+    seeds: Tuple[int, ...] = (0,)
+    backends: Tuple[str, ...] = ()
+    overrides: Mapping[str, Any] = field(default_factory=dict)
+    policies: Tuple[Mapping[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ValueError("sweep needs at least one scenario")
+        if not self.seeds:
+            raise ValueError("sweep needs at least one seed")
+        for backend in self.backends:
+            if backend not in ("des", "fluid"):
+                raise ValueError(
+                    f"backend must be 'des' or 'fluid', got {backend!r}"
+                )
+
+    def expand(self) -> Tuple[RunSpec, ...]:
+        """Resolve the grid into ordered, fully-specified run cells."""
+        runs: List[RunSpec] = []
+        for name in self.scenarios:
+            base = get_scenario(name)
+            if self.overrides:
+                base = base.with_overrides(**dict(self.overrides))
+            if self.policies:
+                variants = []
+                for patch in self.policies:
+                    items = sorted(patch.items())
+                    tag = ",".join(f"{k}={v}" for k, v in items)
+                    policy = dataclasses.replace(base.policy, **dict(patch))
+                    patched = base.with_overrides(policy=policy)
+                    variants.append((tag, patched))
+            else:
+                variants = [("", base)]
+            for variant, scenario in variants:
+                for backend in self.backends or (scenario.backend,):
+                    for seed in self.seeds:
+                        runs.append(
+                            RunSpec(scenario, backend, int(seed), variant)
+                        )
+        return tuple(runs)

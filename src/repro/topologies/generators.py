@@ -21,7 +21,6 @@ Families:
 
 from __future__ import annotations
 
-from typing import Optional
 
 import networkx as nx
 import numpy as np

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datasets import WirelessDataset, generate_uq_wireless, load_csv
+from repro.datasets import generate_uq_wireless, load_csv
 from repro.datasets.uq_wireless import INDOOR_END_S, TRANSITION_END_S
 
 

@@ -1,7 +1,6 @@
 """Integration tests of the full Fig. 3/4 closed loop on the emulated
 Global P4 Lab testbed."""
 
-import numpy as np
 import pytest
 
 from repro.core import SelfDrivingNetwork, fig12_capacities, global_p4_lab

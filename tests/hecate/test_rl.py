@@ -1,6 +1,5 @@
 """Q-learning path selector (RL extension, paper Secs. II.A & VII)."""
 
-import numpy as np
 import pytest
 
 from repro.hecate.rl import QLearningPathSelector, TunnelEnv

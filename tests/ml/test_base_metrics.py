@@ -11,7 +11,6 @@ from repro.ml import (
     NotFittedError,
     Ridge,
     clone,
-    explained_variance_score,
     max_error,
     mean_absolute_error,
     mean_absolute_percentage_error,

@@ -5,12 +5,10 @@ delivered, dropped at a queue, dropped by a router (TTL/no-route), or
 still in flight when the simulation stops.
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.net import Network, Packet, UdpFlow
+from repro.net import Packet, UdpFlow
 from repro.topologies import random_wan
 
 

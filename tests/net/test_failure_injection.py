@@ -1,6 +1,5 @@
 """Failure injection: link down/up, FIB reconvergence, PolKA failover."""
 
-import networkx as nx
 import pytest
 
 from repro.net import Network, Packet, PingApp, TcpFlow

@@ -1,6 +1,5 @@
 """Event loop and link-level behaviour."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -11,7 +11,6 @@ from repro.polka import (
     MultipathDomain,
     PolkaDomain,
     PolkaNode,
-    PortSwitchingRoute,
     assign_node_ids,
     crt,
     gf2,

@@ -1,7 +1,7 @@
 """Unit and property tests for GF(2)[t] arithmetic."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.polka import gf2

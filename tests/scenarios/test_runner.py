@@ -171,3 +171,82 @@ class TestCrossBackend:
         fluid = ScenarioRunner(scenario, backend="fluid").run()
         # fluid sees the post-spread allocation: 20 + 10 + 5 = 35 Mbps
         assert fluid.total_throughput_mbps == pytest.approx(35.0, abs=1.0)
+
+
+class TestResultSerialization:
+    def _result(self, backend):
+        scenario = get_scenario("ring-uniform").quick(horizon=6.0, warmup=2.0)
+        return ScenarioRunner(scenario, backend=backend).run()
+
+    @pytest.mark.parametrize("backend", ["fluid", "des"])
+    def test_json_round_trip_is_exact(self, backend):
+        """to_dict -> json -> from_dict must reproduce the result exactly,
+        floats included (workers and the sweep cache both rely on it)."""
+        import json
+
+        from repro.scenarios import ScenarioResult
+
+        result = self._result(backend)
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert ScenarioResult.from_dict(payload) == result
+
+    def test_to_dict_emits_builtins_only(self):
+        result = self._result("fluid")
+        payload = result.to_dict()
+        assert all(type(k) is str for k in payload)
+        assert type(payload["total_throughput_mbps"]) is float
+        assert type(payload["drops"]) is int
+        assert all(
+            type(k) is str and type(v) is float
+            for k, v in payload["per_flow_mbps"].items()
+        )
+
+    def test_from_dict_coerces_numeric_types(self):
+        """JSON writers elsewhere may have stored 60 for 60.0 (or vice
+        versa); from_dict normalises both directions."""
+        from repro.scenarios import ScenarioResult
+
+        payload = self._result("fluid").to_dict()
+        payload["horizon_s"] = int(payload["horizon_s"])
+        payload["drops"] = float(payload["drops"])
+        rebuilt = ScenarioResult.from_dict(payload)
+        assert type(rebuilt.horizon_s) is float
+        assert type(rebuilt.drops) is int
+
+    def test_from_dict_missing_field_raises(self):
+        from repro.scenarios import ScenarioResult
+
+        payload = self._result("fluid").to_dict()
+        del payload["migrations"]
+        with pytest.raises(KeyError):
+            ScenarioResult.from_dict(payload)
+
+    def test_from_dict_ignores_unknown_fields(self):
+        from repro.scenarios import ScenarioResult
+
+        payload = self._result("fluid").to_dict()
+        payload["introduced_in_a_future_version"] = 1
+        assert ScenarioResult.from_dict(payload) == self._result("fluid")
+
+
+class TestZeroTraffic:
+    """A scenario offering no flows must produce an empty result, not a
+    crash — sweeps legitimately include idle baselines."""
+
+    def _scenario(self):
+        from repro.scenarios import TrafficSpec
+
+        return get_scenario("line-baseline").quick().with_overrides(
+            traffic=TrafficSpec("uniform", n_flows=0)
+        )
+
+    @pytest.mark.parametrize("backend", ["fluid", "des"])
+    def test_runs_and_summarises_empty_flow_set(self, backend):
+        result = ScenarioRunner(self._scenario(), backend=backend).run()
+        assert result.offered == result.placed == 0
+        assert result.per_flow_mbps == {}
+        assert result.total_throughput_mbps == 0.0
+        assert result.min_flow_mbps == 0.0
+        assert result.mean_latency_ms == 0.0
+        text = result.summary()  # must not raise on the empty flow set
+        assert "0/0 placed" in text

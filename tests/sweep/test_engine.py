@@ -1,0 +1,144 @@
+"""SweepEngine: parallel == serial, cache behaviour, aggregation."""
+
+import pytest
+
+from repro.sweep import (
+    ResultCache,
+    SweepEngine,
+    SweepSpec,
+    aggregate,
+    pairwise_table,
+    render_csv,
+    render_json,
+    render_table,
+)
+
+#: A cheap fluid grid: 3 scenarios x 3 seeds, sub-second end to end.
+GRID = SweepSpec(
+    scenarios=("line-baseline", "ring-uniform", "wan-elephant-mice"),
+    seeds=(0, 1, 2),
+    backends=("fluid",),
+    overrides={"horizon": 8.0, "warmup": 2.0},
+)
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_exactly(self):
+        serial = SweepEngine(GRID, jobs=1).run()
+        parallel = SweepEngine(GRID, jobs=4).run()
+        assert serial.results == parallel.results
+        assert [r.label() for r in serial.runs] == [
+            r.label() for r in parallel.runs
+        ]
+
+    def test_parallel_json_artifact_is_byte_identical(self):
+        serial = SweepEngine(GRID, jobs=1).run()
+        parallel = SweepEngine(GRID, jobs=4).run()
+        blob = render_json(
+            serial.runs, serial.results, aggregate(serial.runs, serial.results)
+        )
+        assert blob == render_json(
+            parallel.runs,
+            parallel.results,
+            aggregate(parallel.runs, parallel.results),
+        )
+
+    def test_results_come_back_in_grid_order(self):
+        outcome = SweepEngine(GRID, jobs=4).run()
+        expected = [(r.name, r.backend, r.seed) for r in GRID.expand()]
+        assert [
+            (res.scenario, res.backend, res.seed) for res in outcome.results
+        ] == expected
+
+
+class TestCaching:
+    def test_second_sweep_is_served_from_cache(self, tmp_path):
+        first = SweepEngine(GRID, jobs=1, cache=ResultCache(tmp_path)).run()
+        assert (first.cache_hits, first.executed) == (0, 9)
+        second = SweepEngine(GRID, jobs=4, cache=ResultCache(tmp_path)).run()
+        assert (second.cache_hits, second.executed) == (9, 0)
+        assert second.results == first.results
+        assert "9 cache hits (100.0%)" in second.stats_line()
+
+    def test_overlapping_grid_reuses_shared_cells(self, tmp_path):
+        SweepEngine(GRID, jobs=1, cache=ResultCache(tmp_path)).run()
+        wider = SweepSpec(
+            scenarios=GRID.scenarios,
+            seeds=(0, 1, 2, 3),
+            backends=GRID.backends,
+            overrides=GRID.overrides,
+        )
+        outcome = SweepEngine(wider, jobs=1, cache=ResultCache(tmp_path)).run()
+        assert outcome.cache_hits == 9   # the original 3x3
+        assert outcome.executed == 3     # only the new seed's cells
+
+    def test_refresh_reexecutes_but_rewrites(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        SweepEngine(GRID, jobs=1, cache=cache).run()
+        refreshed = SweepEngine(
+            GRID, jobs=1, cache=ResultCache(tmp_path), refresh=True
+        ).run()
+        assert (refreshed.cache_hits, refreshed.executed) == (0, 9)
+        served = SweepEngine(GRID, jobs=1, cache=ResultCache(tmp_path)).run()
+        assert served.cache_hits == 9
+
+    def test_no_cache_mode_writes_nothing(self, tmp_path):
+        outcome = SweepEngine(GRID, jobs=1).run()
+        assert outcome.executed == 9
+        assert list(tmp_path.iterdir()) == []
+
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ValueError):
+            SweepEngine(GRID, jobs=0)
+
+
+class TestAggregation:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return SweepEngine(GRID, jobs=1).run()
+
+    def test_one_aggregate_per_scenario_with_all_seeds(self, outcome):
+        aggregates = aggregate(outcome.runs, outcome.results)
+        assert [a.scenario for a in aggregates] == sorted(GRID.scenarios)
+        for agg in aggregates:
+            assert agg.seeds == (0, 1, 2)
+            mbps = agg.metrics["total_throughput_mbps"]
+            assert mbps["min"] <= mbps["p50"] <= mbps["p95"] <= mbps["max"]
+            assert mbps["mean"] == pytest.approx(
+                sum(
+                    res.total_throughput_mbps
+                    for run, res in zip(outcome.runs, outcome.results)
+                    if run.name == agg.scenario
+                )
+                / 3
+            )
+
+    def test_renderers_cover_every_group(self, outcome):
+        aggregates = aggregate(outcome.runs, outcome.results)
+        table = render_table(aggregates)
+        csv_text = render_csv(aggregates)
+        for name in GRID.scenarios:
+            assert name in table
+            assert name in csv_text
+        assert csv_text.splitlines()[0].startswith(
+            "scenario,backend,variant,n_seeds,total_throughput_mbps_mean"
+        )
+
+    def test_pairwise_table_compares_backends(self):
+        spec = SweepSpec(
+            scenarios=("line-baseline",),
+            seeds=(0,),
+            backends=("des", "fluid"),
+            overrides={"horizon": 5.0, "warmup": 1.0},
+        )
+        outcome = SweepEngine(spec, jobs=1).run()
+        aggregates = aggregate(outcome.runs, outcome.results)
+        table = pairwise_table(aggregates)
+        assert "des" in table and "fluid" in table
+        assert "B - A" in table
+
+    def test_pairwise_table_degenerates_gracefully(self, outcome):
+        aggregates = aggregate(outcome.runs, outcome.results)
+        # three scenarios but one (backend, variant) per scenario group:
+        # nothing to pair within any scenario
+        assert "nothing to compare" in pairwise_table(aggregates)

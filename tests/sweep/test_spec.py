@@ -1,0 +1,103 @@
+"""SweepSpec: grid expansion, seed parsing, override plumbing."""
+
+import pytest
+
+from repro.scenarios import get_scenario
+from repro.sweep import RunSpec, SweepSpec, parse_seeds
+
+
+class TestParseSeeds:
+    def test_comma_list(self):
+        assert parse_seeds("0,1,2") == (0, 1, 2)
+
+    def test_inclusive_range(self):
+        assert parse_seeds("0-4") == (0, 1, 2, 3, 4)
+
+    def test_mixed_keeps_written_order_and_dedups(self):
+        assert parse_seeds("5,0-2,1") == (5, 0, 1, 2)
+
+    def test_single(self):
+        assert parse_seeds("7") == (7,)
+
+    @pytest.mark.parametrize("bad", ["", ",", "a", "1-b", "1..3"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_seeds(bad)
+
+    def test_reversed_range_is_rejected_even_when_mixed(self):
+        with pytest.raises(ValueError, match="empty seed range"):
+            parse_seeds("0,5-3")
+        with pytest.raises(ValueError, match="did you mean '3-5'"):
+            parse_seeds("5-3")
+
+
+class TestExpansion:
+    def test_grid_size_and_order(self):
+        spec = SweepSpec(
+            scenarios=("line-baseline", "ring-uniform"),
+            seeds=(0, 1, 2),
+            backends=("des", "fluid"),
+        )
+        runs = spec.expand()
+        assert len(runs) == 2 * 3 * 2
+        # fixed order: scenario-major, then backend, then seed
+        assert [(r.name, r.backend, r.seed) for r in runs[:6]] == [
+            ("line-baseline", "des", 0),
+            ("line-baseline", "des", 1),
+            ("line-baseline", "des", 2),
+            ("line-baseline", "fluid", 0),
+            ("line-baseline", "fluid", 1),
+            ("line-baseline", "fluid", 2),
+        ]
+        assert runs == spec.expand()  # expansion is deterministic
+
+    def test_default_backend_is_the_scenarios_own(self):
+        spec = SweepSpec(scenarios=("line-baseline",))
+        (run,) = spec.expand()
+        assert run.backend == get_scenario("line-baseline").backend
+
+    def test_overrides_resolve_into_every_cell(self):
+        spec = SweepSpec(
+            scenarios=("line-baseline",),
+            overrides={"horizon": 8.0, "warmup": 2.0},
+        )
+        (run,) = spec.expand()
+        assert run.scenario.horizon == 8.0
+        assert run.scenario.warmup == 2.0
+
+    def test_policy_grid_tags_variants(self):
+        spec = SweepSpec(
+            scenarios=("line-baseline",),
+            policies=({"reoptimize_every": 5.0}, {"k_paths": 2}),
+        )
+        runs = spec.expand()
+        assert [r.variant for r in runs] == [
+            "reoptimize_every=5.0", "k_paths=2",
+        ]
+        assert runs[0].scenario.policy.reoptimize_every == 5.0
+        assert runs[1].scenario.policy.k_paths == 2
+        # the base scenario's other policy fields survive the patch
+        base = get_scenario("line-baseline").policy
+        assert runs[0].scenario.policy.objective == base.objective
+
+    def test_unknown_scenario_raises_on_expand(self):
+        with pytest.raises(KeyError, match="atlantis"):
+            SweepSpec(scenarios=("atlantis",)).expand()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"scenarios": ()},
+            {"scenarios": ("line-baseline",), "seeds": ()},
+            {"scenarios": ("line-baseline",), "backends": ("quantum",)},
+        ],
+    )
+    def test_invalid_specs_rejected_at_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            SweepSpec(**kwargs)
+
+
+class TestRunSpec:
+    def test_label_names_the_cell(self):
+        run = RunSpec(get_scenario("ring-uniform"), "fluid", 3, "k_paths=2")
+        assert run.label() == "ring-uniform[fluid] k_paths=2 seed=3"

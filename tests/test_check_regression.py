@@ -1,0 +1,80 @@
+"""The CI benchmark-regression gate (benchmarks/check_regression.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py"
+_spec = importlib.util.spec_from_file_location("check_regression", _PATH)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+
+def _bench_json(path, means):
+    path.write_text(json.dumps({
+        "benchmarks": [
+            {"fullname": name, "stats": {"mean": mean}}
+            for name, mean in means.items()
+        ]
+    }))
+    return path
+
+
+def _baseline_json(path, means):
+    path.write_text(json.dumps({"benchmarks": means}))
+    return path
+
+
+class TestGate:
+    def test_passes_within_threshold(self, tmp_path, capsys):
+        current = _bench_json(tmp_path / "bench.json", {"t::a": 1.5, "t::b": 0.9})
+        baseline = _baseline_json(tmp_path / "base.json", {"t::a": 1.0, "t::b": 1.0})
+        assert check_regression.main([str(current), str(baseline)]) == 0
+        assert "no regression" in capsys.readouterr().out
+
+    def test_fails_beyond_threshold(self, tmp_path, capsys):
+        current = _bench_json(tmp_path / "bench.json", {"t::a": 2.5})
+        baseline = _baseline_json(tmp_path / "base.json", {"t::a": 1.0})
+        assert check_regression.main([str(current), str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "2.50x" in out
+
+    def test_threshold_is_configurable(self, tmp_path):
+        current = _bench_json(tmp_path / "bench.json", {"t::a": 2.5})
+        baseline = _baseline_json(tmp_path / "base.json", {"t::a": 1.0})
+        assert check_regression.main(
+            [str(current), str(baseline), "--threshold", "3.0"]
+        ) == 0
+
+    def test_missing_and_new_benchmarks_never_fail(self, tmp_path, capsys):
+        current = _bench_json(tmp_path / "bench.json", {"t::new": 9.9})
+        baseline = _baseline_json(tmp_path / "base.json", {"t::gone": 1.0})
+        assert check_regression.main([str(current), str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "MISSING" in out and "NEW" in out
+
+    def test_update_round_trips_through_the_gate(self, tmp_path):
+        current = _bench_json(tmp_path / "bench.json", {"t::a": 1.234})
+        baseline = tmp_path / "base.json"
+        assert check_regression.main(
+            [str(current), str(baseline), "--update"]
+        ) == 0
+        written = json.loads(baseline.read_text())
+        assert written["benchmarks"] == {"t::a": 1.234}
+        assert check_regression.main([str(current), str(baseline)]) == 0
+
+    def test_zero_baseline_mean_counts_as_regression(self, tmp_path):
+        current = _bench_json(tmp_path / "bench.json", {"t::a": 0.1})
+        baseline = _baseline_json(tmp_path / "base.json", {"t::a": 0.0})
+        assert check_regression.main([str(current), str(baseline)]) == 1
+
+    def test_committed_baseline_matches_the_bench_suite(self):
+        """The baseline tracked in git must name real benchmarks."""
+        baseline = check_regression.load_baseline(
+            _PATH.with_name("baseline.json")
+        )
+        assert len(baseline) >= 30
+        bench_files = {name.split("::")[0] for name in baseline}
+        for name in bench_files:
+            assert (_PATH.parent.parent / name).exists(), name
+        assert all(mean > 0 for mean in baseline.values())

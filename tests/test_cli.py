@@ -86,3 +86,150 @@ class TestScenarioCli:
             "--backend", "fluid", "--seed", "5",
         ]) == 0
         assert "seed=5" in capsys.readouterr().out
+
+
+class TestSweepCli:
+    GRID = [
+        "scenarios", "sweep", "line-baseline", "ring-uniform",
+        "--backend", "fluid", "--seeds", "0-2",
+        "--horizon", "8", "--warmup", "2",
+    ]
+
+    def test_sweep_prints_aggregate_table(self, capsys, tmp_path):
+        assert main(self.GRID + ["--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "line-baseline" in out and "ring-uniform" in out
+        assert "Mbps mean" in out and "Mbps p95" in out
+
+    def test_second_sweep_is_served_from_cache(self, capsys, tmp_path):
+        args = self.GRID + ["--cache-dir", str(tmp_path), "--stats"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "6 cache hits" not in first
+        assert main(args + ["--jobs", "2"]) == 0
+        second = capsys.readouterr().out
+        assert "6 cache hits (100.0%)" in second
+        assert "0 executed" in second
+
+    def test_sweep_jobs_do_not_change_the_json_artifact(self, tmp_path):
+        for jobs, name in (("1", "a.json"), ("3", "b.json")):
+            assert main(
+                self.GRID
+                + ["--cache-dir", str(tmp_path), "--jobs", jobs,
+                   "--json", str(tmp_path / name)]
+            ) == 0
+        assert (tmp_path / "a.json").read_bytes() == \
+            (tmp_path / "b.json").read_bytes()
+
+    def test_sweep_writes_csv(self, capsys, tmp_path):
+        out_csv = tmp_path / "agg.csv"
+        assert main(
+            self.GRID + ["--cache-dir", str(tmp_path), "--csv", str(out_csv)]
+        ) == 0
+        header = out_csv.read_text().splitlines()[0]
+        assert header.startswith("scenario,backend,variant,n_seeds")
+
+    def test_sweep_no_cache_leaves_no_artifacts(self, tmp_path):
+        assert main(
+            self.GRID + ["--cache-dir", str(tmp_path), "--no-cache"]
+        ) == 0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_sweep_policy_grid_shows_pairwise_table(self, capsys, tmp_path):
+        assert main([
+            "scenarios", "sweep", "line-baseline",
+            "--backend", "fluid", "--horizon", "8", "--warmup", "2",
+            "--policy", "k_paths=1", "--policy", "k_paths=2",
+            "--cache-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "k_paths=1" in out and "k_paths=2" in out
+        assert "B - A" in out
+
+    def test_sweep_rejects_bad_seeds(self, capsys, tmp_path):
+        assert main([
+            "scenarios", "sweep", "line-baseline",
+            "--seeds", "zero", "--cache-dir", str(tmp_path),
+        ]) == 2
+        assert "bad seed spec" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_scenario(self, capsys, tmp_path):
+        assert main([
+            "scenarios", "sweep", "atlantis", "--cache-dir", str(tmp_path),
+        ]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_compare_from_cache_errors_when_cold(self, capsys, tmp_path):
+        assert main([
+            "scenarios", "compare", "line-baseline",
+            "--from-cache", "--cache-dir", str(tmp_path),
+        ]) == 2
+        assert "no artifact" in capsys.readouterr().err
+
+    def test_compare_from_cache_serves_a_warm_sweep(self, capsys, tmp_path):
+        assert main([
+            "scenarios", "sweep", "line-baseline",
+            "--backend", "des", "--backend", "fluid",
+            "--horizon", "5", "--warmup", "1",
+            "--cache-dir", str(tmp_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "scenarios", "compare", "line-baseline",
+            "--from-cache", "--cache-dir", str(tmp_path),
+            "--horizon", "5", "--warmup", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "des" in out and "fluid" in out and "Mbps total" in out
+
+    def test_sweep_rejects_bad_override_cleanly(self, capsys, tmp_path):
+        assert main([
+            "scenarios", "sweep", "line-baseline",
+            "--horizon", "-5", "--cache-dir", str(tmp_path),
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "horizon must be positive" in err
+
+    def test_sweep_rejects_unknown_policy_field_cleanly(self, capsys, tmp_path):
+        assert main([
+            "scenarios", "sweep", "line-baseline",
+            "--backend", "fluid", "--policy", "bogus_field=1",
+            "--cache-dir", str(tmp_path),
+        ]) == 2
+        assert "bogus_field" in capsys.readouterr().err
+
+    def test_sweep_rejects_reversed_seed_range(self, capsys, tmp_path):
+        assert main([
+            "scenarios", "sweep", "line-baseline",
+            "--seeds", "0,5-3", "--cache-dir", str(tmp_path),
+        ]) == 2
+        assert "empty seed range '5-3'" in capsys.readouterr().err
+
+    def test_sweep_rejects_zero_jobs_as_usage_error(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main([
+                "scenarios", "sweep", "line-baseline",
+                "--jobs", "0", "--cache-dir", str(tmp_path),
+            ])
+        assert exc.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_compare_from_cache_tabulates_a_single_backend(
+        self, capsys, tmp_path
+    ):
+        """A fluid-only sweep is a legitimate --from-cache source: the
+        cached backend is tabulated and the absent one noted, not fatal."""
+        assert main([
+            "scenarios", "sweep", "line-baseline", "--backend", "fluid",
+            "--horizon", "8", "--warmup", "2",
+            "--cache-dir", str(tmp_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "scenarios", "compare", "line-baseline",
+            "--from-cache", "--cache-dir", str(tmp_path),
+            "--horizon", "8", "--warmup", "2",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "fluid" in captured.out
+        assert "line-baseline[des] seed=0" in captured.err  # the note

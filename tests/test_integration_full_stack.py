@@ -7,7 +7,7 @@ from repro.core import SelfDrivingNetwork, fig12_capacities, global_p4_lab
 from repro.datasets import generate_uq_wireless, load_csv
 from repro.hecate import QoSPredictor, TimeSeriesQoSPredictor, HoltLinear, run_tournament
 from repro.ml import Pipeline, StandardScaler, make_lag_matrix, make_regressor
-from repro.topologies import TUNNEL1, TUNNEL2, TUNNEL3
+from repro.topologies import TUNNEL1, TUNNEL2
 
 
 class TestTournamentWinnerDrivesFramework:
