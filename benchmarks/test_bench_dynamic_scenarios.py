@@ -1,0 +1,109 @@
+"""Dynamic-scenario benchmarks: the vectorized fluid solver at sweep
+scale and the phase machinery on both backends.
+
+The vectorized :func:`repro.net.fluid.max_min_fair` is the hot path
+behind many-phase x many-flow sweeps (one solve per capacity epoch); the
+first bench pins its cost at 240 flows and cross-checks it against the
+scalar oracle, asserting it is measurably faster — the acceptance
+criterion of the dynamic-workload subsystem.  The remaining benches time
+representative dynamic scenarios end to end so CI's regression gate
+covers phase compilation, the fluid epoch slicing, and the incremental
+re-optimizer under a DES flash crowd.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.net.fluid import FluidFlow, max_min_fair
+from repro.scenarios import ScenarioRunner, get_scenario, list_scenarios
+from repro.sweep import SweepEngine, SweepSpec
+
+
+def _sweep_scale_case(n_flows=240, n_links=80, seed=1):
+    rng = np.random.default_rng(seed)
+    links = [(f"n{i}", f"m{i}") for i in range(n_links)]
+    caps = {link: float(rng.uniform(10.0, 2000.0)) for link in links}
+    flows = []
+    for f in range(n_flows):
+        k = int(rng.integers(2, 7))
+        chosen = rng.choice(n_links, size=k, replace=False)
+        flows.append(
+            FluidFlow(name=f"f{f}", links=tuple(links[i] for i in chosen))
+        )
+    return flows, caps
+
+
+def test_vectorized_solver_at_sweep_scale(benchmark):
+    """240 flows over 80 links: the vectorized solver must match the
+    scalar oracle to 1e-9 and beat it by a wide margin."""
+    flows, caps = _sweep_scale_case()
+    rates = benchmark(max_min_fair, flows, caps)  # auto -> vectorized
+    oracle = max_min_fair(flows, caps, method="scalar")
+    for name, rate in oracle.items():
+        assert rates[name] == pytest.approx(rate, rel=1e-9, abs=1e-9)
+
+    def best_of(method, rounds=3):
+        timings = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            max_min_fair(flows, caps, method=method)
+            timings.append(time.perf_counter() - start)
+        return min(timings)
+
+    scalar_s = best_of("scalar")
+    vector_s = best_of("vector")
+    print(
+        f"\n240-flow solve: scalar {scalar_s * 1e3:.1f} ms, "
+        f"vector {vector_s * 1e3:.1f} ms ({scalar_s / vector_s:.0f}x)"
+    )
+    # loose 2x bar (locally >50x) so shared CI runners never flake
+    assert vector_s < scalar_s / 2.0
+
+
+def test_dynamic_fluid_diurnal(run_once, benchmark):
+    """One sinusoidal day through the fluid backend: phase compilation
+    plus an epoch re-solve per transition."""
+    result = run_once(
+        benchmark,
+        ScenarioRunner(get_scenario("ring-diurnal"), backend="fluid").run,
+    )
+    print("\n" + result.summary())
+    assert result.placed == result.offered > 20  # 6 phases, 2..8 flows
+    assert result.total_throughput_mbps > 50.0
+
+
+def test_dynamic_fluid_sweep_all(run_once, benchmark):
+    """Every dynamic scenario through one fluid engine pass — the
+    cross-scenario table the subsystem exists to produce."""
+    names = tuple(s.name for s in list_scenarios() if s.phases)
+    assert len(names) >= 6
+    spec = SweepSpec(scenarios=names, backends=("fluid",))
+    outcome = run_once(benchmark, SweepEngine(spec, jobs=1).run)
+    for result in outcome.results:
+        print(
+            f"{result.scenario:24s} {result.total_throughput_mbps:9.2f} Mbps "
+            f"drops={result.drops} migrations={result.migrations}"
+        )
+    assert all(r.placed == r.offered for r in outcome.results)
+
+
+def test_dynamic_des_flash_crowd(run_once, benchmark):
+    """Packet-level flash crowd: the spike lands mid-run and the
+    incremental re-optimizer reacts (solves) yet skips unchanged groups
+    in the steady phases."""
+    scenario = get_scenario("fat-tree-flash-crowd").with_overrides(
+        horizon=20.0, warmup=3.0
+    )
+    runner = ScenarioRunner(scenario, backend="des")
+    result = run_once(benchmark, runner.run)
+    print("\n" + result.summary())
+    controller = runner.sdn.controller
+    print(
+        f"reopt: {controller.reopt_solved} solved, "
+        f"{controller.reopt_skipped} skipped"
+    )
+    assert result.placed == result.offered == 16
+    assert result.total_throughput_mbps > 10.0
+    assert controller.reopt_solved >= 1

@@ -131,9 +131,11 @@ def _scenarios_list() -> int:
     print(header)
     print("-" * len(header))
     for s in scenarios:
+        # dynamic scenarios carry a phase timeline instead of one pattern
+        traffic = f"phased:{len(s.phases)}" if s.phases else s.traffic.pattern
         print(
             f"{s.name:<{width}}  {s.topology.kind:<17}"
-            f"{s.traffic.pattern:<14}{s.failures.kind:<10}{s.backend:<8}"
+            f"{traffic:<14}{s.failures.kind:<10}{s.backend:<8}"
         )
         print(f"{'':<{width}}    {s.description}")
     return 0

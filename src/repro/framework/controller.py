@@ -13,6 +13,17 @@ keeps asking Hecate and re-points PBR entries when the recommendation
 changes — the "self-driving" behaviour the paper targets; each change is
 one edge-router touch, never a core reconfiguration.
 
+Re-optimization is **incremental**: each (ingress, egress) flow group
+carries a signature of its membership, the up/down state of every link
+its candidate tunnels cross, and the latest telemetry-carried Mbps per
+link.  A tick only re-solves groups whose signature moved — membership
+changed, a link changed state, or telemetry drifted beyond
+``reopt_threshold_mbps`` since the group's last solve (drift accumulates
+against the last *solved* snapshot, so slow creep still triggers).
+Forecasts for all stale groups go to Hecate in one batched request
+(``hecate.ask_path_batch``), which fits each tunnel's regressor once no
+matter how many groups share it.
+
 Multi-pair deployments (the scenario suite runs traffic between many
 edge pairs at once) rely on two behaviours beyond the paper's single
 MIA->AMS testbed: candidate tunnels are filtered by the *egress* edge of
@@ -29,7 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.bus import Message, MessageBus
 from repro.freertr.service import RECONFIG_TOPIC
 from repro.hecate.objectives import assign_flows
-from repro.hecate.service import ASK_PATH_TOPIC
+from repro.hecate.service import ASK_PATH_BATCH_TOPIC, ASK_PATH_TOPIC
 from repro.net.apps import PingApp, TcpFlow, UdpFlow
 from repro.net.topology import Network
 
@@ -91,9 +102,14 @@ class FlowRecord:
     migrations: List[Tuple[float, str, str]] = field(default_factory=list)
 
     @property
+    def starts_at(self) -> float:
+        """Absolute simulation time the flow begins sending."""
+        return self.placed_at + self.request.start_at
+
+    @property
     def stops_at(self) -> float:
         """Absolute simulation time the flow finishes sending."""
-        return self.placed_at + self.request.start_at + self.request.duration
+        return self.starts_at + self.request.duration
 
 
 class Controller:
@@ -103,14 +119,19 @@ class Controller:
         bus: MessageBus,
         telemetry: TelemetryService,
         reoptimize_every: Optional[float] = None,
+        reopt_threshold_mbps: float = 1.0,
     ):
         self.network = network
         self.bus = bus
         self.telemetry = telemetry
         self.reoptimize_every = reoptimize_every
+        self.reopt_threshold_mbps = reopt_threshold_mbps
         self.tunnels: Dict[str, TunnelInfo] = {}
         self.flows: Dict[str, FlowRecord] = {}
         self.decisions: List[Dict] = []  # audit of Hecate recommendations
+        self.reopt_solved = 0  # groups re-solved across all ticks
+        self.reopt_skipped = 0  # groups skipped as unchanged
+        self._group_snapshots: Dict[Tuple[str, str], Tuple] = {}
         self._reopt_armed = False
         bus.subscribe(NEW_FLOW_TOPIC, self._on_new_flow)
 
@@ -251,11 +272,18 @@ class Controller:
         record.migrations.append((self.network.sim.now, old, tunnel_name))
 
     def _flow_rate_estimate(self, record: FlowRecord) -> float:
-        """Recent throughput of a managed flow (Mbps)."""
+        """Recent throughput of a managed flow (Mbps).
+
+        The averaging window is clamped to the flow's actual start: a
+        flow one second old must be averaged over that second, not over
+        a five-second window padded with pre-start zeros (which diluted
+        early estimates and skewed the first re-optimization tick).
+        """
         app = record.app
         now = self.network.sim.now
         if isinstance(app, TcpFlow):
-            return app.goodput_mbps(max(0.0, now - 5.0), now)
+            started = app.started_at if app.started_at is not None else now
+            return app.goodput_mbps(max(started, now - 5.0), now)
         if isinstance(app, UdpFlow):
             return app.rate_mbps
         return 0.1  # ICMP probes are negligible load
@@ -292,26 +320,104 @@ class Controller:
                     caps[(a, b)] = 1e-3
                     continue
                 link_rate = link.rate_mbps
-                _, carried = self.telemetry.db.series(f"link:{a}->{b}:mbps")
-                carried_now = float(carried[-1]) if carried.size else 0.0
+                carried_now = self.telemetry.db.latest(f"link:{a}->{b}:mbps")
                 unmanaged = max(
                     0.0, carried_now - managed.get((a, b), 0.0) - 0.5
                 )
                 caps[(a, b)] = max(0.5, link_rate - unmanaged)
         return caps
 
-    def reoptimize_now(self) -> None:
-        """One joint re-optimization pass over all active flows.
+    def _group_signature(
+        self,
+        flows: Dict[str, str],
+        tunnel_paths: Dict[str, Tuple[str, ...]],
+    ) -> Tuple:
+        """What one (ingress, egress) group's solve depended on:
+        membership, link up/down state, and telemetry-carried Mbps for
+        every link its candidate tunnels cross."""
+        membership = tuple(sorted(flows.items()))
+        links = sorted(
+            {
+                hop
+                for path in tunnel_paths.values()
+                for hop in zip(path[:-1], path[1:])
+            }
+        )
+        state = []
+        carried = []
+        for a, b in links:
+            state.append(((a, b), self.network.link(a, b).up))
+            carried.append(
+                ((a, b), self.telemetry.db.latest(f"link:{a}->{b}:mbps"))
+            )
+        return membership, tuple(state), tuple(carried)
 
-        Consults Hecate for per-tunnel forecasts (the Fig. 4 sequence,
-        kept in the decision audit), then solves the joint flow->tunnel
-        assignment on the fluid model and applies any migrations — each
-        one a single PBR re-bind at the ingress edge.
+    def _signature_moved(self, previous: Tuple, current: Tuple) -> bool:
+        """Did anything this group's solve depends on change enough to
+        re-solve?  Membership and link state compare exactly; telemetry
+        compares against the last *solved* snapshot, so slow drift
+        accumulates until it crosses the threshold."""
+        if previous[0] != current[0] or previous[1] != current[1]:
+            return True
+        baseline = dict(previous[2])
+        for link, mbps in current[2]:
+            if link not in baseline:
+                return True
+            if abs(mbps - baseline[link]) > self.reopt_threshold_mbps:
+                return True
+        return False
+
+    def _ask_hecate_batch(self, groups: List[List[TunnelInfo]]) -> None:
+        """The Fig. 4 getTelemetry + askHecatePath sequence for every
+        stale group in one batched request: telemetry is retrieved once
+        per unique tunnel and Hecate fits each tunnel's regressor once
+        no matter how many groups share it."""
+        seen = set()
+        for candidates in groups:
+            for tunnel in candidates:
+                if tunnel.name not in seen:
+                    seen.add(tunnel.name)
+                    self.bus.request(TELEMETRY_GET_TOPIC, path=tunnel.name)
+        replies = self.bus.request(
+            ASK_PATH_BATCH_TOPIC,
+            groups=[
+                {
+                    "paths": [t.name for t in candidates],
+                    "objective": "max_bandwidth",
+                }
+                for candidates in groups
+            ],
+        )
+        if replies and replies[0].get("ok"):
+            # per-group isolation: a group whose forecast failed (e.g. a
+            # tunnel with no telemetry yet) loses only its own audit
+            # entry, never its neighbours'
+            self.decisions.extend(
+                entry
+                for entry in replies[0]["recommendations"]
+                if entry.get("ok")
+            )
+        # forecasting failure must not stall reallocation
+
+    def reoptimize_now(self) -> None:
+        """One incremental re-optimization pass over all active flows.
+
+        Groups flows by (ingress, egress), skips every group whose
+        signature (membership, candidate-link state, telemetry) has not
+        moved since its last solve, batches the Hecate forecasts for the
+        stale groups into one request, then solves each stale group's
+        joint flow->tunnel assignment on the fluid model and applies any
+        migrations — each one a single PBR re-bind at the ingress edge.
         """
+        # only flows currently sending: a placed-but-not-yet-started flow
+        # (phased scenarios schedule starts deep into the horizon) must
+        # not be balanced as if it already carried its load — that let
+        # the optimizer migrate live flows to make room for 0 Mbps ones
+        now = self.network.sim.now
         active = {
             name: record.tunnel
             for name, record in self.flows.items()
-            if self.network.sim.now < record.stops_at
+            if record.starts_at <= now < record.stops_at
         }
         if not active:
             return
@@ -324,26 +430,42 @@ class Controller:
                 self._edge_router_of(self.flows[name].request.dst),
             )
             by_edges.setdefault(key, {})[name] = tunnel
-        for (ingress, egress), flows in by_edges.items():
-            candidates = self._candidates_for(ingress, egress)
-            try:
-                recommendation = self._ask_hecate(candidates, "max_bandwidth")
-                self.decisions.append(recommendation)
-            except RuntimeError:
-                pass  # forecasting failure must not stall reallocation
+        stale = []
+        for key, flows in by_edges.items():
+            candidates = self._candidates_for(*key)
             tunnel_paths = {t.name: t.path for t in candidates}
             for tunnel in flows.values():
                 # a flow may sit on a fallback tunnel outside the egress-
                 # filtered candidate set; keep it assignable regardless
                 tunnel_paths.setdefault(tunnel, self.tunnels[tunnel].path)
+            signature = self._group_signature(flows, tunnel_paths)
+            previous = self._group_snapshots.get(key)
+            if previous is not None and not self._signature_moved(
+                previous, signature
+            ):
+                self.reopt_skipped += 1
+                continue
+            stale.append((key, flows, candidates, tunnel_paths, signature))
+        if not stale:
+            return
+        self._ask_hecate_batch([candidates for _, _, candidates, _, _ in stale])
+        for key, flows, candidates, tunnel_paths, signature in stale:
             result = assign_flows(
                 current=flows,
                 tunnel_paths=tunnel_paths,
                 capacities=self._effective_link_capacities(flows),
             )
+            self.reopt_solved += 1
             for name, tunnel in result.assignment.items():
                 if tunnel != flows[name]:
                     self.migrate_flow(name, tunnel)
+            # snapshot the POST-assignment membership: an unchanged group
+            # next tick means "same flows on the tunnels we just chose"
+            self._group_snapshots[key] = (
+                tuple(sorted(result.assignment.items())),
+                signature[1],
+                signature[2],
+            )
 
     def _reoptimize_tick(self) -> None:
         self.reoptimize_now()

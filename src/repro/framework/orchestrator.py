@@ -68,6 +68,10 @@ class SelfDrivingNetwork:
     reoptimize_every:
         If set, the Controller re-asks Hecate this often and migrates
         flows whose recommendation changed.
+    reopt_threshold_mbps:
+        Telemetry movement (Mbps per candidate link) below which an
+        unchanged flow group is skipped by the incremental
+        re-optimization tick.
     """
 
     def __init__(
@@ -76,6 +80,7 @@ class SelfDrivingNetwork:
         model_factory: Callable[[], object] = default_model_factory,
         telemetry_interval: float = 1.0,
         reoptimize_every: Optional[float] = None,
+        reopt_threshold_mbps: float = 1.0,
     ):
         self.network = network
         self.bus = MessageBus()
@@ -88,7 +93,11 @@ class SelfDrivingNetwork:
         )
         self.scheduler = Scheduler(self.bus)
         self.controller = Controller(
-            network, self.bus, self.telemetry, reoptimize_every=reoptimize_every
+            network,
+            self.bus,
+            self.telemetry,
+            reoptimize_every=reoptimize_every,
+            reopt_threshold_mbps=reopt_threshold_mbps,
         )
         self.dashboard = Dashboard(self.bus, self.telemetry.db, self.controller)
         self.telemetry.start()

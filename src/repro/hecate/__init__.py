@@ -25,7 +25,12 @@ from .objectives import (
 )
 from .predictor import EvaluationResult, QoSPredictor, evaluate_pipeline
 from .rl import QLearningPathSelector, TunnelEnv
-from .service import ASK_PATH_TOPIC, HecateService, default_model_factory
+from .service import (
+    ASK_PATH_BATCH_TOPIC,
+    ASK_PATH_TOPIC,
+    HecateService,
+    default_model_factory,
+)
 from .tournament import (
     PAPER_FIG6_RMSE,
     TournamentEntry,
@@ -39,7 +44,8 @@ __all__ = [
     "PathForecast", "OBJECTIVES",
     "choose_max_bandwidth", "choose_min_latency", "choose_min_max_utilization",
     "FlowSplit", "solve_min_cost", "solve_min_max_utilization", "solve_min_delay",
-    "HecateService", "ASK_PATH_TOPIC", "default_model_factory",
+    "HecateService", "ASK_PATH_TOPIC", "ASK_PATH_BATCH_TOPIC",
+    "default_model_factory",
     "assign_flows", "AssignmentResult",
     "SimpleExpSmoothing", "HoltLinear", "HoltWinters", "TimeSeriesQoSPredictor",
     "QLearningPathSelector", "TunnelEnv",

@@ -110,7 +110,11 @@ def assign_flows(
     tunnel_paths:
         ``{tunnel_name: router path}`` for every candidate tunnel.
     capacities:
-        Directed-link capacities in Mbps (direction-insensitive lookup).
+        Per-link capacities in Mbps; lookup tries the directed ``(a, b)``
+        key first and falls back to the reversed key (see
+        :func:`repro.net.fluid.max_min_fair`), so undirected single-entry
+        maps share one budget between both directions while directed maps
+        budget each direction separately.
     max_enumerate:
         Exhaustive search up to this many flows (tunnels^flows
         assignments); beyond it, a sequential greedy pass that re-scores

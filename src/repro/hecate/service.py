@@ -22,9 +22,15 @@ from repro.net.telemetry import TimeSeriesDB
 from .objectives import OBJECTIVES, PathForecast
 from .predictor import QoSPredictor
 
-__all__ = ["HecateService", "ASK_PATH_TOPIC", "default_model_factory"]
+__all__ = [
+    "HecateService",
+    "ASK_PATH_TOPIC",
+    "ASK_PATH_BATCH_TOPIC",
+    "default_model_factory",
+]
 
 ASK_PATH_TOPIC = "hecate.ask_path"
+ASK_PATH_BATCH_TOPIC = "hecate.ask_path_batch"
 
 
 def default_model_factory():
@@ -78,6 +84,7 @@ class HecateService:
         self.asked: int = 0
         if bus is not None:
             bus.subscribe(ASK_PATH_TOPIC, self._on_ask)
+            bus.subscribe(ASK_PATH_BATCH_TOPIC, self._on_ask_batch)
 
     # ------------------------------------------------------------ queries
 
@@ -113,13 +120,52 @@ class HecateService:
         objective: str = "max_bandwidth",
         horizon: int = 10,
     ) -> Recommendation:
+        return self._recommend(paths, objective, horizon, memo={})
+
+    def recommend_batch(
+        self,
+        groups: Sequence[Dict],
+        horizon: int = 10,
+    ) -> List[Recommendation]:
+        """One recommendation per group, forecasting each path once.
+
+        ``groups`` is a sequence of ``{"paths": [...], "objective": ...}``
+        dicts (one per flow group the Controller re-optimizes).  A path
+        appearing in several groups is fitted and forecast a single time
+        — that, plus the single bus round-trip, is what makes the
+        incremental re-optimization tick cheap on many-group scenarios.
+        """
+        if not groups:
+            raise ValueError("no groups to recommend for")
+        memo: Dict[str, PathForecast] = {}
+        return [
+            self._recommend(
+                group["paths"],
+                group.get("objective", "max_bandwidth"),
+                horizon,
+                memo,
+            )
+            for group in groups
+        ]
+
+    def _recommend(
+        self,
+        paths: Sequence[str],
+        objective: str,
+        horizon: int,
+        memo: Dict[str, PathForecast],
+    ) -> Recommendation:
         if objective not in OBJECTIVES:
             raise ValueError(
                 f"unknown objective {objective!r}; choose from {sorted(OBJECTIVES)}"
             )
         if not paths:
             raise ValueError("no candidate paths")
-        forecasts = [self.forecast_path(p, horizon=horizon) for p in paths]
+        forecasts = []
+        for path in paths:
+            if path not in memo:
+                memo[path] = self.forecast_path(path, horizon=horizon)
+            forecasts.append(memo[path])
         chosen = OBJECTIVES[objective](forecasts)
         trained = self._history(chosen.name, "available_mbps").size >= max(
             self.MIN_TRAIN_SAMPLES, self.n_lags + 2
@@ -147,3 +193,35 @@ class HecateService:
         out = rec.as_payload()
         out["ok"] = True
         return out
+
+    def _on_ask_batch(self, message: Message) -> Dict:
+        """Batched askHecatePath: ``{"groups": [{"paths", "objective"}]}``
+        in, one entry per group out (single bus round-trip).
+
+        Failures are isolated **per group** — a tunnel with no telemetry
+        yet must not void the other groups' recommendations — so each
+        entry carries its own ``ok`` flag: ``Recommendation.as_payload()``
+        plus ``ok: True``, or ``{"ok": False, "error": ...}``.  The
+        forecast memo still spans the whole batch."""
+        payload = message.payload
+        groups = payload.get("groups")
+        if not groups:
+            return {"ok": False, "error": "no groups to recommend for"}
+        horizon = int(payload.get("horizon", 10))
+        memo: Dict[str, PathForecast] = {}
+        entries: List[Dict] = []
+        for group in groups:
+            try:
+                rec = self._recommend(
+                    group["paths"],
+                    group.get("objective", "max_bandwidth"),
+                    horizon,
+                    memo,
+                )
+            except (KeyError, ValueError) as exc:
+                entries.append({"ok": False, "error": str(exc)})
+                continue
+            entry = rec.as_payload()
+            entry["ok"] = True
+            entries.append(entry)
+        return {"ok": True, "recommendations": entries}

@@ -49,6 +49,14 @@ class TimeSeriesDB:
         _, v = self.series(metric)
         return v[-n:]
 
+    def latest(self, metric: str, default: float = 0.0) -> float:
+        """The most recent value of ``metric``, without materialising
+        the whole history (``series`` converts the append-only list to
+        an array — O(samples) — which always-on paths like the
+        Controller's per-tick group signatures must not pay)."""
+        rows = self._data.get(metric)
+        return rows[-1][1] if rows else default
+
     def __len__(self) -> int:
         return len(self._data)
 

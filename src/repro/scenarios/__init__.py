@@ -16,6 +16,13 @@ True
 From the shell: ``repro scenarios list | run | compare``.
 """
 
+from .dynamic import (
+    TrafficPhase,
+    compile_phases,
+    diurnal_phases,
+    elephant_schedule_phases,
+    flash_crowd_phases,
+)
 from .failures import FailureEvent, plan_failures
 from .registry import SCENARIOS, get_scenario, list_scenarios, register
 from .runner import MODEL_FACTORIES, ScenarioResult, ScenarioRunner, derive_tunnels
@@ -36,6 +43,11 @@ __all__ = [
     "PolicySpec",
     "ScenarioRunner",
     "ScenarioResult",
+    "TrafficPhase",
+    "compile_phases",
+    "diurnal_phases",
+    "flash_crowd_phases",
+    "elephant_schedule_phases",
     "FailureEvent",
     "register",
     "get_scenario",

@@ -1,0 +1,229 @@
+"""Dynamic workloads: time-varying traffic programs as phase timelines.
+
+Every built-in scenario used to be statically shaped — one traffic draw
+at t=0 and one failure plan — so the controller's re-optimization tick
+was never stressed by *changing* conditions.  This module adds the
+time-varying regime the predictive-routing literature (NeuRoute, AMPF)
+evaluates under: a scenario may declare a tuple of
+:class:`TrafficPhase` entries, each switching the offered load at a
+fraction of the horizon::
+
+    0.0      0.33       0.66        1.0   (fraction of horizon)
+    |--------|----------|-----------|
+     phase 0   phase 1    phase 2
+     uniform   hotspot    uniform          <- flash crowd program
+     2 flows   12 flows   3 flows
+
+:func:`compile_phases` lowers a timeline into one flat, validated list
+of :class:`~repro.framework.scheduler.FlowRequest`\\ s — each phase's
+pattern is generated against its own window and shifted to the phase
+start — so **both** backends execute dynamics through their existing
+machinery: the DES backend schedules every flow at its absolute start
+offset, and the fluid backend re-solves the max-min allocation per
+capacity epoch (phase transitions land on epoch edges) and time-weights
+the epochs into one result.
+
+Phase starts are *fractions* of the horizon, not absolute seconds, so a
+``--horizon`` override (or ``Scenario.quick()``) rescales the whole
+program instead of truncating it.
+
+Program builders
+----------------
+:func:`diurnal_phases`
+    Flow count follows one sinusoidal day: trough at t=0, peak mid-run.
+:func:`flash_crowd_phases`
+    Steady baseline, a hotspot spike of short flows mid-run, recovery.
+:func:`elephant_schedule_phases`
+    Waves of long-lived elephants arriving and departing on a schedule,
+    each wave with its own mice background.
+
+Rolling regional failures (a *failure* program, registered as the
+``"rolling"`` :class:`~repro.scenarios.spec.FailureSpec` kind) live in
+:mod:`repro.scenarios.failures`; combine them freely with any phase
+timeline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Any, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.framework.scheduler import FlowRequest
+from repro.net.topology import Network
+
+from .spec import TrafficSpec
+from .traffic import MAX_FLOWS, generate_traffic
+
+__all__ = [
+    "TrafficPhase",
+    "compile_phases",
+    "diurnal_phases",
+    "flash_crowd_phases",
+    "elephant_schedule_phases",
+]
+
+
+@dataclass(frozen=True)
+class TrafficPhase:
+    """One segment of a time-varying traffic program.
+
+    ``at_frac`` is the phase start as a fraction of the scenario horizon
+    (``0 <= at_frac < 1``); the phase runs until the next phase starts
+    (or the horizon ends).  ``traffic`` is the load offered during the
+    phase — any registered pattern, generated against the phase window.
+    """
+
+    at_frac: float
+    traffic: TrafficSpec
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.at_frac < 1.0:
+            raise ValueError(
+                f"at_frac must be in [0, 1), got {self.at_frac}"
+            )
+
+
+def compile_phases(
+    network: Network,
+    phases: Sequence[TrafficPhase],
+    horizon: float,
+    rng: np.random.Generator,
+) -> List[FlowRequest]:
+    """Lower a phase timeline into one flat list of FlowRequests.
+
+    Each phase's pattern is generated with the phase window as its
+    horizon, then every request is shifted by the phase start and
+    renamed ``p{i}.{name}`` so names stay unique across phases.  ToS
+    bytes are reassigned globally (1..255 in compiled order) because
+    per-phase patterns each start from ToS 1 — two phases' flows on the
+    same host pair must not share a ToS or PBR would steer them as one.
+
+    A flow whose pattern gives it a duration outliving its phase window
+    simply keeps sending into later phases (that is how elephant
+    schedules express arrivals and departures).
+    """
+    ordered = sorted(phases, key=lambda p: p.at_frac)
+    requests: List[FlowRequest] = []
+    for index, phase in enumerate(ordered):
+        start = phase.at_frac * horizon
+        end = (
+            ordered[index + 1].at_frac * horizon
+            if index + 1 < len(ordered)
+            else horizon
+        )
+        window = end - start
+        if window <= 0.0:
+            raise ValueError(
+                f"phase {index} ({phase.label or phase.at_frac}) has an "
+                "empty window; phase at_fracs must be strictly increasing"
+            )
+        for request in generate_traffic(network, phase.traffic, window, rng):
+            requests.append(
+                dataclasses.replace(
+                    request,
+                    flow_name=f"p{index}.{request.flow_name}",
+                    start_at=round(start + request.start_at, 3),
+                )
+            )
+    if len(requests) > MAX_FLOWS:
+        raise ValueError(
+            f"phase timeline compiles to {len(requests)} flows, beyond "
+            f"the {MAX_FLOWS} distinct ToS bytes available"
+        )
+    compiled = [
+        dataclasses.replace(request, tos=index + 1)
+        for index, request in enumerate(requests)
+    ]
+    for request in compiled:
+        request.validate()
+    return compiled
+
+
+def _spec(pattern: str, n_flows: int, params: Mapping[str, Any]) -> TrafficSpec:
+    return TrafficSpec(pattern, n_flows=int(n_flows), params=dict(params))
+
+
+def diurnal_phases(
+    n_phases: int = 6,
+    peak_flows: int = 10,
+    trough_flows: int = 2,
+    pattern: str = "uniform",
+    params: Mapping[str, Any] = (),
+) -> Tuple[TrafficPhase, ...]:
+    """A sinusoidal day: flow count rises from ``trough_flows`` at t=0
+    to ``peak_flows`` mid-horizon and falls back — the diurnal load
+    curve predictive-TE papers evaluate forecasting under."""
+    if n_phases < 2:
+        raise ValueError("a diurnal program needs at least two phases")
+    if peak_flows < trough_flows:
+        raise ValueError("peak_flows must be >= trough_flows")
+    phases = []
+    for i in range(n_phases):
+        frac = i / n_phases
+        level = 0.5 * (1.0 - math.cos(2.0 * math.pi * frac))
+        n = trough_flows + round(level * (peak_flows - trough_flows))
+        phases.append(
+            TrafficPhase(
+                at_frac=round(frac, 6),
+                traffic=_spec(pattern, n, dict(params)),
+                label=f"diurnal-{i}",
+            )
+        )
+    return tuple(phases)
+
+
+def flash_crowd_phases(
+    base_flows: int = 3,
+    spike_flows: int = 12,
+    spike_at: float = 0.4,
+    spike_len: float = 0.2,
+    hot_host: str = "",
+    pattern: str = "uniform",
+) -> Tuple[TrafficPhase, ...]:
+    """Steady baseline, then a hotspot spike converging on one host, then
+    recovery — the flash-crowd transient that forces re-optimization."""
+    if not 0.0 < spike_at < spike_at + spike_len < 1.0:
+        raise ValueError("spike window must fit strictly inside (0, 1)")
+    spike_params = {"hot_host": hot_host} if hot_host else {}
+    return (
+        TrafficPhase(0.0, _spec(pattern, base_flows, {}), "pre-crowd"),
+        TrafficPhase(
+            round(spike_at, 6),
+            _spec("hotspot", spike_flows, spike_params),
+            "flash-crowd",
+        ),
+        TrafficPhase(
+            round(spike_at + spike_len, 6),
+            _spec(pattern, base_flows, {}),
+            "recovery",
+        ),
+    )
+
+
+def elephant_schedule_phases(
+    waves: Sequence[int] = (2, 4, 1),
+    mice_per_wave: int = 3,
+) -> Tuple[TrafficPhase, ...]:
+    """Elephants arriving and departing on a schedule: wave ``i`` brings
+    ``waves[i]`` long-lived elephants (spanning its phase) plus a mice
+    background, so the heavy-hitter set changes mid-run."""
+    if not waves:
+        raise ValueError("schedule needs at least one wave")
+    n = len(waves)
+    return tuple(
+        TrafficPhase(
+            at_frac=round(i / n, 6),
+            traffic=_spec(
+                "elephant_mice",
+                elephants + mice_per_wave,
+                {"n_elephants": int(elephants)},
+            ),
+            label=f"wave-{i}",
+        )
+        for i, elephants in enumerate(waves)
+    )

@@ -22,6 +22,14 @@ Kinds
     Every link of router ``params["node"]`` (or an rng pick among
     non-edge routers, falling back to any router) fails at ``at``;
     ``restore_at`` optionally heals them.
+``rolling``
+    A regional outage sweeping across a sequence of links: each link in
+    ``params["links"]`` (or ``params["count"]`` contiguous picks among
+    router-router links, default 3) fails for ``params["dwell"]``
+    seconds (default 15% of the horizon) and recovers exactly as the
+    next link goes down, starting at ``params["at"]`` (default 20% of
+    the horizon).  The moving hole keeps the self-driving loop
+    re-routing throughout the run instead of reacting to one event.
 """
 
 from __future__ import annotations
@@ -118,6 +126,46 @@ def _node_down(
     return events
 
 
+def _rolling(
+    network: Network, spec: FailureSpec, horizon: float, rng: np.random.Generator
+) -> List[FailureEvent]:
+    links = spec.params.get("links")
+    if links is not None:
+        links = [tuple(link) for link in links]
+        for a, b in links:
+            network.link(a, b)  # raises KeyError for unknown links
+    else:
+        candidates = _router_links(network)
+        if not candidates:
+            raise ValueError("topology has no router-router links to fail")
+        count = int(spec.params.get("count", min(3, len(candidates))))
+        if count < 1:
+            raise ValueError("rolling failures need count >= 1")
+        start = int(rng.integers(len(candidates)))
+        # contiguous slice of the sorted link list: a "region" of the
+        # topology rather than scattered independent failures
+        links = [
+            candidates[(start + i) % len(candidates)] for i in range(count)
+        ]
+    at = float(spec.params.get("at", 0.2 * horizon))
+    dwell = float(spec.params.get("dwell", 0.15 * horizon))
+    if dwell <= 0:
+        raise ValueError("dwell must be positive")
+    events = []
+    t = at
+    for a, b in links:
+        if t >= horizon:
+            break
+        events.append(FailureEvent(at=round(t, 6), action="fail", a=a, b=b))
+        restore = t + dwell
+        if restore < horizon:
+            events.append(
+                FailureEvent(at=round(restore, 6), action="restore", a=a, b=b)
+            )
+        t = restore
+    return events
+
+
 def plan_failures(
     network: Network,
     spec: FailureSpec,
@@ -131,9 +179,11 @@ def plan_failures(
         events = _link_flap(network, spec, horizon, rng)
     elif spec.kind == "node_down":
         events = _node_down(network, spec, horizon, rng)
+    elif spec.kind == "rolling":
+        events = _rolling(network, spec, horizon, rng)
     else:
         raise KeyError(
             f"unknown failure kind {spec.kind!r}; "
-            "choose from ['none', 'link_flap', 'node_down']"
+            "choose from ['none', 'link_flap', 'node_down', 'rolling']"
         )
     return tuple(sorted(events, key=lambda e: (e.at, e.action, e.a, e.b)))

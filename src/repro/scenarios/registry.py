@@ -1,16 +1,21 @@
 """Named scenario registry: the evaluation suite that ships with the repo.
 
-Eleven built-ins cover the cross product the related work evaluates over
-— topology families (line / ring / fat tree / random geometric / random
-WAN / the paper's Global P4 Lab), traffic patterns (uniform / hotspot /
-bursty UDP / elephant-mice / the paper's explicit flow sets) and failure
-models (healthy / link flap / node failure).  Every scenario runs on
-both backends::
+The **static** built-ins cover the cross product the related work
+evaluates over — topology families (line / ring / fat tree / random
+geometric / random WAN / the paper's Global P4 Lab), traffic patterns
+(uniform / hotspot / bursty UDP / elephant-mice / the paper's explicit
+flow sets) and failure models (healthy / link flap / node failure).  The
+**dynamic** built-ins (see :mod:`repro.scenarios.dynamic`) add
+time-varying programs — diurnal sinusoids, flash crowds, elephant
+arrival/departure schedules, rolling regional outages — so the
+controller's re-optimization tick is stressed by *changing* conditions,
+the regime predictive-routing work (NeuRoute, AMPF) evaluates under.
+Every scenario runs on both backends::
 
     repro scenarios list
     repro scenarios run ring-link-flap
-    repro scenarios run ring-link-flap --backend fluid
-    repro scenarios compare line-baseline ring-uniform
+    repro scenarios run ring-diurnal --backend fluid
+    repro scenarios sweep fat-tree-flash-crowd --seeds 0-4 --jobs 4
 
 Register your own with :func:`register` (e.g. from a notebook or a
 plugin module); names must be unique.
@@ -20,6 +25,12 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from .dynamic import (
+    TrafficPhase,
+    diurnal_phases,
+    elephant_schedule_phases,
+    flash_crowd_phases,
+)
 from .spec import FailureSpec, PolicySpec, Scenario, TopologySpec, TrafficSpec
 
 __all__ = ["register", "get_scenario", "list_scenarios", "SCENARIOS"]
@@ -197,4 +208,123 @@ register(Scenario(
     traffic=TrafficSpec("uniform", n_flows=2),
     failures=FailureSpec("link_flap", {"link": ("r0", "r1")}),
     horizon=30.0,
+))
+
+
+# ----------------------------------------------------- dynamic built-ins
+# Time-varying programs (see repro.scenarios.dynamic): phase timelines
+# that change the offered load mid-run, so the closed loop must keep
+# re-deciding instead of converging once.
+
+register(Scenario(
+    name="ring-diurnal",
+    description="Six-router ring under one sinusoidal day: load climbs "
+                "from 2 to 8 flows mid-run and ebbs away; the periodic "
+                "re-optimizer rides the swell",
+    topology=TopologySpec("ring", {"n_routers": 6, "n_host_pairs": 2,
+                                   "rate_mbps": 50.0,
+                                   "host_rate_mbps": 100.0}),
+    phases=diurnal_phases(n_phases=6, peak_flows=8, trough_flows=2),
+    policy=PolicySpec(reoptimize_every=5.0),
+    horizon=60.0,
+))
+
+register(Scenario(
+    name="fat-tree-flash-crowd",
+    description="k=4 fat tree hit by a flash crowd: steady background, "
+                "then a 10-flow incast spike on h1 for a fifth of the "
+                "run, then recovery",
+    topology=TopologySpec("fat_tree", {"k": 4, "n_hosts": 4,
+                                       "rate_mbps": 25.0,
+                                       "host_rate_mbps": 50.0}),
+    phases=flash_crowd_phases(base_flows=3, spike_flows=10,
+                              spike_at=0.4, spike_len=0.2,
+                              hot_host="h1"),
+    policy=PolicySpec(reoptimize_every=5.0),
+    horizon=45.0,
+))
+
+register(Scenario(
+    name="wan-elephant-schedule",
+    description="Random WAN where the heavy-hitter set changes on a "
+                "schedule: waves of 2, then 4, then 1 elephants arrive "
+                "and depart, each with a mice background",
+    topology=TopologySpec("random_wan",
+                          {"n_routers": 8, "extra_edges": 5, "seed": 11,
+                           "n_host_pairs": 2, "rate_mbps": 50.0}),
+    phases=elephant_schedule_phases(waves=(2, 4, 1), mice_per_wave=3),
+    policy=PolicySpec(reoptimize_every=5.0),
+    horizon=60.0,
+))
+
+register(Scenario(
+    name="geo-rolling-failures",
+    description="Random geometric WAN with a regional outage rolling "
+                "across three links while the load doubles mid-run; "
+                "re-routing chases a moving hole",
+    topology=TopologySpec("random_geometric",
+                          {"n_routers": 10, "n_host_pairs": 2, "seed": 7,
+                           "rate_mbps": 50.0, "host_rate_mbps": 100.0}),
+    phases=(TrafficPhase(0.0, TrafficSpec("uniform", n_flows=3),
+                         "steady"),
+            TrafficPhase(0.5, TrafficSpec("uniform", n_flows=6),
+                         "surge")),
+    failures=FailureSpec("rolling", {"count": 3}),
+    policy=PolicySpec(reoptimize_every=4.0),
+    horizon=50.0,
+))
+
+register(Scenario(
+    name="p4lab-diurnal-hotspot",
+    description="The paper's Global P4 Lab under Fig. 12 caps where the "
+                "hot egress comes and goes: uniform trough, host2 "
+                "hotspot peak, twice over the horizon",
+    topology=TopologySpec("p4lab_fig12"),
+    phases=(TrafficPhase(0.0, TrafficSpec("uniform", n_flows=2),
+                         "trough-1"),
+            TrafficPhase(0.25, TrafficSpec("hotspot", n_flows=5,
+                                           params={"hot_host": "host2"}),
+                         "peak-1"),
+            TrafficPhase(0.5, TrafficSpec("uniform", n_flows=2),
+                         "trough-2"),
+            TrafficPhase(0.75, TrafficSpec("hotspot", n_flows=4,
+                                           params={"hot_host": "host2"}),
+                         "peak-2")),
+    policy=PolicySpec(reoptimize_every=5.0),
+    horizon=60.0,
+))
+
+register(Scenario(
+    name="ring-flash-udp",
+    description="Ring with steady TCP that a CBR UDP burst tramples "
+                "mid-run: elastic flows must shrink around the rigid "
+                "wave, then reclaim the capacity",
+    topology=TopologySpec("ring", {"n_routers": 6, "n_host_pairs": 2,
+                                   "rate_mbps": 50.0,
+                                   "host_rate_mbps": 100.0}),
+    phases=(TrafficPhase(0.0, TrafficSpec("uniform", n_flows=3),
+                         "tcp-base"),
+            TrafficPhase(0.4, TrafficSpec("bursty", n_flows=6,
+                                          params={"n_bursts": 2,
+                                                  "rate_mbps": 20.0}),
+                         "udp-wave"),
+            TrafficPhase(0.7, TrafficSpec("uniform", n_flows=3),
+                         "reclaim")),
+    policy=PolicySpec(reoptimize_every=4.0),
+    horizon=40.0,
+))
+
+register(Scenario(
+    name="wan-diurnal-flap",
+    description="Random WAN with diurnal load riding out a periodically "
+                "flapping link — time-varying traffic and failures at "
+                "once",
+    topology=TopologySpec("random_wan",
+                          {"n_routers": 8, "extra_edges": 5, "seed": 11,
+                           "n_host_pairs": 2, "rate_mbps": 50.0}),
+    phases=diurnal_phases(n_phases=4, peak_flows=6, trough_flows=2),
+    failures=FailureSpec("link_flap", {"at": 10.0, "restore_at": 20.0,
+                                       "period": 20.0}),
+    policy=PolicySpec(reoptimize_every=5.0),
+    horizon=60.0,
 ))

@@ -32,14 +32,22 @@ and Fig. 12 replays): call :meth:`ScenarioRunner.setup`, drive
 ``runner.sdn`` yourself, then :meth:`ScenarioRunner.inject_traffic` and
 your own phase logic.
 
+Dynamic scenarios (``Scenario.phases`` set) compile their phase timeline
+into the same flat ``FlowRequest`` list via
+:func:`repro.scenarios.dynamic.compile_phases`, so both backends apply
+phase transitions mid-run through their existing machinery: DES
+schedules each flow at its absolute start offset, and the fluid backend
+re-solves per capacity epoch (phase boundaries are epoch edges) and
+time-weights the epochs into one result.
+
 Metric semantics differ slightly by backend and are recorded as-is:
 ``drops`` counts tail-dropped packets in DES but (flow, epoch) outages in
 fluid; ``migrations`` counts PBR re-binds in DES but assignment moves off
 the default tunnel in fluid.  ICMP probe flows report 0 Mbps on both
-backends (they are latency instruments, not load), and the fluid model
-shares each full-duplex link's capacity between both directions — its
-inherited direction-insensitive convention — so it under-reports
-bidirectional workloads relative to DES.
+backends (they are latency instruments, not load).  Link capacities are
+**directed**: each direction of a full-duplex link has its own budget
+(:func:`repro.net.fluid.link_capacities` emits both directions), so
+bidirectional workloads no longer wrongly compete for one shared entry.
 """
 
 from __future__ import annotations
@@ -61,6 +69,7 @@ from repro.net.apps import PingApp, TcpFlow, UdpFlow
 from repro.net.fluid import FluidFlow, link_capacities, max_min_fair
 from repro.net.topology import Network
 
+from .dynamic import compile_phases
 from .failures import FailureEvent, plan_failures
 from .spec import Scenario
 from .traffic import generate_traffic
@@ -206,7 +215,9 @@ def _max_min_with_bounds(
             rate = bounds[name]
             rates[name] = rate
             for hop in zip(flow_paths[name][:-1], flow_paths[name][1:]):
-                key = tuple(sorted(hop))
+                # directed lookup, reversed fallback — the same key
+                # resolution max_min_fair applies
+                key = hop if hop in remaining else (hop[1], hop[0])
                 remaining[key] = max(0.0, remaining[key] - rate)
             del pending[name]
     return rates
@@ -275,9 +286,14 @@ class ScenarioRunner:
         self.network = scenario.topology.build()
         # fixed order: traffic first, then failures, so a given seed means
         # the same workload regardless of failure model changes
-        self.requests = generate_traffic(
-            self.network, scenario.traffic, scenario.horizon, rng
-        )
+        if scenario.phases is not None:
+            self.requests = compile_phases(
+                self.network, scenario.phases, scenario.horizon, rng
+            )
+        else:
+            self.requests = generate_traffic(
+                self.network, scenario.traffic, scenario.horizon, rng
+            )
         self.failure_plan = plan_failures(
             self.network, scenario.failures, scenario.horizon, rng
         )
@@ -307,6 +323,7 @@ class ScenarioRunner:
                 model_factory=model_factory,
                 telemetry_interval=scenario.policy.telemetry_interval,
                 reoptimize_every=scenario.policy.reoptimize_every,
+                reopt_threshold_mbps=scenario.policy.reopt_threshold_mbps,
             )
             for name, tid, path in self.tunnels:
                 self.sdn.add_tunnel(name, tid, path)
@@ -503,6 +520,14 @@ class ScenarioRunner:
         boundaries.update(
             e.at for e in self.failure_plan if 0.0 < e.at < horizon
         )
+        if scenario.phases is not None:
+            # phase transitions are epoch edges even when a phase offers
+            # no flows (the fluid model re-solves at every transition)
+            boundaries.update(
+                p.at_frac * horizon
+                for p in scenario.phases
+                if 0.0 < p.at_frac < 1.0
+            )
         edges = sorted(boundaries)
 
         rate_caps = {

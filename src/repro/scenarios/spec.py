@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Mapping, Optional, Tuple
 
 from repro.net.topology import Network
 from repro.topologies import (
@@ -41,6 +41,9 @@ from repro.topologies import (
     random_wan,
     ring_topology,
 )
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .dynamic import TrafficPhase
 
 __all__ = [
     "TopologySpec",
@@ -116,7 +119,11 @@ class FailureSpec:
       ``params["restore_at"]``, optionally repeating every
       ``params["period"]`` seconds;
     - ``"node_down"`` — every link of ``params["node"]`` fails at
-      ``params["at"]`` (and recovers at ``params["restore_at"]`` if set).
+      ``params["at"]`` (and recovers at ``params["restore_at"]`` if set);
+    - ``"rolling"`` — a regional outage sweeping across
+      ``params["links"]`` (or ``params["count"]`` contiguous picks): each
+      link fails for ``params["dwell"]`` seconds and recovers as the next
+      one goes down, starting at ``params["at"]``.
     """
 
     kind: str = "none"
@@ -139,6 +146,11 @@ class PolicySpec:
     reoptimize_every:
         If set, the Controller re-runs the joint flow->tunnel assignment
         this often and migrates flows (the self-driving loop).
+    reopt_threshold_mbps:
+        Incremental re-optimization sensitivity: a flow group is only
+        re-solved when a candidate link's telemetry moved more than this
+        many Mbps since the group's last solve (membership and link
+        up/down changes always re-solve).
     k_paths:
         Candidate tunnels derived per (ingress, egress) router pair when
         the scenario does not pin explicit tunnels.
@@ -149,6 +161,7 @@ class PolicySpec:
     objective: str = "max_bandwidth"
     model: str = "linear"
     reoptimize_every: Optional[float] = None
+    reopt_threshold_mbps: float = 1.0
     k_paths: int = 3
     telemetry_interval: float = 1.0
 
@@ -165,6 +178,12 @@ class Scenario:
     use this to reproduce Tunnels 1-3; generated topologies leave it
     ``None`` and let the runner derive ``k_paths`` shortest paths per
     (ingress, egress) pair.
+
+    ``phases``, when set, declares a *time-varying* traffic program as a
+    tuple of :class:`~repro.scenarios.dynamic.TrafficPhase` entries
+    (strictly increasing ``at_frac`` horizon fractions); the ``traffic``
+    field is then ignored and the runner compiles the timeline via
+    :func:`~repro.scenarios.dynamic.compile_phases`.
     """
 
     name: str
@@ -178,6 +197,7 @@ class Scenario:
     warmup: float = 5.0
     seed: int = 0
     tunnels: Optional[Tuple[Tuple[str, int, Tuple[str, ...]], ...]] = None
+    phases: Optional[Tuple["TrafficPhase", ...]] = None
 
     def __post_init__(self) -> None:
         if self.backend not in ("des", "fluid"):
@@ -188,6 +208,15 @@ class Scenario:
             raise ValueError("horizon must be positive")
         if self.warmup < 0:
             raise ValueError("warmup must be non-negative")
+        if self.phases is not None:
+            if not self.phases:
+                raise ValueError("phases, when set, must be non-empty")
+            fracs = [phase.at_frac for phase in self.phases]
+            if fracs != sorted(set(fracs)):
+                raise ValueError(
+                    "phase at_fracs must be strictly increasing, "
+                    f"got {fracs}"
+                )
 
     def with_overrides(self, **changes: Any) -> "Scenario":
         """A copy with the given fields replaced (spec stays immutable)."""

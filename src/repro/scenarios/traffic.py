@@ -19,9 +19,11 @@ Patterns
     burst saturating its paths for a fraction of the horizon — the
     on/off load that stresses drop handling and re-optimization.
 ``elephant_mice``
-    A few long-lived TCP elephants (a quarter of the budget, minimum
-    one) that span the horizon, plus many short mice flows arriving
-    throughout — the classic heavy-tailed mix.
+    A few long-lived TCP elephants (``params["n_elephants"]``, default a
+    quarter of the budget, minimum one) that span the horizon, plus many
+    short mice flows arriving throughout — the classic heavy-tailed mix.
+    Dynamic scenarios vary ``n_elephants`` per phase to express elephant
+    arrival/departure schedules.
 ``explicit``
     Literal flow dicts from ``spec.params["flows"]`` (each a
     :class:`~repro.framework.scheduler.FlowRequest` kwargs dict).  Used
@@ -156,7 +158,9 @@ def _elephant_mice(
     network: Network, spec: TrafficSpec, horizon: float, rng: np.random.Generator
 ) -> List[FlowRequest]:
     pairs = host_pairs(network)
-    n_elephants = max(1, spec.n_flows // 4)
+    n_elephants = int(
+        spec.params.get("n_elephants", max(1, spec.n_flows // 4))
+    )
     requests = []
     for i in range(spec.n_flows):
         src, dst = pairs[int(rng.integers(len(pairs)))]

@@ -40,7 +40,9 @@ __all__ = [
 
 #: Bump when ScenarioRunner semantics change: stale artifacts from the
 #: previous behaviour then miss instead of silently serving old numbers.
-CACHE_VERSION = 1
+#: v2: directed link capacities — fluid results for bidirectional
+#: workloads changed, so v1 artifacts must not be served.
+CACHE_VERSION = 2
 
 #: Where sweeps cache by default (relative to the working directory).
 DEFAULT_CACHE_DIR = Path(".sweep-cache")

@@ -165,3 +165,114 @@ class TestFig11Migration:
         assert "MIA" in links
         table = sdn.dashboard.flow_table()
         assert "f1" in table and "T1" in table
+
+
+class TestIncrementalReoptimization:
+    def test_unchanged_group_skipped_on_second_tick(self):
+        sdn = build_sdn()
+        sdn.run(until=35.0)
+        sdn.request_flow(flow_name="f1", src="host1", dst="host2",
+                         protocol="tcp", tos=32, duration=30.0)
+        controller = sdn.controller
+        controller.reoptimize_now()
+        assert controller.reopt_solved == 1
+        # no sim time has passed: membership, link state and telemetry
+        # are all identical, so the group must be skipped
+        controller.reoptimize_now()
+        assert controller.reopt_solved == 1
+        assert controller.reopt_skipped == 1
+
+    def test_link_state_change_forces_resolve(self):
+        sdn = build_sdn()
+        sdn.run(until=35.0)
+        sdn.request_flow(flow_name="f1", src="host1", dst="host2",
+                         protocol="tcp", tos=32, duration=30.0)
+        controller = sdn.controller
+        controller.reoptimize_now()
+        controller.reoptimize_now()
+        solved = controller.reopt_solved
+        sdn.network.fail_link("MIA", "SAO")  # on candidate tunnel T1
+        controller.reoptimize_now()
+        assert controller.reopt_solved == solved + 1
+
+    def test_membership_change_forces_resolve(self):
+        sdn = build_sdn()
+        sdn.run(until=35.0)
+        sdn.request_flow(flow_name="f1", src="host1", dst="host2",
+                         protocol="tcp", tos=32, duration=30.0)
+        controller = sdn.controller
+        controller.reoptimize_now()
+        controller.reoptimize_now()
+        solved = controller.reopt_solved
+        sdn.request_flow(flow_name="f2", src="host1", dst="host2",
+                         protocol="tcp", tos=64, duration=30.0)
+        controller.reoptimize_now()
+        assert controller.reopt_solved == solved + 1
+
+    def test_batched_tick_uses_one_hecate_request(self):
+        """A re-optimization tick issues exactly one ask_path_batch
+        message no matter how many groups are stale."""
+        sdn = build_sdn()
+        sdn.run(until=35.0)
+        sdn.request_flow(flow_name="f1", src="host1", dst="host2",
+                         protocol="tcp", tos=32, duration=30.0)
+        before = [m.topic for m in sdn.bus.log].count(
+            "hecate.ask_path_batch"
+        )
+        sdn.controller.reoptimize_now()
+        topics = [m.topic for m in sdn.bus.log]
+        assert topics.count("hecate.ask_path_batch") == before + 1
+        # decisions audit keeps growing through the batch path
+        assert sdn.decision_log()
+
+    def test_fig12_spread_still_reaches_all_tunnels(self):
+        """The incremental tick must not lose the Fig. 12 behaviour:
+        the first solve spreads the three flows over T1-T3."""
+        sdn = build_sdn(reoptimize_every=5.0)
+        sdn.run(until=35.0)
+        for i, tos in enumerate([32, 64, 96], start=1):
+            sdn.request_flow(flow_name=f"f{i}", src="host1", dst="host2",
+                             protocol="tcp", tos=tos, duration=45.0)
+        sdn.run(until=80.0)
+        tunnels = sorted(sdn.flow(f"f{i}").tunnel for i in range(1, 4))
+        assert tunnels == ["T1", "T2", "T3"]
+        # steady state after the spread: ticks keep getting skipped
+        assert sdn.controller.reopt_skipped > 0
+
+
+class TestFlowRateEstimateWindow:
+    def test_window_clamped_to_flow_start(self):
+        """An early re-optimization tick must average a young flow over
+        its actual lifetime, not a 5 s window padded with pre-start
+        zeros (which halved the estimate here)."""
+        sdn = build_sdn()
+        sdn.run(until=35.0)
+        sdn.request_flow(flow_name="f1", src="host1", dst="host2",
+                         protocol="tcp", tos=32, duration=30.0)
+        sdn.run(until=37.0)  # flow is 2 s old, now - 5 predates it
+        record = sdn.flow("f1")
+        app = record.app
+        now = sdn.network.sim.now
+        estimate = sdn.controller._flow_rate_estimate(record)
+        assert estimate == pytest.approx(
+            app.goodput_mbps(app.started_at, now)
+        )
+        diluted = app.goodput_mbps(max(0.0, now - 5.0), now)
+        assert estimate > diluted * 2.0  # 35..37 of a [32,37] window
+
+    def test_not_yet_started_flows_excluded_from_reoptimization(self):
+        """A placed flow whose start_at lies in the future carries no
+        load yet; the optimizer must not migrate live flows to make
+        room for it (phased scenarios schedule starts deep into the
+        horizon)."""
+        sdn = build_sdn()
+        sdn.run(until=35.0)
+        sdn.request_flow(flow_name="live", src="host1", dst="host2",
+                         protocol="tcp", tos=32, duration=30.0)
+        sdn.request_flow(flow_name="later", src="host1", dst="host2",
+                         protocol="udp", tos=64, rate_mbps=15.0,
+                         duration=10.0, start_at=100.0)
+        controller = sdn.controller
+        controller.reoptimize_now()
+        sig = controller._group_snapshots[("MIA", "AMS")]
+        assert [name for name, _ in sig[0]] == ["live"]

@@ -10,6 +10,7 @@ import pytest
 from repro.bus import MessageBus
 from repro.datasets import generate_uq_wireless
 from repro.hecate import (
+    ASK_PATH_BATCH_TOPIC,
     ASK_PATH_TOPIC,
     HecateService,
     PAPER_FIG6_RMSE,
@@ -166,3 +167,83 @@ class TestHecateService:
         service = HecateService(db, model_factory=LinearRegression)
         forecast = service.forecast_path("T1", horizon=20)
         assert (forecast.available_mbps >= 0.0).all()
+
+
+class TestHecateBatchRecommendations:
+    def test_one_recommendation_per_group(self):
+        service = HecateService(seeded_db(), model_factory=LinearRegression)
+        recs = service.recommend_batch([
+            {"paths": ["T1", "T2"], "objective": "max_bandwidth"},
+            {"paths": ["T1", "T2"], "objective": "min_latency"},
+        ])
+        assert [r.path for r in recs] == ["T2", "T2"]
+        assert [r.objective for r in recs] == ["max_bandwidth", "min_latency"]
+
+    def test_batch_matches_individual_recommendations(self):
+        batched = HecateService(seeded_db(), model_factory=LinearRegression)
+        single = HecateService(seeded_db(), model_factory=LinearRegression)
+        groups = [{"paths": ["T1", "T2"]}, {"paths": ["T2"]}]
+        recs = batched.recommend_batch(groups)
+        for group, rec in zip(groups, recs):
+            alone = single.recommend(group["paths"])
+            assert rec.path == alone.path
+            assert rec.forecasts == alone.forecasts
+
+    def test_shared_paths_forecast_once(self):
+        """The point of batching: a tunnel shared by N groups is fitted
+        once, not N times."""
+        calls = []
+        service = HecateService(seeded_db(), model_factory=LinearRegression)
+        original = service.forecast_path
+
+        def counting(path, horizon=10):
+            calls.append(path)
+            return original(path, horizon=horizon)
+
+        service.forecast_path = counting
+        service.recommend_batch([
+            {"paths": ["T1", "T2"]},
+            {"paths": ["T1", "T2"]},
+            {"paths": ["T2"]},
+        ])
+        assert sorted(calls) == ["T1", "T2"]
+
+    def test_empty_batch_rejected(self):
+        service = HecateService(seeded_db(), model_factory=LinearRegression)
+        with pytest.raises(ValueError):
+            service.recommend_batch([])
+
+    def test_bus_batch_interface(self):
+        bus = MessageBus()
+        HecateService(seeded_db(), bus=bus, model_factory=LinearRegression)
+        replies = bus.request(
+            ASK_PATH_BATCH_TOPIC,
+            groups=[{"paths": ["T1", "T2"]}, {"paths": ["T1"]}],
+        )
+        assert len(replies) == 1 and replies[0]["ok"]
+        recs = replies[0]["recommendations"]
+        assert all(r["ok"] for r in recs)
+        assert [r["path"] for r in recs] == ["T2", "T1"]
+
+    def test_bus_batch_isolates_group_failures(self):
+        """A group whose forecast fails (no telemetry for its tunnel)
+        must not void the other groups' recommendations."""
+        bus = MessageBus()
+        HecateService(seeded_db(), bus=bus, model_factory=LinearRegression)
+        replies = bus.request(
+            ASK_PATH_BATCH_TOPIC,
+            groups=[{"paths": ["T1", "T2"]},
+                    {"paths": ["ghost"]},
+                    {"paths": ["T2"]}],
+        )
+        assert replies[0]["ok"]
+        healthy, broken, alone = replies[0]["recommendations"]
+        assert healthy["ok"] and healthy["path"] == "T2"
+        assert broken["ok"] is False and "ghost" in broken["error"]
+        assert alone["ok"] and alone["path"] == "T2"
+
+    def test_bus_batch_empty_rejected(self):
+        bus = MessageBus()
+        HecateService(seeded_db(), bus=bus, model_factory=LinearRegression)
+        replies = bus.request(ASK_PATH_BATCH_TOPIC, groups=[])
+        assert replies[0]["ok"] is False

@@ -1,0 +1,204 @@
+"""Vectorized max-min solver vs the scalar oracle, directed capacities,
+and the relative-epsilon saturation fix."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.fluid import (
+    FluidFlow,
+    link_capacities,
+    max_min_fair,
+    total_throughput,
+)
+from repro.net.topology import Network
+
+
+def random_case(seed, n_links=None, n_flows=None):
+    """A random flow/link set (directed keys, arbitrary paths)."""
+    rng = np.random.default_rng(seed)
+    n_links = n_links or int(rng.integers(3, 40))
+    n_flows = n_flows or int(rng.integers(1, 60))
+    links = [(f"a{i}", f"b{i}") for i in range(n_links)]
+    caps = {link: float(rng.uniform(0.5, 5000.0)) for link in links}
+    flows = []
+    for f in range(n_flows):
+        k = int(rng.integers(1, min(6, n_links) + 1))
+        chosen = rng.choice(n_links, size=k, replace=False)
+        flows.append(
+            FluidFlow(name=f"f{f}", links=tuple(links[i] for i in chosen))
+        )
+    return flows, caps
+
+
+class TestVectorizedMatchesScalar:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_property_cross_check(self, seed):
+        """Property: on randomized flow/link sets, the vectorized and
+        scalar solvers agree to 1e-9 (relative to each rate)."""
+        flows, caps = random_case(seed)
+        scalar = max_min_fair(flows, caps, method="scalar")
+        vector = max_min_fair(flows, caps, method="vector")
+        assert scalar.keys() == vector.keys()
+        for name in scalar:
+            assert vector[name] == pytest.approx(
+                scalar[name], rel=1e-9, abs=1e-9
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_allocation_is_feasible(self, seed):
+        """No link carries more than its capacity (tiny float slack)."""
+        flows, caps = random_case(seed)
+        rates = max_min_fair(flows, caps)
+        load = {link: 0.0 for link in caps}
+        for flow in flows:
+            for link in flow.links:
+                load[link] += rates[flow.name]
+        for link, capacity in caps.items():
+            assert load[link] <= capacity * (1.0 + 1e-6)
+
+    def test_auto_dispatches_both_ways(self):
+        flows, caps = random_case(3, n_links=10, n_flows=5)
+        assert max_min_fair(flows, caps) == pytest.approx(
+            max_min_fair(flows, caps, method="vector")
+        )
+        flows, caps = random_case(4, n_links=20, n_flows=50)
+        assert max_min_fair(flows, caps) == pytest.approx(
+            max_min_fair(flows, caps, method="scalar")
+        )
+
+    def test_unknown_method_rejected(self):
+        flows, caps = random_case(5)
+        with pytest.raises(ValueError):
+            max_min_fair(flows, caps, method="simd")
+
+    def test_empty_flow_set(self):
+        assert max_min_fair([], {("a", "b"): 10.0}) == {}
+
+    @pytest.mark.parametrize("method", ["scalar", "vector"])
+    def test_repeated_link_counts_per_traversal(self, method):
+        """A flow crossing one capacity entry twice (both directions of
+        an undirected map) consumes it twice; the scalar solver once
+        counted such a flow as a single user and over-allocated 15 Mbps
+        onto a 10 Mbps link (vector and scalar also disagreed)."""
+        caps = {("a", "b"): 10.0}
+        flows = [
+            FluidFlow(name="f0", links=(("a", "b"), ("b", "a"))),
+            FluidFlow(name="f1", links=(("a", "b"),)),
+        ]
+        rates = max_min_fair(flows, caps, method=method)
+        assert rates["f0"] == pytest.approx(10.0 / 3)
+        assert rates["f1"] == pytest.approx(10.0 / 3)
+
+    @pytest.mark.parametrize("method", ["scalar", "vector"])
+    def test_rates_returned_in_input_order(self, method):
+        """Regression: rates must be inserted in input (flow) order, not
+        set-iteration order — downstream float sums over rates.values()
+        would otherwise vary with PYTHONHASHSEED, flipping exact ties in
+        assign_flows between processes."""
+        flows, caps = random_case(11)
+        rates = max_min_fair(flows, caps, method=method)
+        assert list(rates) == [flow.name for flow in flows]
+
+
+class TestDirectedCapacities:
+    def build_line(self):
+        net = Network()
+        net.add_host("h1", ip="10.0.0.1")
+        net.add_host("h2", ip="10.0.0.2")
+        net.add_router("r1", edge=True)
+        net.add_router("r2", edge=True)
+        net.add_link("h1", "r1", rate_mbps=100.0)
+        net.add_link("r1", "r2", rate_mbps=10.0)
+        net.add_link("r2", "h2", rate_mbps=100.0)
+        return net.build()
+
+    def test_both_directions_emitted(self):
+        caps = link_capacities(self.build_line())
+        assert caps[("r1", "r2")] == 10.0
+        assert caps[("r2", "r1")] == 10.0
+        # one entry per direction per link
+        assert len(caps) == 6
+
+    def test_opposite_directions_do_not_compete(self):
+        """Regression: full-duplex semantics.  Two flows crossing the
+        same link in opposite directions each get the full rate; the old
+        tuple(sorted(...)) collapse made them share one 10 Mbps entry
+        (5 Mbps each)."""
+        caps = link_capacities(self.build_line())
+        rates = max_min_fair(
+            [
+                FluidFlow.from_path("east", ("r1", "r2")),
+                FluidFlow.from_path("west", ("r2", "r1")),
+            ],
+            caps,
+        )
+        assert rates["east"] == pytest.approx(10.0)
+        assert rates["west"] == pytest.approx(10.0)
+
+    def test_same_direction_still_shares(self):
+        caps = link_capacities(self.build_line())
+        rates = max_min_fair(
+            [
+                FluidFlow.from_path("one", ("r1", "r2")),
+                FluidFlow.from_path("two", ("r1", "r2")),
+            ],
+            caps,
+        )
+        assert rates["one"] == pytest.approx(5.0)
+        assert rates["two"] == pytest.approx(5.0)
+
+    def test_undirected_maps_still_share_one_entry(self):
+        """Legacy behaviour preserved: an undirected capacity map (one
+        entry per link) makes both directions draw on that one entry."""
+        rates = max_min_fair(
+            [
+                FluidFlow.from_path("east", ("a", "b")),
+                FluidFlow.from_path("west", ("b", "a")),
+            ],
+            {("a", "b"): 10.0},
+        )
+        assert rates["east"] == pytest.approx(5.0)
+        assert rates["west"] == pytest.approx(5.0)
+
+
+class TestRelativeEpsilonSaturation:
+    @pytest.mark.parametrize("method", ["scalar", "vector"])
+    def test_large_capacity_grid_fully_allocates(self, method):
+        """Regression: with huge capacities the float residue of
+        ``remaining -= inc * users`` exceeds any absolute epsilon (here
+        link A retains 128.0 after its saturating round), so under the
+        old ``<= 1e-12`` test A never registered as saturated, filling
+        stopped early, and f1 froze at A's fair share (~3.67e17) instead
+        of growing on to C's 6e17."""
+        cap_a = 1.1000000000000001e18  # chosen so cap - 3*(cap/3) == 128.0
+        caps = {("x", "a"): cap_a, ("x", "c"): 6e17}
+        flows = [
+            FluidFlow(name="f1", links=(("x", "c"),)),
+            FluidFlow(name="f2", links=(("x", "a"),)),
+            FluidFlow(name="f3", links=(("x", "a"),)),
+            FluidFlow(name="f4", links=(("x", "a"),)),
+        ]
+        rates = max_min_fair(flows, caps, method=method)
+        assert rates["f1"] == pytest.approx(6e17, rel=1e-6)
+        for name in ("f2", "f3", "f4"):
+            assert rates[name] == pytest.approx(cap_a / 3, rel=1e-6)
+
+    @pytest.mark.parametrize("method", ["scalar", "vector"])
+    def test_terminates_on_degenerate_capacities(self, method):
+        """Zero-ish and astronomically mixed capacities must terminate
+        deterministically (the underflow break), never spin."""
+        caps = {("x", "a"): 1e-15, ("x", "b"): 1e18}
+        flows = [
+            FluidFlow(name="tiny", links=(("x", "a"), ("x", "b"))),
+            FluidFlow(name="big", links=(("x", "b"),)),
+        ]
+        rates = max_min_fair(flows, caps, method=method)
+        assert rates["tiny"] == pytest.approx(0.0, abs=1e-9)
+        assert rates["big"] == pytest.approx(1e18, rel=1e-6)
+
+    def test_total_throughput_helper(self):
+        assert total_throughput({"a": 1.5, "b": 2.5}) == pytest.approx(4.0)

@@ -1,0 +1,275 @@
+"""Dynamic scenarios: phase compilation, program builders, both
+backends, and sweep-engine determinism across worker counts."""
+
+import numpy as np
+import pytest
+
+from repro.scenarios import (
+    FailureSpec,
+    Scenario,
+    ScenarioRunner,
+    TopologySpec,
+    TrafficPhase,
+    TrafficSpec,
+    compile_phases,
+    diurnal_phases,
+    elephant_schedule_phases,
+    flash_crowd_phases,
+    get_scenario,
+    list_scenarios,
+    plan_failures,
+)
+
+RING = TopologySpec("ring", {"n_routers": 6, "n_host_pairs": 2,
+                             "rate_mbps": 50.0, "host_rate_mbps": 100.0})
+
+
+def ring_network():
+    return RING.build()
+
+
+class TestTrafficPhase:
+    def test_at_frac_range_enforced(self):
+        with pytest.raises(ValueError):
+            TrafficPhase(at_frac=1.0, traffic=TrafficSpec())
+        with pytest.raises(ValueError):
+            TrafficPhase(at_frac=-0.1, traffic=TrafficSpec())
+
+    def test_scenario_requires_increasing_phases(self):
+        phases = (
+            TrafficPhase(0.5, TrafficSpec("uniform", 2)),
+            TrafficPhase(0.25, TrafficSpec("uniform", 2)),
+        )
+        with pytest.raises(ValueError):
+            Scenario(name="x", description="", topology=RING, phases=phases)
+        with pytest.raises(ValueError):
+            Scenario(name="x", description="", topology=RING, phases=())
+
+    def test_duplicate_at_frac_rejected(self):
+        phases = (
+            TrafficPhase(0.25, TrafficSpec("uniform", 2)),
+            TrafficPhase(0.25, TrafficSpec("uniform", 3)),
+        )
+        with pytest.raises(ValueError):
+            Scenario(name="x", description="", topology=RING, phases=phases)
+
+
+class TestCompilePhases:
+    PHASES = (
+        TrafficPhase(0.0, TrafficSpec("uniform", 3), "base"),
+        TrafficPhase(0.5, TrafficSpec("uniform", 5), "surge"),
+    )
+
+    def test_flows_land_in_their_phase_windows(self):
+        requests = compile_phases(
+            ring_network(), self.PHASES, 40.0, np.random.default_rng(0)
+        )
+        assert len(requests) == 8
+        base = [r for r in requests if r.flow_name.startswith("p0.")]
+        surge = [r for r in requests if r.flow_name.startswith("p1.")]
+        assert len(base) == 3 and len(surge) == 5
+        # uniform starts in the first quarter of each phase window
+        assert all(0.0 <= r.start_at <= 5.0 for r in base)
+        assert all(20.0 <= r.start_at <= 25.0 for r in surge)
+
+    def test_names_and_tos_unique_across_phases(self):
+        requests = compile_phases(
+            ring_network(), self.PHASES, 40.0, np.random.default_rng(0)
+        )
+        names = [r.flow_name for r in requests]
+        tosses = [r.tos for r in requests]
+        assert len(set(names)) == len(names)
+        assert len(set(tosses)) == len(tosses)
+        assert all(1 <= t <= 255 for t in tosses)
+
+    def test_deterministic_per_seed(self):
+        first = compile_phases(
+            ring_network(), self.PHASES, 40.0, np.random.default_rng(7)
+        )
+        second = compile_phases(
+            ring_network(), self.PHASES, 40.0, np.random.default_rng(7)
+        )
+        assert first == second
+        third = compile_phases(
+            ring_network(), self.PHASES, 40.0, np.random.default_rng(8)
+        )
+        assert first != third
+
+    def test_tos_budget_enforced(self):
+        phases = tuple(
+            TrafficPhase(i / 4, TrafficSpec("uniform", 70))
+            for i in range(4)
+        )
+        with pytest.raises(ValueError):
+            compile_phases(
+                ring_network(), phases, 40.0, np.random.default_rng(0)
+            )
+
+
+class TestProgramBuilders:
+    def test_diurnal_trough_peak_shape(self):
+        phases = diurnal_phases(n_phases=6, peak_flows=9, trough_flows=2)
+        assert len(phases) == 6
+        counts = [p.traffic.n_flows for p in phases]
+        assert counts[0] == 2  # trough at t=0
+        assert max(counts) == 9  # peak mid-run
+        assert counts[3] == max(counts)
+        fracs = [p.at_frac for p in phases]
+        assert fracs == sorted(set(fracs))
+
+    def test_diurnal_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_phases(n_phases=1)
+        with pytest.raises(ValueError):
+            diurnal_phases(peak_flows=1, trough_flows=5)
+
+    def test_flash_crowd_window(self):
+        phases = flash_crowd_phases(
+            base_flows=2, spike_flows=8, spike_at=0.3, spike_len=0.2,
+            hot_host="h1",
+        )
+        assert [p.label for p in phases] == [
+            "pre-crowd", "flash-crowd", "recovery",
+        ]
+        assert phases[1].traffic.pattern == "hotspot"
+        assert phases[1].traffic.params["hot_host"] == "h1"
+        with pytest.raises(ValueError):
+            flash_crowd_phases(spike_at=0.9, spike_len=0.2)
+
+    def test_elephant_schedule_waves(self):
+        phases = elephant_schedule_phases(waves=(2, 4), mice_per_wave=3)
+        assert len(phases) == 2
+        assert phases[0].traffic.params["n_elephants"] == 2
+        assert phases[1].traffic.params["n_elephants"] == 4
+        assert phases[1].traffic.n_flows == 7
+        with pytest.raises(ValueError):
+            elephant_schedule_phases(waves=())
+
+
+class TestRollingFailures:
+    def test_region_sweeps_one_link_at_a_time(self):
+        net = ring_network()
+        plan = plan_failures(
+            net,
+            FailureSpec("rolling", {"count": 3, "at": 10.0, "dwell": 5.0}),
+            40.0,
+            np.random.default_rng(0),
+        )
+        fails = [e for e in plan if e.action == "fail"]
+        restores = [e for e in plan if e.action == "restore"]
+        assert len(fails) == 3 and len(restores) == 3
+        # each link recovers exactly when the next goes down
+        assert [e.at for e in fails] == [10.0, 15.0, 20.0]
+        assert [e.at for e in restores] == [15.0, 20.0, 25.0]
+        assert len({(e.a, e.b) for e in fails}) == 3
+
+    def test_explicit_links_validated(self):
+        net = ring_network()
+        with pytest.raises(KeyError):
+            plan_failures(
+                net,
+                FailureSpec("rolling", {"links": [("r0", "nope")]}),
+                40.0,
+                np.random.default_rng(0),
+            )
+
+
+class TestDynamicScenarioRuns:
+    def test_registry_has_at_least_six_dynamic_scenarios(self):
+        dynamic = [s for s in list_scenarios() if s.phases]
+        assert len(dynamic) >= 6
+        assert all(s.phases == tuple(sorted(
+            s.phases, key=lambda p: p.at_frac
+        )) for s in dynamic)
+
+    def test_quick_override_rescales_not_truncates(self):
+        """Phase starts are horizon fractions: a shorter horizon keeps
+        every phase (scaled), so quick test runs still exercise the full
+        dynamic shape."""
+        scenario = get_scenario("ring-diurnal").quick(horizon=8.0)
+        runner = ScenarioRunner(scenario, backend="fluid")
+        runner.setup()
+        prefixes = {r.flow_name.split(".")[0] for r in runner.requests}
+        assert prefixes == {f"p{i}" for i in range(len(scenario.phases))}
+
+    def test_fluid_offered_load_varies_over_phases(self):
+        result = ScenarioRunner(
+            get_scenario("fat-tree-flash-crowd"), backend="fluid"
+        ).run()
+        assert result.placed == result.offered == 16  # 3 + 10 + 3
+        assert result.total_throughput_mbps > 0.0
+
+    def test_des_dynamic_run_is_deterministic(self):
+        scenario = get_scenario("ring-flash-udp").quick(
+            horizon=6.0, warmup=1.0
+        )
+        first = ScenarioRunner(scenario, backend="des").run()
+        second = ScenarioRunner(scenario, backend="des").run()
+        assert first == second
+        assert first.placed == first.offered > 0
+
+    def test_rolling_failure_scenario_blacks_out_epochs(self):
+        result = ScenarioRunner(
+            get_scenario("geo-rolling-failures"), backend="fluid"
+        ).run()
+        assert result.failure_events == 6
+        assert result.drops >= 1  # at least one (flow, epoch) outage
+
+
+class TestCrossProcessDeterminism:
+    def test_result_stable_across_hash_seeds(self):
+        """Regression: fluid results must not depend on PYTHONHASHSEED
+        (set-iteration order once leaked into max-min rate dicts, whose
+        float-sum order flipped assignment ties between processes —
+        which pool workers inherit, but fresh CLI invocations do not)."""
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        code = (
+            "from repro.scenarios import ScenarioRunner, get_scenario\n"
+            "r = ScenarioRunner(get_scenario('ring-diurnal'),"
+            " backend='fluid', seed=0).run()\n"
+            "print(sorted(r.per_flow_mbps.items()))\n"
+        )
+        outputs = []
+        for hash_seed in ("0", "1"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in (src, env.get("PYTHONPATH")) if p
+            )
+            outputs.append(
+                subprocess.run(
+                    [sys.executable, "-c", code],
+                    capture_output=True, text=True, env=env, check=True,
+                ).stdout
+            )
+        assert outputs[0] == outputs[1]
+
+
+class TestSweepDeterminism:
+    def test_jobs2_byte_identical_to_jobs1(self, tmp_path):
+        """Dynamic scenarios through the sweep engine: parallel execution
+        must be byte-identical to serial (ordered collection + per-cell
+        seeding survive the phase machinery)."""
+        from repro.sweep import SweepEngine, SweepSpec, render_json
+
+        spec = SweepSpec(
+            scenarios=("ring-diurnal", "wan-elephant-schedule"),
+            seeds=(0, 1),
+            backends=("fluid",),
+        )
+        serial = SweepEngine(spec, jobs=1).run()
+        parallel = SweepEngine(spec, jobs=2).run()
+        assert serial.results == parallel.results
+        from repro.sweep import aggregate
+
+        assert render_json(
+            serial.runs, serial.results, aggregate(serial.runs, serial.results)
+        ) == render_json(
+            parallel.runs,
+            parallel.results,
+            aggregate(parallel.runs, parallel.results),
+        )
