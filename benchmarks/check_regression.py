@@ -7,6 +7,11 @@ Usage::
     python benchmarks/check_regression.py bench.json benchmarks/baseline.json \
         --update          # rewrite the baseline from this run
     python benchmarks/check_regression.py ... --threshold 2.0
+    python benchmarks/check_regression.py ... --markdown summary.md
+        # also emit the comparison as a GitHub-flavoured markdown table
+        # (CI appends it to $GITHUB_STEP_SUMMARY and uploads it as an
+        # artifact, so bench deltas are readable without downloading
+        # bench.json)
 
 ``bench.json`` is pytest-benchmark output
 (``pytest benchmarks --benchmark-json=bench.json``); the baseline is the
@@ -58,26 +63,96 @@ def write_baseline(path: Path, means: Dict[str, float]) -> None:
     )
 
 
+def classify(
+    current: Dict[str, float], baseline: Dict[str, float], threshold: float
+) -> list:
+    """One ``(name, base_mean, current_mean, ratio, status)`` row per
+    benchmark, statuses in {"regressed", "ok", "missing", "new"}.
+
+    The single source of truth for both the console gate
+    (:func:`compare`) and the markdown step summary
+    (:func:`render_markdown`): the exit code and the table can never
+    disagree about what regressed.  ``ratio`` is ``None`` for missing
+    and new entries.
+    """
+    rows = []
+    for name in sorted(baseline):
+        if name not in current:
+            rows.append((name, baseline[name], None, None, "missing"))
+            continue
+        ratio = (
+            current[name] / baseline[name] if baseline[name] else float("inf")
+        )
+        status = "regressed" if ratio > threshold else "ok"
+        rows.append((name, baseline[name], current[name], ratio, status))
+    for name in sorted(set(current) - set(baseline)):
+        rows.append((name, None, current[name], None, "new"))
+    return rows
+
+
+_STATUS_BADGES = {
+    "regressed": "❌ regressed",
+    "ok": "✅ ok",
+    "missing": "⚠️ missing",
+    "new": "🆕 new",
+}
+
+
+def render_markdown(
+    current: Dict[str, float], baseline: Dict[str, float], threshold: float
+) -> str:
+    """The comparison as a GitHub-flavoured markdown table.
+
+    Same rows as :func:`compare` (one shared :func:`classify` pass),
+    worst ratio first so a regression is the first thing a step summary
+    shows.
+    """
+    rows = classify(current, baseline, threshold)
+    rows.sort(
+        key=lambda row: (-(row[3] if row[3] is not None else -1.0), row[0])
+    )
+    regressed = sum(1 for row in rows if row[4] == "regressed")
+    lines = [
+        f"### Benchmark gate: {'❌ ' if regressed else '✅ '}"
+        f"{regressed} regression(s) beyond {threshold:.1f}x "
+        f"({len(baseline)} tracked)",
+        "",
+        "| benchmark | baseline | current | ratio | verdict |",
+        "| --- | ---: | ---: | ---: | :-- |",
+    ]
+    for name, base, cur, ratio, status in rows:
+        base_ms = f"{base * 1e3:.2f} ms" if base is not None else "—"
+        cur_ms = f"{cur * 1e3:.2f} ms" if cur is not None else "—"
+        ratio_s = f"{ratio:.2f}x" if ratio is not None else "—"
+        lines.append(
+            f"| `{name}` | {base_ms} | {cur_ms} | {ratio_s} "
+            f"| {_STATUS_BADGES[status]} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
 def compare(
     current: Dict[str, float], baseline: Dict[str, float], threshold: float
 ) -> int:
     regressions = []
     width = max((len(name) for name in baseline), default=10)
-    for name in sorted(baseline):
-        if name not in current:
+    for name, base, cur, ratio, status in classify(
+        current, baseline, threshold
+    ):
+        if status == "missing":
             print(f"MISSING  {name}  (in baseline, not in this run)")
             continue
-        ratio = current[name] / baseline[name] if baseline[name] else float("inf")
-        verdict = "REGRESSED" if ratio > threshold else "ok"
+        if status == "new":
+            print(f"NEW      {name}  (not in baseline; --update to track it)")
+            continue
+        verdict = "REGRESSED" if status == "regressed" else "ok"
         print(
             f"{verdict:<9} {name:<{width}}  "
-            f"{baseline[name] * 1e3:10.2f}ms -> {current[name] * 1e3:10.2f}ms "
+            f"{base * 1e3:10.2f}ms -> {cur * 1e3:10.2f}ms "
             f"({ratio:5.2f}x)"
         )
-        if ratio > threshold:
+        if status == "regressed":
             regressions.append((name, ratio))
-    for name in sorted(set(current) - set(baseline)):
-        print(f"NEW      {name}  (not in baseline; --update to track it)")
     if regressions:
         print(
             f"\n{len(regressions)} benchmark(s) regressed beyond "
@@ -102,6 +177,10 @@ def main(argv=None) -> int:
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from this run instead "
                         "of comparing")
+    parser.add_argument("--markdown", type=Path, default=None,
+                        help="also write the comparison as a markdown "
+                        "table to this path (for $GITHUB_STEP_SUMMARY "
+                        "and artifact upload)")
     args = parser.parse_args(argv)
 
     current = load_current(args.current)
@@ -110,7 +189,15 @@ def main(argv=None) -> int:
         print(f"baseline updated: {len(current)} benchmarks "
               f"-> {args.baseline}")
         return 0
-    return compare(current, load_baseline(args.baseline), args.threshold)
+    baseline = load_baseline(args.baseline)
+    if args.markdown is not None:
+        # written before the gate verdict, so a failing run still
+        # leaves a readable summary behind
+        args.markdown.write_text(
+            render_markdown(current, baseline, args.threshold),
+            encoding="utf-8",
+        )
+    return compare(current, baseline, args.threshold)
 
 
 if __name__ == "__main__":

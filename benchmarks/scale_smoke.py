@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""CI gate for the scale tier: run one ``scale-*`` scenario on the
+hybrid backend under a hard wall-clock budget and an events/second
+floor.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/scale_smoke.py scale-fat-tree-2k \
+        --budget-s 180 --min-events-per-s 20000 [--horizon 10 --warmup 2]
+
+The wall-clock budget catches the hybrid pipeline getting slower
+(background solves exploding, epoch coalescing regressing); the
+events/second floor catches the packet domain itself degenerating (an
+event-loop or link-layer regression would tank throughput of the
+foreground events long before tier-1's small scenarios notice).  Both
+gates run weekly (and on demand) rather than per-push — see the
+``scale-smoke`` job in ``.github/workflows/ci.yml`` — so scale
+regressions are caught without taxing the tier-1 path.
+
+Exit status: 0 when within budget and above the floor, 1 otherwise.
+When ``$GITHUB_STEP_SUMMARY`` is set, a markdown summary is appended so
+the numbers are readable straight from the workflow page.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("scenario",
+                        help="scale-* scenario name (see 'repro scenarios "
+                        "list')")
+    parser.add_argument("--backend", default="hybrid",
+                        choices=("des", "fluid", "hybrid"),
+                        help="backend to gate (default: hybrid)")
+    parser.add_argument("--budget-s", type=float, default=180.0,
+                        help="hard wall-clock budget in seconds "
+                        "(default 180)")
+    parser.add_argument("--min-events-per-s", type=float, default=20000.0,
+                        help="floor on simulator events processed per "
+                        "wall-clock second (default 20000)")
+    parser.add_argument("--horizon", type=float, default=None,
+                        help="override the scenario horizon (seconds)")
+    parser.add_argument("--warmup", type=float, default=None,
+                        help="override the scenario warmup (seconds)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the scenario seed")
+    args = parser.parse_args(argv)
+
+    from repro.scenarios import ScenarioRunner, get_scenario
+
+    scenario = get_scenario(args.scenario)
+    overrides = {}
+    if args.horizon is not None:
+        overrides["horizon"] = args.horizon
+    if args.warmup is not None:
+        overrides["warmup"] = args.warmup
+    if overrides:
+        scenario = scenario.with_overrides(**overrides)
+
+    start = time.perf_counter()
+    result = ScenarioRunner(
+        scenario, backend=args.backend, seed=args.seed
+    ).run()
+    wall_s = time.perf_counter() - start
+    events_per_s = result.sim_events / wall_s if wall_s > 0 else 0.0
+
+    ok_budget = wall_s <= args.budget_s
+    ok_floor = events_per_s >= args.min_events_per_s
+    verdict = "PASS" if (ok_budget and ok_floor) else "FAIL"
+
+    print(result.summary())
+    print(
+        f"\nscale-smoke [{verdict}] {scenario.name} [{result.backend}]: "
+        f"wall={wall_s:.1f}s (budget {args.budget_s:g}s), "
+        f"{events_per_s:,.0f} events/s "
+        f"(floor {args.min_events_per_s:,.0f}), "
+        f"{result.sim_events} events, "
+        f"{result.placed}/{result.offered} flows placed"
+    )
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        budget_mark = "✅" if ok_budget else "❌"
+        floor_mark = "✅" if ok_floor else "❌"
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write(
+                f"### Scale smoke: {scenario.name} [{result.backend}] — "
+                f"{verdict}\n\n"
+                "| gate | value | limit | verdict |\n"
+                "| --- | ---: | ---: | :-- |\n"
+                f"| wall clock | {wall_s:.1f} s | ≤ {args.budget_s:g} s "
+                f"| {budget_mark} |\n"
+                f"| events/s | {events_per_s:,.0f} | "
+                f"≥ {args.min_events_per_s:,.0f} | {floor_mark} |\n\n"
+                f"{result.offered} flows offered, {result.placed} placed, "
+                f"{result.sim_events} simulator events, "
+                f"{result.total_throughput_mbps:.1f} Mbps aggregate.\n"
+            )
+    return 0 if (ok_budget and ok_floor) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

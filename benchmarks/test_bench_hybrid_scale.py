@@ -1,0 +1,70 @@
+"""Scale-tier benchmarks: the hybrid backend against pure DES.
+
+The hybrid flow-class backend exists for exactly one claim: a 2k+-flow
+scenario that pure packet-level DES grinds through in minutes completes
+at least **10x faster** when the mice are aggregated into fluid
+background load, while the elephants stay packet-level.  The speedup
+test below pins that claim on the smallest scale scenario (2 000 flows,
+shortened horizon so the DES reference stays affordable in CI); the
+tracked benchmark keeps the hybrid path itself under the regression
+gate so the speedup cannot silently erode from the hybrid side.
+"""
+
+import time
+
+from repro.scenarios import ScenarioRunner, get_scenario
+
+#: the acceptance floor: hybrid must beat pure DES by at least this
+SPEEDUP_FLOOR = 10.0
+
+
+def _scale_2k(horizon=6.0, warmup=1.0):
+    return get_scenario("scale-fat-tree-2k").quick(
+        horizon=horizon, warmup=warmup
+    )
+
+
+def test_scale_2k_hybrid(run_once, benchmark):
+    """The hybrid pipeline end to end on 2 000 flows: classification,
+    epoch solving, background installation, packet-level elephants.
+    Tracked in baseline.json so regressions in any stage trip the CI
+    gate."""
+    result = run_once(
+        benchmark, ScenarioRunner(_scale_2k(), backend="hybrid").run
+    )
+    print("\n" + result.summary())
+    assert result.offered == 2000
+    assert result.placed == 2000
+    assert result.total_throughput_mbps > 0.0
+
+
+def test_scale_2k_hybrid_speedup_vs_des():
+    """The tentpole acceptance: >=10x wall-clock over pure DES on a
+    2k-flow scale scenario.
+
+    Measured with one run of each backend on the identical workload
+    (same seed, same generated flows, same failure plan).  Not a
+    pytest-benchmark fixture: the DES reference alone takes ~a minute,
+    and one round is plenty to clear a 10x floor with margin.
+    """
+    scenario = _scale_2k()
+
+    start = time.perf_counter()
+    hybrid = ScenarioRunner(scenario, backend="hybrid").run()
+    hybrid_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    des = ScenarioRunner(scenario, backend="des").run()
+    des_s = time.perf_counter() - start
+
+    speedup = des_s / hybrid_s
+    print(
+        f"\nscale-fat-tree-2k: des {des_s:.1f}s "
+        f"({des.sim_events} events) vs hybrid {hybrid_s:.1f}s "
+        f"({hybrid.sim_events} events) -> {speedup:.1f}x"
+    )
+    assert des.offered == hybrid.offered == 2000
+    assert speedup >= SPEEDUP_FLOOR
+    # the mechanism, not just the stopwatch: the packet domain carried
+    # fewer events (mice timers and serializations never happened)
+    assert hybrid.sim_events < des.sim_events

@@ -78,7 +78,9 @@ def test_fluid_sweep_all_builtins(run_once, benchmark):
     from repro.scenarios import list_scenarios
 
     spec = SweepSpec(
-        scenarios=tuple(s.name for s in list_scenarios()),
+        scenarios=tuple(
+            s.name for s in list_scenarios(include_scale=False)
+        ),
         backends=("fluid",),
     )
     engine = SweepEngine(spec, jobs=1)
@@ -97,7 +99,9 @@ def test_sweep_served_from_cache(run_once, benchmark, tmp_path):
     from repro.scenarios import list_scenarios
 
     spec = SweepSpec(
-        scenarios=tuple(s.name for s in list_scenarios()),
+        scenarios=tuple(
+            s.name for s in list_scenarios(include_scale=False)
+        ),
         seeds=(0, 1),
         backends=("fluid",),
         overrides={"horizon": 8.0, "warmup": 2.0},

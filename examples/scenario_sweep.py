@@ -22,9 +22,9 @@ from repro.sweep import (
 
 
 def main() -> None:
-    print("fluid sweep over the whole suite, 3 seeds, 4 workers")
+    print("fluid sweep over the whole small suite, 3 seeds, 4 workers")
     spec = SweepSpec(
-        scenarios=tuple(s.name for s in list_scenarios()),
+        scenarios=tuple(s.name for s in list_scenarios(include_scale=False)),
         seeds=(0, 1, 2),
         backends=("fluid",),
         overrides={"horizon": 10.0, "warmup": 2.0},

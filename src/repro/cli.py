@@ -9,8 +9,9 @@ Figure replays (the original interface)::
 Scenario suite (see :mod:`repro.scenarios`)::
 
     repro scenarios list
-    repro scenarios run ring-link-flap [--backend des|fluid]
+    repro scenarios run ring-link-flap [--backend des|fluid|hybrid]
                                        [--seed N] [--horizon S] [--warmup S]
+    repro scenarios run scale-fat-tree-2k       # 2k flows, hybrid backend
     repro scenarios compare line-baseline ring-uniform   # or --all
 
 Sweeps (see :mod:`repro.sweep`) — parameter grids over the registry,
@@ -199,7 +200,9 @@ def _sweep_names(args: argparse.Namespace):
 
     names = list(args.names or [])
     if args.all or not names:
-        return [s.name for s in list_scenarios()]
+        # the scale tier (thousands of flows, hybrid-backend sized) must
+        # be named explicitly; --all is the small-suite cross product
+        return [s.name for s in list_scenarios(include_scale=False)]
     for name in names:  # fail fast on typos, before any run executes
         try:
             get_scenario(name)
@@ -345,7 +348,9 @@ def _scenarios_compare(args: argparse.Namespace) -> int:
 
     names = args.names or []
     if args.all or not names:
-        names = [s.name for s in list_scenarios()]
+        # scale-tier scenarios are excluded: comparing them on both
+        # packet-level backends is exactly the cost --all must not pay
+        names = [s.name for s in list_scenarios(include_scale=False)]
     rows = _compare_results(args, names)
     width = max(len(r.scenario) for r in rows)
     print(
@@ -382,7 +387,8 @@ def _scenarios_main(argv) -> int:
 
     run = sub.add_parser("run", help="run one scenario")
     run.add_argument("name", help="scenario name (see 'list')")
-    run.add_argument("--backend", choices=("des", "fluid"), default=None,
+    run.add_argument("--backend", choices=("des", "fluid", "hybrid"),
+                     default=None,
                      help="override the scenario's backend")
     common(run)
 
@@ -391,7 +397,9 @@ def _scenarios_main(argv) -> int:
     )
     compare.add_argument("names", nargs="*", help="scenario names")
     compare.add_argument("--all", action="store_true",
-                         help="compare every registered scenario")
+                         help="compare every registered scenario "
+                         "(scale tier excluded; name scale-* "
+                         "scenarios explicitly)")
     compare.add_argument("--jobs", type=_positive_int, default=1,
                          help="worker processes (default 1: in-process)")
     compare.add_argument("--from-cache", action="store_true",
@@ -409,12 +417,14 @@ def _scenarios_main(argv) -> int:
     )
     sweep.add_argument("names", nargs="*", help="scenario names")
     sweep.add_argument("--all", action="store_true",
-                       help="sweep every registered scenario")
+                       help="sweep every registered scenario "
+                       "(scale tier excluded; name scale-* "
+                       "scenarios explicitly)")
     sweep.add_argument("--seeds", default="0",
                        help="seed list, e.g. '0,1,2' or '0-4' "
                        "(default '0')")
     sweep.add_argument("--backend", action="append",
-                       choices=("des", "fluid"),
+                       choices=("des", "fluid", "hybrid"),
                        help="backend axis (repeatable; default: each "
                        "scenario's own backend)")
     sweep.add_argument("--policy", action="append", metavar="K=V[,K=V]",

@@ -217,7 +217,9 @@ class Controller:
         if request.protocol == "udp":
             return UdpFlow(src, dst, rate_mbps=request.rate_mbps,
                            duration=request.duration,
-                           tos=request.tos).start(at=request.start_at)
+                           tos=request.tos,
+                           train_packets=request.train_packets,
+                           ).start(at=request.start_at)
         return PingApp(src, dst, interval=1.0, tos=request.tos).start(
             at=request.start_at
         )

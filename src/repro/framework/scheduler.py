@@ -57,6 +57,10 @@ class FlowRequest:
     start_at: float = 0.0
     rate_mbps: Optional[float] = None  # UDP only
     objective: str = "max_bandwidth"
+    #: UDP only: send this many packets back-to-back per timer tick
+    #: (see repro.net.apps.UdpFlow), trading pacing granularity for a
+    #: proportionally smaller simulator event count at scale.
+    train_packets: int = 1
 
     def validate(self) -> None:
         if self.protocol not in _VALID_PROTOCOLS:
@@ -71,6 +75,8 @@ class FlowRequest:
             raise ValueError("start_at must be non-negative")
         if self.protocol == "udp" and (self.rate_mbps is None or self.rate_mbps <= 0):
             raise ValueError("udp flows need a positive rate_mbps")
+        if self.train_packets < 1:
+            raise ValueError("train_packets must be >= 1")
 
 
 class Scheduler:

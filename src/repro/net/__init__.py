@@ -8,21 +8,23 @@ max-min model for closed-form cross-checks.
 """
 
 from .apps import FlowReport, PingApp, TcpFlow, UdpFlow
+from .background import BackgroundEpoch, apply_background, install_background_schedule
 from .devices import Host, Node, Router, RouterStats
-from .fluid import FluidFlow, max_min_fair, total_throughput
+from .fluid import FluidFlow, max_min_fair, max_min_fair_bounded, total_throughput
 from .links import Link, LinkStats
 from .packets import ACK_SIZE, DATA_MTU, ICMP_SIZE, Packet
-from .sim import Event, Simulator
+from .sim import Event, EventBudgetExceeded, Simulator
 from .telemetry import LinkTelemetryCollector, PathTelemetryProbe, TimeSeriesDB
 from .topology import Network
 
 __all__ = [
-    "Simulator", "Event",
+    "Simulator", "Event", "EventBudgetExceeded",
     "Packet", "DATA_MTU", "ACK_SIZE", "ICMP_SIZE",
     "Link", "LinkStats",
     "Node", "Host", "Router", "RouterStats",
     "Network",
     "PingApp", "TcpFlow", "UdpFlow", "FlowReport",
     "TimeSeriesDB", "LinkTelemetryCollector", "PathTelemetryProbe",
-    "FluidFlow", "max_min_fair", "total_throughput",
+    "FluidFlow", "max_min_fair", "max_min_fair_bounded", "total_throughput",
+    "BackgroundEpoch", "apply_background", "install_background_schedule",
 ]

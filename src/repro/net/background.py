@@ -1,0 +1,106 @@
+"""Fluid background load applied to an emulated network, per epoch.
+
+The hybrid scenario backend models its mice/background flow classes in
+the fluid domain (:func:`repro.net.fluid.max_min_fair`) and injects the
+resulting aggregate as a per-link *background load term* into the packet
+emulator (:meth:`repro.net.links.Link.set_background_from`).  This
+module is the bridge: a :class:`BackgroundEpoch` holds one solved
+interval's directed link loads, :func:`apply_background` writes one
+epoch's loads onto every link direction of a network, and
+:func:`install_background_schedule` schedules the whole timeline onto
+the simulator — **one coalesced event per epoch edge** (a single
+callback applies every link's update), not one event per link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Mapping, Tuple
+
+from .sim import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .topology import Network
+
+__all__ = [
+    "BackgroundEpoch",
+    "apply_background",
+    "install_background_schedule",
+]
+
+
+@dataclass(frozen=True)
+class BackgroundEpoch:
+    """One interval of solved background load.
+
+    ``loads`` maps **directed** ``(a, b)`` node pairs to the aggregate
+    background Mbps transmitting out of ``a`` towards ``b`` during
+    ``[t0, t1)``; directions not present carry zero background.
+    """
+
+    t0: float
+    t1: float
+    loads: Mapping[Tuple[str, str], float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.t1 <= self.t0:
+            raise ValueError(f"empty epoch [{self.t0}, {self.t1})")
+
+
+def apply_background(
+    network: "Network", loads: Mapping[Tuple[str, str], float]
+) -> None:
+    """Write one epoch's directed loads onto every link direction.
+
+    Directions absent from ``loads`` are cleared to zero, so applying
+    epochs in sequence never leaks a previous epoch's load; an empty
+    mapping resets the whole network to pure packet-level behaviour.
+    Raises ``KeyError`` if a load names a link the network doesn't have.
+    """
+    seen = set()
+    for key, link in network.links.items():
+        a, b = sorted(key)
+        for src, dst in ((a, b), (b, a)):
+            node = network.node(src)
+            mbps = float(loads.get((src, dst), 0.0))
+            link.set_background_from(node, mbps)
+            if (src, dst) in loads:
+                seen.add((src, dst))
+    unknown = set(loads) - seen
+    if unknown:
+        raise KeyError(
+            f"background loads name links absent from the network: "
+            f"{sorted(unknown)}"
+        )
+
+
+def install_background_schedule(
+    network: "Network",
+    epochs: List[BackgroundEpoch],
+    offset: float = 0.0,
+) -> List[Event]:
+    """Schedule every epoch's load application on the network simulator.
+
+    One event per epoch edge (each applying *all* link updates in one
+    callback — coalesced, never per-link), plus a final event clearing
+    the background at the last epoch's end.  ``offset`` shifts epoch
+    times to absolute simulator time (the runner passes the end of
+    warmup).  Returns the scheduled events so a caller can cancel the
+    remainder of a timeline.
+    """
+    events: List[Event] = []
+    for epoch in epochs:
+        events.append(
+            network.sim.schedule_at(
+                offset + epoch.t0,
+                lambda loads=epoch.loads: apply_background(network, loads),
+            )
+        )
+    if epochs:
+        events.append(
+            network.sim.schedule_at(
+                offset + epochs[-1].t1,
+                lambda: apply_background(network, {}),
+            )
+        )
+    return events

@@ -35,7 +35,13 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover
     from .topology import Network
 
-__all__ = ["FluidFlow", "max_min_fair", "total_throughput", "link_capacities"]
+__all__ = [
+    "FluidFlow",
+    "max_min_fair",
+    "max_min_fair_bounded",
+    "total_throughput",
+    "link_capacities",
+]
 
 #: A link is saturated when its remaining capacity falls below this
 #: fraction of its original capacity.  Relative, not absolute: on a
@@ -60,9 +66,7 @@ class FluidFlow:
     def from_path(name: str, path: Sequence[str]) -> "FluidFlow":
         if len(path) < 2:
             raise ValueError("path needs at least two nodes")
-        return FluidFlow(
-            name=name, links=tuple(zip(path[:-1], path[1:]))
-        )
+        return FluidFlow(name=name, links=tuple(zip(path[:-1], path[1:])))
 
 
 def _canonicalize(
@@ -110,9 +114,7 @@ def _fill_scalar(
     """
     remaining = dict(caps)
     sat_eps = {link: _REL_EPS * max(1.0, cap) for link, cap in caps.items()}
-    flow_counts = {
-        f: Counter(links) for f, links in flow_links.items()
-    }
+    flow_counts = {f: Counter(links) for f, links in flow_links.items()}
     # rates is inserted in flow_links (input) order, never set-iteration
     # order: downstream float sums over rates.values() must not depend
     # on PYTHONHASHSEED, or exact ties in assign_flows' lexicographic
@@ -225,6 +227,47 @@ def max_min_fair(
     ):
         return _fill_scalar(flow_links, caps)
     return _fill_vector(flow_links, caps)
+
+
+def max_min_fair_bounded(
+    flow_paths: Mapping[str, Sequence[str]],
+    capacities: Mapping[Tuple[str, str], float],
+    bounds: Mapping[str, float],
+) -> Dict[str, float]:
+    """Max-min fair allocation with per-flow rate ceilings.
+
+    Water-filling with bounds: flows whose fair share exceeds their
+    ceiling (CBR UDP senders) are pinned at the ceiling, their usage is
+    subtracted from link capacities, and the unbounded flows re-share
+    the remainder — so elastic flows soak up what rigid ones leave,
+    matching what AIMD does at packet level.  ``flow_paths`` maps flow
+    name to its node path; converges in at most ``len(bounds)`` rounds.
+    """
+    rates: Dict[str, float] = {}
+    pending = {name: tuple(path) for name, path in flow_paths.items()}
+    remaining = dict(capacities)
+    while pending:
+        fair = max_min_fair(
+            [FluidFlow.from_path(n, p) for n, p in pending.items()], remaining
+        )
+        capped = {
+            name for name, rate in fair.items()
+            if name in bounds and rate > bounds[name]
+        }
+        if not capped:
+            rates.update(fair)
+            break
+        for name in sorted(capped):
+            rate = bounds[name]
+            rates[name] = rate
+            path = pending[name]
+            for hop in zip(path[:-1], path[1:]):
+                # directed lookup, reversed fallback — the same key
+                # resolution max_min_fair applies
+                key = hop if hop in remaining else (hop[1], hop[0])
+                remaining[key] = max(0.0, remaining[key] - rate)
+            del pending[name]
+    return rates
 
 
 def total_throughput(rates: Mapping[str, float]) -> float:

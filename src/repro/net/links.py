@@ -6,6 +6,15 @@ This is the component that substitutes for the paper's VirtualBox NIC rate
 limits and ``tc``-injected delay: capacity comes from the serialization
 rate, latency from ``delay_ms``, and congestion from the bounded queue.
 Per-direction byte/packet/drop counters feed :mod:`repro.net.telemetry`.
+
+Each direction additionally carries a **background load term**
+(:meth:`Link.set_background_from`): an aggregate Mbps of traffic that is
+modelled in the fluid domain rather than packet-by-packet (the hybrid
+scenario backend's mice/background flow classes).  Background load
+shrinks the direction's *effective* serialization rate — foreground
+packets serialize at ``rate - background`` — and is folded into
+telemetry, so the controller sees the link as busy even though no
+background packet ever enters the queue.
 """
 
 from __future__ import annotations
@@ -20,7 +29,12 @@ from .sim import Simulator
 if TYPE_CHECKING:  # pragma: no cover
     from .devices import Node
 
-__all__ = ["Link", "LinkStats"]
+__all__ = ["Link", "LinkStats", "MIN_EFFECTIVE_RATE_FRACTION"]
+
+#: Background load can slow a direction down to this fraction of its
+#: configured rate, never below: an over-subscribed fluid class must not
+#: stall the packet domain entirely (serialization times would diverge).
+MIN_EFFECTIVE_RATE_FRACTION = 0.01
 
 
 @dataclass
@@ -44,6 +58,14 @@ class _Direction:
         self.queue: Deque[Packet] = deque()
         self.busy = False
         self.stats = LinkStats()
+        self.background_mbps = 0.0
+
+    def effective_rate_mbps(self) -> float:
+        """Serialization rate left to packet-level traffic after the
+        fluid background class took its share (floored at
+        :data:`MIN_EFFECTIVE_RATE_FRACTION` of the configured rate)."""
+        floor = self.link.rate_mbps * MIN_EFFECTIVE_RATE_FRACTION
+        return max(self.link.rate_mbps - self.background_mbps, floor)
 
     def send(self, packet: Packet) -> bool:
         """Enqueue for transmission; False (and a drop) when the queue is
@@ -64,7 +86,7 @@ class _Direction:
             return
         self.busy = True
         packet = self.queue.popleft()
-        tx_time = packet.size * 8.0 / (self.link.rate_mbps * 1e6)
+        tx_time = packet.size * 8.0 / (self.effective_rate_mbps() * 1e6)
         self.stats.tx_packets += 1
         self.stats.tx_bytes += packet.size
 
@@ -141,6 +163,24 @@ class Link:
         if node is self.node_b:
             return self._ba.stats
         raise ValueError(f"{node.name} is not attached to this link")
+
+    def _direction_from(self, node: "Node") -> _Direction:
+        if node is self.node_a:
+            return self._ab
+        if node is self.node_b:
+            return self._ba
+        raise ValueError(f"{node.name} is not attached to this link")
+
+    def set_background_from(self, node: "Node", mbps: float) -> None:
+        """Set the fluid background load (Mbps) transmitting out of
+        ``node``; takes effect from the next packet serialization."""
+        if mbps < 0:
+            raise ValueError(f"background load must be >= 0, got {mbps}")
+        self._direction_from(node).background_mbps = float(mbps)
+
+    def background_from(self, node: "Node") -> float:
+        """Current background load (Mbps) out of ``node``."""
+        return self._direction_from(node).background_mbps
 
     def queue_depth_from(self, node: "Node") -> int:
         if node is self.node_a:

@@ -5,16 +5,57 @@ sequence counter breaks ties FIFO so runs are bit-reproducible regardless
 of callback contents.  Everything in :mod:`repro.net` — link transmission,
 queueing, application timers — is expressed as events on one
 :class:`Simulator`.
+
+Scale hardening
+---------------
+Two features keep the loop honest under the scale-tier workloads the
+hybrid backend drives through it:
+
+- **budget enforcement** — :meth:`Simulator.run` never silently stops at
+  ``max_events``: it raises :class:`EventBudgetExceeded` *before*
+  processing an event beyond the budget (so a saturated scenario cannot
+  report a partial-horizon result as final), or — when the caller opts
+  into ``on_budget="truncate"`` — emits a loud :class:`RuntimeWarning`
+  and sets :attr:`Simulator.truncated` so the caller can mark its own
+  result as partial;
+- **event coalescing** — wide simultaneous updates must cost one heap
+  operation, not hundreds: the hybrid backend folds all of an epoch's
+  link re-weightings into a single callback
+  (:func:`repro.net.background.install_background_schedule`), and
+  :meth:`Simulator.schedule_batch` offers the same collapse as a
+  first-class primitive for callers holding a list of callbacks.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
-__all__ = ["Event", "Simulator"]
+__all__ = ["Event", "EventBudgetExceeded", "Simulator"]
+
+
+class EventBudgetExceeded(RuntimeError):
+    """``max_events`` was spent with events still pending.
+
+    Raised *before* the budget-breaking event is processed, so the
+    simulator state is exactly "budget exhausted", never "budget plus
+    whatever else happened to be popped".
+    """
+
+    def __init__(self, max_events: int, now: float, until: Optional[float]):
+        self.max_events = max_events
+        self.now = now
+        self.until = until
+        horizon = "the queue drained" if until is None else f"t={until:g}"
+        super().__init__(
+            f"simulation spent its budget of {max_events} events at "
+            f"t={now:g} before reaching {horizon}; the workload is "
+            "saturated or livelocked (raise max_events only if this "
+            "scale is intended)"
+        )
 
 
 @dataclass(order=True)
@@ -38,6 +79,9 @@ class Simulator:
         self._heap: List[Event] = []
         self._seq = itertools.count()
         self.events_processed: int = 0
+        #: set by ``run(..., on_budget="truncate")`` when the budget ran
+        #: out; callers must surface it (a truncated run is not a result)
+        self.truncated: bool = False
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Run ``callback`` ``delay`` seconds from now (>= 0)."""
@@ -54,11 +98,34 @@ class Simulator:
         heapq.heappush(self._heap, event)
         return event
 
+    def schedule_batch(
+        self, delay: float, callbacks: Sequence[Callable[[], None]]
+    ) -> Event:
+        """Coalesce ``callbacks`` into one event ``delay`` seconds from
+        now; they run back-to-back, in order, at the same instant.
+
+        One heap entry instead of ``len(callbacks)`` — the cheap way to
+        apply a wide simultaneous update (e.g. re-weighting every link
+        at a background-load epoch edge).  Cancelling the returned event
+        cancels the whole batch.
+        """
+        callbacks = list(callbacks)
+
+        def run_all() -> None:
+            for callback in callbacks:
+                callback()
+
+        return self.schedule(delay, run_all)
+
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None when idle."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
         return self._heap[0].time if self._heap else None
+
+    def pending_events(self) -> int:
+        """Live (non-cancelled) events still in the heap."""
+        return sum(1 for event in self._heap if not event.cancelled)
 
     def step(self) -> bool:
         """Process one event; returns False when the queue is empty."""
@@ -72,12 +139,27 @@ class Simulator:
             return True
         return False
 
-    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
-        """Drain events, optionally stopping once virtual time passes ``until``.
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 50_000_000,
+        on_budget: str = "raise",
+    ) -> None:
+        """Drain events, optionally stopping once virtual time passes
+        ``until``.
 
-        ``max_events`` is a runaway guard: exceeding it raises rather than
-        hanging a test run forever.
+        ``max_events`` bounds the number of events processed by *this
+        call*.  Hitting the bound with work still pending is never
+        silent: the default raises :class:`EventBudgetExceeded` before
+        the budget-breaking event runs, and ``on_budget="truncate"``
+        instead warns loudly, sets :attr:`truncated`, and leaves the
+        remaining events queued — the caller must then treat any metrics
+        it collects as partial-horizon, not final.
         """
+        if on_budget not in ("raise", "truncate"):
+            raise ValueError(
+                f"on_budget must be 'raise' or 'truncate', got {on_budget!r}"
+            )
         processed = 0
         while True:
             next_time = self.peek_time()
@@ -88,9 +170,17 @@ class Simulator:
             if until is not None and next_time > until:
                 self.now = until
                 return
+            if processed >= max_events:
+                if on_budget == "truncate":
+                    self.truncated = True
+                    warnings.warn(
+                        f"simulation truncated at t={self.now:g}: "
+                        f"{max_events} events spent with work pending; "
+                        "metrics collected from this run are partial",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    return
+                raise EventBudgetExceeded(max_events, self.now, until)
             self.step()
             processed += 1
-            if processed > max_events:
-                raise RuntimeError(
-                    f"simulation exceeded {max_events} events before t={until}"
-                )

@@ -69,6 +69,12 @@ class LinkTelemetryCollector:
     - ``link:a->b:mbps``     achieved throughput over the last interval
     - ``link:a->b:util``     that throughput / configured rate
     - ``link:a->b:drops``    packets tail-dropped in the interval
+
+    A direction's fluid background load (hybrid backend, see
+    :meth:`repro.net.links.Link.set_background_from`) is folded into the
+    throughput and utilization samples: the controller and Hecate must
+    see mice-class load even though it never crosses the link packet by
+    packet.
     """
 
     def __init__(self, network: Network, db: TimeSeriesDB, interval: float = 1.0):
@@ -106,6 +112,7 @@ class LinkTelemetryCollector:
                 self._last_bytes[tag] = stats.tx_bytes
                 self._last_drops[tag] = stats.dropped_packets
                 mbps = delta_bytes * 8.0 / self.interval / 1e6
+                mbps += link.background_from(node)
                 self.db.insert(f"link:{tag}:mbps", now, mbps)
                 self.db.insert(f"link:{tag}:util", now, mbps / link.rate_mbps)
                 self.db.insert(f"link:{tag}:drops", now, delta_drops)
@@ -178,6 +185,7 @@ class PathTelemetryProbe:
             delta = stats.tx_bytes - self._last_bytes.get(tag, 0)
             self._last_bytes[tag] = stats.tx_bytes
             carried = delta * 8.0 / self.interval / 1e6
+            carried += link.background_from(node)
             headroom = max(link.rate_mbps - carried, 0.0)
             available = min(available, headroom)
             worst_util = max(worst_util, carried / link.rate_mbps)

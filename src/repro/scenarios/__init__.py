@@ -3,9 +3,12 @@
 The paper evaluates its framework on one hand-built testbed; this
 package turns that into an *evaluation engine*.  A
 :class:`~repro.scenarios.spec.Scenario` declares topology, traffic,
-failures and policy; :class:`~repro.scenarios.runner.ScenarioRunner`
-executes it through the packet-level emulator (``des``) or the
-closed-form max-min model (``fluid``) and returns a uniform
+failures, policy and flow classes;
+:class:`~repro.scenarios.runner.ScenarioRunner` executes it through the
+packet-level emulator (``des``), the closed-form max-min model
+(``fluid``), or the flow-class ``hybrid`` backend (foreground flows
+packet-level, background classes as per-epoch fluid load — the scale
+tier's engine) and returns a uniform
 :class:`~repro.scenarios.runner.ScenarioResult`:
 
 >>> from repro.scenarios import get_scenario, ScenarioRunner
@@ -24,10 +27,18 @@ from .dynamic import (
     flash_crowd_phases,
 )
 from .failures import FailureEvent, plan_failures
+from .hybrid import split_requests
 from .registry import SCENARIOS, get_scenario, list_scenarios, register
-from .runner import MODEL_FACTORIES, ScenarioResult, ScenarioRunner, derive_tunnels
+from .runner import (
+    MODEL_FACTORIES,
+    ScenarioResult,
+    ScenarioRunner,
+    derive_tunnels,
+)
 from .spec import (
+    BACKENDS,
     FailureSpec,
+    FlowClassSpec,
     PolicySpec,
     Scenario,
     TopologySpec,
@@ -41,6 +52,9 @@ __all__ = [
     "TrafficSpec",
     "FailureSpec",
     "PolicySpec",
+    "FlowClassSpec",
+    "BACKENDS",
+    "split_requests",
     "ScenarioRunner",
     "ScenarioResult",
     "TrafficPhase",

@@ -83,9 +83,7 @@ class TrafficPhase:
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.at_frac < 1.0:
-            raise ValueError(
-                f"at_frac must be in [0, 1), got {self.at_frac}"
-            )
+            raise ValueError(f"at_frac must be in [0, 1), got {self.at_frac}")
 
 
 def compile_phases(
@@ -144,7 +142,9 @@ def compile_phases(
     return compiled
 
 
-def _spec(pattern: str, n_flows: int, params: Mapping[str, Any]) -> TrafficSpec:
+def _spec(
+    pattern: str, n_flows: int, params: Mapping[str, Any]
+) -> TrafficSpec:
     return TrafficSpec(pattern, n_flows=int(n_flows), params=dict(params))
 
 

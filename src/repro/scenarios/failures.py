@@ -79,7 +79,10 @@ def _pick_link(
 
 
 def _link_flap(
-    network: Network, spec: FailureSpec, horizon: float, rng: np.random.Generator
+    network: Network,
+    spec: FailureSpec,
+    horizon: float,
+    rng: np.random.Generator,
 ) -> List[FailureEvent]:
     a, b = _pick_link(network, spec, rng)
     at = float(spec.params.get("at", 0.4 * horizon))
@@ -91,7 +94,9 @@ def _link_flap(
     while at < horizon:
         events.append(FailureEvent(at=at, action="fail", a=a, b=b))
         if restore_at < horizon:
-            events.append(FailureEvent(at=restore_at, action="restore", a=a, b=b))
+            events.append(
+                FailureEvent(at=restore_at, action="restore", a=a, b=b)
+            )
         if period is None:
             break
         at += float(period)
@@ -100,7 +105,10 @@ def _link_flap(
 
 
 def _node_down(
-    network: Network, spec: FailureSpec, horizon: float, rng: np.random.Generator
+    network: Network,
+    spec: FailureSpec,
+    horizon: float,
+    rng: np.random.Generator,
 ) -> List[FailureEvent]:
     node = spec.params.get("node")
     if node is None:
@@ -127,7 +135,10 @@ def _node_down(
 
 
 def _rolling(
-    network: Network, spec: FailureSpec, horizon: float, rng: np.random.Generator
+    network: Network,
+    spec: FailureSpec,
+    horizon: float,
+    rng: np.random.Generator,
 ) -> List[FailureEvent]:
     links = spec.params.get("links")
     if links is not None:

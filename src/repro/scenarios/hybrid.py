@@ -1,0 +1,290 @@
+"""Flow-class machinery behind the ``hybrid`` scenario backend.
+
+The hybrid backend splits one offered workload in two:
+
+- **foreground** flows (elephants, probes someone chose to promote —
+  see :class:`~repro.scenarios.spec.FlowClassSpec`) run packet-level
+  through the full self-driving framework, exactly as on the ``des``
+  backend;
+- **background** flows (the mice) never reach the packet domain.  They
+  are assigned round-robin over their (ingress, egress) group's
+  candidate tunnels — unmanaged, ECMP-style — and solved as a fluid
+  max-min allocation per *epoch* (a coarse time grid plus every failure
+  event and phase transition).  Each epoch's per-flow rates are summed
+  along their paths into directed per-link loads, which the runner
+  installs on the emulator as background-utilization terms
+  (:mod:`repro.net.background`): foreground packets then serialize into
+  the capacity the mice left behind, and telemetry reports the link as
+  busy, so Hecate steers elephants around mice it never saw as packets.
+
+The epoch solver here is also what the pure ``fluid`` backend runs: on
+small scenarios its epoch edges are the exact flow start/stop instants
+(bit-identical to the pre-hybrid implementation), and beyond
+``FlowClassSpec.max_epochs`` boundaries it coalesces them onto a uniform
+grid so a 10k-flow scenario costs hundreds, not tens of thousands, of
+fluid solves.
+
+Everything in this module is a pure function of its inputs; the
+simulator is only touched by the runner, which keeps hybrid runs exactly
+as deterministic as the other two backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from repro.framework.controller import select_candidates
+from repro.framework.scheduler import FlowRequest
+from repro.net.background import BackgroundEpoch
+from repro.net.fluid import max_min_fair_bounded
+from repro.net.topology import Network
+
+from .failures import FailureEvent
+from .spec import FlowClassSpec
+
+__all__ = [
+    "EpochSolve",
+    "split_requests",
+    "assign_class_paths",
+    "epoch_edges",
+    "quantize_edges",
+    "solve_epochs",
+    "background_epochs",
+]
+
+
+def split_requests(
+    requests: Sequence[FlowRequest], classes: FlowClassSpec
+) -> Tuple[List[FlowRequest], List[FlowRequest]]:
+    """Partition offered flows into (foreground, background).
+
+    A flow is foreground when its name matches any
+    ``classes.foreground`` glob (case-sensitive, so ``elephant*`` never
+    surprises) and the ``classes.max_foreground`` budget is not yet
+    spent; offered order decides who wins the budget.  ICMP probes are
+    always promoted regardless of name or budget: they are latency
+    instruments (one packet per second — negligible cost) and demoting
+    one to the fluid domain would silently disable the measurement a
+    probe-driven scenario (e.g. fig11) exists to make.
+    """
+    foreground: List[FlowRequest] = []
+    background: List[FlowRequest] = []
+    for request in requests:
+        promoted = request.protocol == "icmp" or (
+            len(foreground) < classes.max_foreground
+            and any(
+                fnmatchcase(request.flow_name, pattern)
+                for pattern in classes.foreground
+            )
+        )
+        (foreground if promoted else background).append(request)
+    return foreground, background
+
+
+def assign_class_paths(
+    network: Network,
+    tunnels: Sequence[Tuple[str, int, Tuple[str, ...]]],
+    requests: Sequence[FlowRequest],
+    spread: bool,
+) -> Tuple[Dict[str, Tuple[str, ...]], int]:
+    """Router paths for one flow class, plus the unplaceable count.
+
+    ``spread=True`` is the background rule: members of each (ingress,
+    egress) group round-robin over the group's candidate tunnels in
+    offered order — the deterministic stand-in for ECMP hashing of
+    unmanaged mice.  ``spread=False`` pins every member to the group's
+    default (first) candidate — the estimate of where the controller
+    initially lands foreground flows, used only to make the fluid solve
+    see elephants as claimants.
+    """
+    by_name = {name: path for name, _, path in tunnels}
+    paths: Dict[str, Tuple[str, ...]] = {}
+    rotation: Dict[Tuple[str, str], int] = {}
+    unplaced = 0
+    for request in requests:
+        pair = (
+            network.edge_router_of(request.src),
+            network.edge_router_of(request.dst),
+        )
+        candidates = select_candidates(by_name, *pair)
+        if not candidates:
+            unplaced += 1
+            continue
+        if spread:
+            index = rotation.get(pair, 0)
+            rotation[pair] = index + 1
+            chosen = candidates[index % len(candidates)]
+        else:
+            chosen = candidates[0]
+        paths[request.flow_name] = by_name[chosen]
+    return paths, unplaced
+
+
+def epoch_edges(
+    horizon: float,
+    failure_plan: Sequence[FailureEvent],
+    phase_fracs: Iterable[float],
+    classes: FlowClassSpec,
+) -> List[float]:
+    """The hybrid backend's epoch grid over ``[0, horizon]``.
+
+    A uniform ``classes.epoch_s`` grid (coarsened so the total stays
+    within ``classes.max_epochs``), plus every failure event and phase
+    transition as an exact edge — load is re-solved exactly when the
+    network or the offered program changes, and merely *refreshed* on
+    the grid in between.
+    """
+    edges = {0.0, horizon}
+    edges.update(e.at for e in failure_plan if 0.0 < e.at < horizon)
+    edges.update(f * horizon for f in phase_fracs if 0.0 < f < 1.0)
+    if classes.epoch_s is not None:
+        step = classes.epoch_s
+        if horizon / step > classes.max_epochs:
+            step = horizon / classes.max_epochs
+        k = 1
+        while k * step < horizon:
+            edges.add(k * step)
+            k += 1
+    return sorted(edges)
+
+
+def quantize_edges(
+    exact: Set[float],
+    horizon: float,
+    failure_plan: Sequence[FailureEvent],
+    phase_fracs: Iterable[float],
+    classes: FlowClassSpec,
+) -> List[float]:
+    """Exact edges when they fit the epoch budget, the coalesced grid
+    otherwise.
+
+    The pure fluid backend re-solves at every flow start/stop, which is
+    bit-faithful for the small suite but quadratic pain at thousands of
+    flows; past ``classes.max_epochs`` boundaries it snaps flow edges
+    onto the :func:`epoch_edges` grid (failure and phase edges stay
+    exact) and credits delivery by per-epoch overlap instead.
+    """
+    if len(exact) <= classes.max_epochs:
+        return sorted(exact)
+    return epoch_edges(horizon, failure_plan, phase_fracs, classes)
+
+
+@dataclass(frozen=True)
+class EpochSolve:
+    """One solved epoch: instantaneous fair rates and per-flow overlap.
+
+    ``rates`` covers the healthy, non-probe flows active in the epoch;
+    ``overlaps`` maps every *active* flow (including blacked-out ones)
+    to the seconds its span intersects the epoch; ``blacked`` names the
+    flows crossing a failed link for the whole epoch.
+    """
+
+    t0: float
+    t1: float
+    rates: Mapping[str, float]
+    overlaps: Mapping[str, float]
+    blacked: Tuple[str, ...]
+
+
+def solve_epochs(
+    spans: Mapping[str, Tuple[float, float]],
+    paths: Mapping[str, Tuple[str, ...]],
+    capacities: Mapping[Tuple[str, str], float],
+    rate_caps: Mapping[str, float],
+    probes: Set[str],
+    failure_plan: Sequence[FailureEvent],
+    edges: Sequence[float],
+) -> List[EpochSolve]:
+    """Fluid max-min rates for every epoch between consecutive edges.
+
+    Failure events are replayed in time order (the plan is already
+    sorted): a flow whose path crosses a link failed at epoch start is
+    blacked out for that whole epoch; ICMP probes are never credited
+    with capacity (they are latency instruments, not load).  Rate caps
+    (CBR UDP senders) bound the elastic share via
+    :func:`repro.net.fluid.max_min_fair_bounded`.
+    """
+    plan = list(failure_plan)  # already time-ordered
+    next_event = 0
+    failed: Set[Tuple[str, str]] = set()
+    solves: List[EpochSolve] = []
+    for t0, t1 in zip(edges[:-1], edges[1:]):
+        if t1 <= t0:
+            continue
+        while next_event < len(plan) and plan[next_event].at <= t0:
+            event = plan[next_event]
+            key = tuple(sorted((event.a, event.b)))
+            if event.action == "fail":
+                failed.add(key)
+            else:
+                failed.discard(key)
+            next_event += 1
+        overlaps: Dict[str, float] = {}
+        for name, (start, end) in spans.items():
+            overlap = min(end, t1) - max(start, t0)
+            if overlap > 0.0:
+                overlaps[name] = overlap
+        blacked: List[str] = []
+        healthy: List[str] = []
+        for name in overlaps:
+            links = {
+                tuple(sorted(hop))
+                for hop in zip(paths[name][:-1], paths[name][1:])
+            }
+            if links & failed:
+                blacked.append(name)  # blacked out for this whole epoch
+            elif name not in probes:
+                healthy.append(name)
+        rates = (
+            max_min_fair_bounded(
+                {name: paths[name] for name in healthy},
+                capacities,
+                rate_caps,
+            )
+            if healthy
+            else {}
+        )
+        solves.append(
+            EpochSolve(
+                t0=t0,
+                t1=t1,
+                rates=rates,
+                overlaps=overlaps,
+                blacked=tuple(blacked),
+            )
+        )
+    return solves
+
+
+def background_epochs(
+    solves: Sequence[EpochSolve],
+    background: Set[str],
+    paths: Mapping[str, Tuple[str, ...]],
+    min_load_mbps: float = 1e-9,
+) -> List[BackgroundEpoch]:
+    """Collapse solved background rates into per-link load timelines.
+
+    Each epoch's load on a directed link is the sum, over background
+    flows crossing it, of the flow's fair rate time-averaged across the
+    epoch (``rate * overlap / epoch length``) — what an observer
+    sampling the link over the epoch would measure.  Foreground flows
+    are claimants in the solve but never contribute load here; the
+    packet domain carries them for real.
+    """
+    epochs: List[BackgroundEpoch] = []
+    for solve in solves:
+        duration = solve.t1 - solve.t0
+        loads: Dict[Tuple[str, str], float] = {}
+        for name, rate in solve.rates.items():
+            if name not in background:
+                continue
+            mbps = rate * solve.overlaps[name] / duration
+            if mbps <= min_load_mbps:
+                continue
+            path = paths[name]
+            for hop in zip(path[:-1], path[1:]):
+                loads[hop] = loads.get(hop, 0.0) + mbps
+        epochs.append(BackgroundEpoch(t0=solve.t0, t1=solve.t1, loads=loads))
+    return epochs

@@ -21,7 +21,19 @@ into a :class:`ScenarioResult` through five deterministic stages:
      start/stop and failure event, solve the joint flow->tunnel
      assignment (:func:`repro.hecate.objectives.assign_flows`) and the
      max-min fair rates per epoch (:func:`repro.net.fluid.max_min_fair`)
-     — the closed-form steady state the packet level should approximate;
+     — the closed-form steady state the packet level should approximate
+     (beyond :attr:`~repro.scenarios.spec.FlowClassSpec.max_epochs`
+     boundaries the flow edges coalesce onto a uniform grid, so
+     scale-tier flow counts stay affordable);
+
+   - ``hybrid`` — split the workload by flow class
+     (:func:`repro.scenarios.hybrid.split_requests`): foreground flows
+     run packet-level through the full framework exactly as in ``des``,
+     while background classes are solved as per-epoch fluid allocations
+     and applied to the links as background-utilization terms
+     (:mod:`repro.net.background`) that telemetry reports and packet
+     serialization honours — orders of magnitude more flows for a
+     fraction of the event count;
 
 5. **collect** a uniform :class:`ScenarioResult` (throughput, latency,
    drops, migrations, reconfigurations) so scenarios and backends are
@@ -66,12 +78,21 @@ from repro.hecate.objectives import assign_flows
 from repro.hecate.service import default_model_factory
 from repro.ml import LinearRegression
 from repro.net.apps import PingApp, TcpFlow, UdpFlow
-from repro.net.fluid import FluidFlow, link_capacities, max_min_fair
+from repro.net.background import install_background_schedule
+from repro.net.fluid import link_capacities, max_min_fair_bounded
 from repro.net.topology import Network
 
 from .dynamic import compile_phases
 from .failures import FailureEvent, plan_failures
-from .spec import Scenario
+from .hybrid import (
+    assign_class_paths,
+    background_epochs,
+    epoch_edges,
+    quantize_edges,
+    solve_epochs,
+    split_requests,
+)
+from .spec import BACKENDS, Scenario
 from .traffic import generate_traffic
 
 __all__ = ["ScenarioResult", "ScenarioRunner", "MODEL_FACTORIES"]
@@ -105,6 +126,10 @@ class ScenarioResult:
     migrations: int
     reconfigurations: int
     failure_events: int
+    #: discrete events the simulator processed (0 on the fluid backend);
+    #: wall-clock divided by this is the events/s figure the scale-smoke
+    #: CI gate floors.  Deterministic, unlike wall-clock itself.
+    sim_events: int = 0
 
     #: numeric field -> coercion applied on both to_dict and from_dict, so
     #: results survive a JSON round-trip (and numpy scalars never leak
@@ -127,6 +152,7 @@ class ScenarioResult:
         "migrations": int,
         "reconfigurations": int,
         "failure_events": int,
+        "sim_events": int,
     }
 
     def to_dict(self) -> Dict[str, Any]:
@@ -149,9 +175,13 @@ class ScenarioResult:
     def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioResult":
         """Rebuild a result from :meth:`to_dict` output (or its JSON
         round-trip); raises ``KeyError`` on missing fields and ignores
-        unknown ones, so cache artifacts from newer minor versions load."""
+        unknown ones, so cache artifacts from newer minor versions load.
+        ``sim_events`` (added after the first release) defaults to 0 so
+        pre-hybrid payloads still deserialize."""
+        source = dict(payload)
+        source.setdefault("sim_events", 0)
         kwargs: Dict[str, Any] = {
-            name: coerce(payload[name])
+            name: coerce(source[name])
             for name, coerce in cls._FIELD_TYPES.items()
         }
         kwargs["per_flow_mbps"] = {
@@ -163,7 +193,8 @@ class ScenarioResult:
     def summary(self) -> str:
         lines = [
             f"scenario {self.scenario} [{self.backend}] "
-            f"seed={self.seed} horizon={self.horizon_s:g}s warmup={self.warmup_s:g}s",
+            f"seed={self.seed} horizon={self.horizon_s:g}s "
+            f"warmup={self.warmup_s:g}s",
             f"  flows     : {self.placed}/{self.offered} placed"
             + (f" ({self.rejected} rejected)" if self.rejected else "")
             + f", {self.tunnels} candidate tunnels",
@@ -173,7 +204,8 @@ class ScenarioResult:
             f"{self.max_latency_ms:.2f} ms worst",
             f"  drops={self.drops}  migrations={self.migrations}  "
             f"reconfigurations={self.reconfigurations}  "
-            f"failure_events={self.failure_events}",
+            f"failure_events={self.failure_events}  "
+            f"sim_events={self.sim_events}",
         ]
         if self.per_flow_mbps:
             worst = sorted(self.per_flow_mbps.items(), key=lambda kv: kv[1])
@@ -183,44 +215,9 @@ class ScenarioResult:
         return "\n".join(lines)
 
 
-def _max_min_with_bounds(
-    flow_paths: Dict[str, Tuple[str, ...]],
-    capacities: Dict[Tuple[str, str], float],
-    bounds: Dict[str, float],
-) -> Dict[str, float]:
-    """Max-min fair allocation with per-flow rate ceilings.
-
-    Water-filling with bounds: flows whose fair share exceeds their
-    ceiling (CBR UDP senders) are pinned at the ceiling, their usage is
-    subtracted from link capacities, and the unbounded flows re-share
-    the remainder — so elastic flows soak up what rigid ones leave,
-    matching what AIMD does at packet level.  Converges in at most
-    ``len(bounds)`` rounds.
-    """
-    rates: Dict[str, float] = {}
-    pending = dict(flow_paths)
-    remaining = dict(capacities)
-    while pending:
-        fair = max_min_fair(
-            [FluidFlow.from_path(n, p) for n, p in pending.items()], remaining
-        )
-        capped = {
-            name for name, rate in fair.items()
-            if name in bounds and rate > bounds[name]
-        }
-        if not capped:
-            rates.update(fair)
-            break
-        for name in sorted(capped):
-            rate = bounds[name]
-            rates[name] = rate
-            for hop in zip(flow_paths[name][:-1], flow_paths[name][1:]):
-                # directed lookup, reversed fallback — the same key
-                # resolution max_min_fair applies
-                key = hop if hop in remaining else (hop[1], hop[0])
-                remaining[key] = max(0.0, remaining[key] - rate)
-            del pending[name]
-    return rates
+#: Backwards-compat alias: the bounded water-filling solver grew into a
+#: public fluid-model API (the hybrid epoch solver shares it).
+_max_min_with_bounds = max_min_fair_bounded
 
 
 def derive_tunnels(
@@ -232,12 +229,14 @@ def derive_tunnels(
     (ingress, egress) pair used by the traffic, in traffic order."""
     router_graph = network.graph.subgraph(network.routers)
     pairs: List[Tuple[str, str]] = []
+    seen: set = set()  # membership test; scale-tier request lists are long
     for request in requests:
         pair = (
             network.edge_router_of(request.src),
             network.edge_router_of(request.dst),
         )
-        if pair[0] != pair[1] and pair not in pairs:
+        if pair[0] != pair[1] and pair not in seen:
+            seen.add(pair)
             pairs.append(pair)
     tunnels: List[Tuple[str, int, Tuple[str, ...]]] = []
     tid = 1
@@ -261,13 +260,16 @@ class ScenarioRunner:
     ):
         self.scenario = scenario
         self.backend = backend or scenario.backend
-        if self.backend not in ("des", "fluid"):
+        if self.backend not in BACKENDS:
             raise ValueError(f"unknown backend {self.backend!r}")
         self.seed = scenario.seed if seed is None else int(seed)
         self.network: Optional[Network] = None
         self.sdn: Optional[SelfDrivingNetwork] = None
         self.tunnels: Tuple[Tuple[str, int, Tuple[str, ...]], ...] = ()
         self.requests: List[FlowRequest] = []
+        #: hybrid backend only: the flow-class partition of ``requests``
+        self.foreground: List[FlowRequest] = []
+        self.background: List[FlowRequest] = []
         self.failure_plan: Tuple[FailureEvent, ...] = ()
         self.placed = 0
         self.rejected = 0
@@ -299,7 +301,8 @@ class ScenarioRunner:
         )
         if scenario.tunnels is not None:
             self.tunnels = tuple(
-                (name, tid, tuple(path)) for name, tid, path in scenario.tunnels
+                (name, tid, tuple(path))
+                for name, tid, path in scenario.tunnels
             )
         else:
             self.tunnels = derive_tunnels(
@@ -310,7 +313,11 @@ class ScenarioRunner:
                 f"scenario {scenario.name!r} derives no tunnels; "
                 "check its topology and traffic"
             )
-        if self.backend == "des":
+        if self.backend == "hybrid":
+            self.foreground, self.background = split_requests(
+                self.requests, scenario.classes
+            )
+        if self.backend in ("des", "hybrid"):
             try:
                 model_factory = MODEL_FACTORIES[scenario.policy.model]
             except KeyError:
@@ -330,24 +337,34 @@ class ScenarioRunner:
         return self
 
     def inject_traffic(self) -> Tuple[int, int]:
-        """Offer every generated flow through the Dashboard (DES only).
+        """Offer every packet-level flow through the Dashboard (DES and
+        hybrid backends).
 
-        Returns ``(placed, rejected)``.  Flow ``start_at`` offsets are
+        Returns ``(placed, rejected)``.  On the hybrid backend only the
+        foreground class is offered — background flows never reach the
+        framework; they are fluid load.  Flow ``start_at`` offsets are
         relative to this call (normally the end of warmup).  The
         scenario-wide policy objective applies to every flow that did
         not set its own; an explicit per-flow objective wins."""
         if self.sdn is None:
-            raise RuntimeError("call setup() first (DES backend only)")
+            raise RuntimeError("call setup() first (DES/hybrid backends only)")
         if self._injected:
             return self.placed, self.rejected
         self._injected = True
-        default_objective = FlowRequest.__dataclass_fields__["objective"].default
-        for request in self.requests:
+        offered = (
+            self.foreground if self.backend == "hybrid" else self.requests
+        )
+        default_objective = FlowRequest.__dataclass_fields__[
+            "objective"
+        ].default
+        for request in offered:
             kwargs = asdict(request)
             if request.objective == default_objective:
                 kwargs["objective"] = self.scenario.policy.objective
             reply = self.sdn.request_flow(**kwargs)
-            controller_ok = reply.get("ok") and reply.get("controller", {}).get("ok")
+            controller_ok = reply.get("ok") and reply.get(
+                "controller", {}
+            ).get("ok")
             if controller_ok:
                 self.placed += 1
             else:
@@ -356,9 +373,9 @@ class ScenarioRunner:
 
     def arm_failures(self) -> None:
         """Schedule the failure plan on the simulator, offset so event
-        times are relative to the start of traffic (DES only)."""
+        times are relative to the start of traffic (DES/hybrid)."""
         if self.sdn is None:
-            raise RuntimeError("call setup() first (DES backend only)")
+            raise RuntimeError("call setup() first (DES/hybrid backends only)")
         if self._armed:
             return
         self._armed = True
@@ -381,6 +398,8 @@ class ScenarioRunner:
         self.setup()
         if self.backend == "fluid":
             return self._run_fluid()
+        if self.backend == "hybrid":
+            return self._run_hybrid()
         scenario = self.scenario
         self.sdn.run(until=scenario.warmup)
         self.inject_traffic()
@@ -390,11 +409,8 @@ class ScenarioRunner:
 
     # --------------------------------------------------------- collection
 
-    def collect(self) -> ScenarioResult:
-        """Uniform metrics from a DES run (callable after staged use)."""
-        if self.sdn is None:
-            raise RuntimeError("collect() needs a DES run; see setup()")
-        scenario = self.scenario
+    def _des_flow_metrics(self) -> Tuple[Dict[str, float], List[float]]:
+        """Per-flow Mbps and latency samples from the packet domain."""
         now = self.network.sim.now
         per_flow: Dict[str, float] = {}
         latencies: List[float] = []
@@ -414,11 +430,23 @@ class ScenarioRunner:
                 _, rtts = app.rtt_series()
                 if rtts.size:
                     latencies.append(float(rtts.mean()))
+        return per_flow, latencies
+
+    def _des_drop_count(self) -> int:
         drops = 0
         for link in self.network.links.values():
             node_a, node_b = link.endpoints()
             drops += link.stats_from(node_a).dropped_packets
             drops += link.stats_from(node_b).dropped_packets
+        return drops
+
+    def collect(self) -> ScenarioResult:
+        """Uniform metrics from a DES run (callable after staged use)."""
+        if self.sdn is None:
+            raise RuntimeError("collect() needs a DES run; see setup()")
+        scenario = self.scenario
+        per_flow, latencies = self._des_flow_metrics()
+        drops = self._des_drop_count()
         migrations = sum(
             len(record.migrations)
             for record in self.sdn.controller.flows.values()
@@ -446,6 +474,7 @@ class ScenarioRunner:
             migrations=migrations,
             reconfigurations=reconfigurations,
             failure_events=len(self.failure_plan),
+            sim_events=self.network.sim.events_processed,
         )
 
     # ------------------------------------------------------ fluid backend
@@ -500,13 +529,23 @@ class ScenarioRunner:
                 paths[flow_name] = by_name[tunnel_name]
         return paths, migrations, unplaced
 
-    def _run_fluid(self) -> ScenarioResult:
-        """Closed-form evaluation: epoch-sliced max-min steady states."""
-        scenario = self.scenario
-        horizon = scenario.horizon
-        capacities = link_capacities(self.network)
-        paths, migrations, unplaced = self._assign_fluid(capacities)
+    def _solve_inputs(
+        self, paths: Dict[str, Tuple[str, ...]]
+    ) -> Tuple[
+        Dict[str, Tuple[float, float]],
+        Dict[str, float],
+        set,
+        Tuple[float, ...],
+    ]:
+        """The epoch solver's workload view, shared by the fluid and
+        hybrid backends: per-flow horizon-clamped spans (placed flows
+        only), CBR rate caps, the ICMP probe set, and phase fractions.
 
+        ICMP probes send a packet per second — inelastic, negligible
+        load; modelling them as elastic flows would credit them with
+        the whole path capacity (DES reports them at 0 Mbps too).
+        """
+        horizon = self.scenario.horizon
         spans = {
             r.flow_name: (
                 min(r.start_at, horizon),
@@ -515,69 +554,67 @@ class ScenarioRunner:
             for r in self.requests
             if r.flow_name in paths
         }
-        boundaries = {0.0, horizon}
-        boundaries.update(t for span in spans.values() for t in span)
-        boundaries.update(
-            e.at for e in self.failure_plan if 0.0 < e.at < horizon
-        )
-        if scenario.phases is not None:
-            # phase transitions are epoch edges even when a phase offers
-            # no flows (the fluid model re-solves at every transition)
-            boundaries.update(
-                p.at_frac * horizon
-                for p in scenario.phases
-                if 0.0 < p.at_frac < 1.0
-            )
-        edges = sorted(boundaries)
-
         rate_caps = {
             r.flow_name: r.rate_mbps
             for r in self.requests
             if r.protocol == "udp" and r.rate_mbps
         }
-        # ICMP probes send a packet per second — inelastic, negligible
-        # load; modelling them as elastic flows would credit them with
-        # the whole path capacity (DES reports them at 0 Mbps too)
-        probes = {
-            r.flow_name for r in self.requests if r.protocol == "icmp"
-        }
-        delivered: Dict[str, float] = {name: 0.0 for name in spans}
+        probes = {r.flow_name for r in self.requests if r.protocol == "icmp"}
+        phase_fracs = (
+            tuple(p.at_frac for p in self.scenario.phases)
+            if self.scenario.phases is not None
+            else ()
+        )
+        return spans, rate_caps, probes, phase_fracs
+
+    @staticmethod
+    def _delivered_from(solves, names) -> Tuple[Dict[str, float], int]:
+        """Mbps-seconds delivered per flow in ``names`` across all
+        solved epochs, plus that class's (flow, epoch) outage count."""
+        delivered: Dict[str, float] = {name: 0.0 for name in names}
         outages = 0
-        plan = list(self.failure_plan)  # already time-ordered
-        next_event = 0
-        failed: set = set()
-        for t0, t1 in zip(edges[:-1], edges[1:]):
-            if t1 <= t0:
-                continue
-            while next_event < len(plan) and plan[next_event].at <= t0:
-                event = plan[next_event]
-                key = tuple(sorted((event.a, event.b)))
-                if event.action == "fail":
-                    failed.add(key)
-                else:
-                    failed.discard(key)
-                next_event += 1
-            active = [
-                name for name, (start, end) in spans.items()
-                if start <= t0 < end
-            ]
-            healthy = []
-            for name in active:
-                links = {
-                    tuple(sorted(hop))
-                    for hop in zip(paths[name][:-1], paths[name][1:])
-                }
-                if links & failed:
-                    outages += 1  # blacked out for this whole epoch
-                elif name not in probes:
-                    healthy.append(name)
-            if not healthy:
-                continue
-            rates = _max_min_with_bounds(
-                {n: paths[n] for n in healthy}, capacities, rate_caps
-            )
-            for name, rate in rates.items():
-                delivered[name] += rate * (t1 - t0)
+        for solve in solves:
+            outages += sum(1 for n in solve.blacked if n in names)
+            for name, rate in solve.rates.items():
+                if name in names:
+                    delivered[name] += rate * solve.overlaps[name]
+        return delivered, outages
+
+    def _run_fluid(self) -> ScenarioResult:
+        """Closed-form evaluation: epoch-sliced max-min steady states."""
+        scenario = self.scenario
+        horizon = scenario.horizon
+        capacities = link_capacities(self.network)
+        paths, migrations, unplaced = self._assign_fluid(capacities)
+        spans, rate_caps, probes, phase_fracs = self._solve_inputs(paths)
+
+        boundaries = {0.0, horizon}
+        boundaries.update(t for span in spans.values() for t in span)
+        boundaries.update(
+            e.at for e in self.failure_plan if 0.0 < e.at < horizon
+        )
+        # phase transitions are epoch edges even when a phase offers no
+        # flows (the fluid model re-solves at every transition)
+        boundaries.update(f * horizon for f in phase_fracs if 0.0 < f < 1.0)
+        # exact flow edges while they fit the epoch budget; the coalesced
+        # grid beyond it (scale-tier flow counts)
+        edges = quantize_edges(
+            boundaries,
+            horizon,
+            self.failure_plan,
+            phase_fracs,
+            scenario.classes,
+        )
+        solves = solve_epochs(
+            spans,
+            paths,
+            capacities,
+            rate_caps,
+            probes,
+            self.failure_plan,
+            edges,
+        )
+        delivered, outages = self._delivered_from(solves, set(spans))
 
         per_flow = {
             name: delivered[name] / (span[1] - span[0])
@@ -598,9 +635,7 @@ class ScenarioRunner:
             placed=len(spans),
             rejected=unplaced,
             per_flow_mbps=per_flow,
-            total_throughput_mbps=float(
-                sum(delivered.values()) / horizon
-            ),
+            total_throughput_mbps=float(sum(delivered.values()) / horizon),
             min_flow_mbps=float(min(per_flow.values())) if per_flow else 0.0,
             mean_latency_ms=float(np.mean(latencies)) if latencies else 0.0,
             max_latency_ms=float(max(latencies)) if latencies else 0.0,
@@ -608,4 +643,99 @@ class ScenarioRunner:
             migrations=migrations,
             reconfigurations=0,
             failure_events=len(self.failure_plan),
+        )
+
+    # ----------------------------------------------------- hybrid backend
+
+    def _run_hybrid(self) -> ScenarioResult:
+        """Foreground packet-level, background as per-epoch fluid load.
+
+        The background class is solved *before* the packet run (it is a
+        pure function of the workload and the failure plan), installed
+        on the simulator as one coalesced load-update event per epoch
+        edge, and the foreground then competes for what the mice left:
+        packet serialization slows on loaded links and telemetry reports
+        the aggregate, so Hecate's placement sees the background without
+        ever paying packet-level cost for it.
+        """
+        scenario = self.scenario
+        horizon = scenario.horizon
+        capacities = link_capacities(self.network)
+
+        bg_paths, bg_unplaced = assign_class_paths(
+            self.network, self.tunnels, self.background, spread=True
+        )
+        # foreground flows join the solve as claimants on their default
+        # tunnels (an estimate of initial placement) so background rates
+        # never hand the mice capacity the elephants are using; their
+        # real throughput comes from the packet domain below
+        fg_paths, _ = assign_class_paths(
+            self.network, self.tunnels, self.foreground, spread=False
+        )
+        paths = {**fg_paths, **bg_paths}
+        spans, rate_caps, probes, phase_fracs = self._solve_inputs(paths)
+        edges = epoch_edges(
+            horizon, self.failure_plan, phase_fracs, scenario.classes
+        )
+        solves = solve_epochs(
+            spans,
+            paths,
+            capacities,
+            rate_caps,
+            probes,
+            self.failure_plan,
+            edges,
+        )
+        bg_names = {r.flow_name for r in self.background}
+        epochs = background_epochs(solves, bg_names, paths)
+
+        # ----- packet domain: warmup, foreground, failures, background
+        self.sdn.run(until=scenario.warmup)
+        self.inject_traffic()
+        self.arm_failures()
+        install_background_schedule(
+            self.network, epochs, offset=self.network.sim.now
+        )
+        self.sdn.run(until=scenario.warmup + scenario.horizon)
+
+        # ----- merge the two domains into one result
+        per_flow, latencies = self._des_flow_metrics()
+        bg_delivered, bg_outages = self._delivered_from(
+            solves, {name for name in spans if name in bg_names}
+        )
+        for name, total in bg_delivered.items():
+            start, end = spans[name]
+            per_flow[name] = total / (end - start) if end > start else 0.0
+        latencies.extend(
+            self.network.path_delay_ms(list(paths[name]))
+            for name in bg_delivered
+        )
+        migrations = sum(
+            len(record.migrations)
+            for record in self.sdn.controller.flows.values()
+        )
+        reconfigurations = sum(
+            policy.reconfigurations
+            for policy in self.sdn.router_config.policies.values()
+        )
+        return ScenarioResult(
+            scenario=scenario.name,
+            backend="hybrid",
+            seed=self.seed,
+            horizon_s=horizon,
+            warmup_s=scenario.warmup,
+            tunnels=len(self.tunnels),
+            offered=len(self.requests),
+            placed=self.placed + len(bg_delivered),
+            rejected=self.rejected + bg_unplaced,
+            per_flow_mbps=per_flow,
+            total_throughput_mbps=float(sum(per_flow.values())),
+            min_flow_mbps=float(min(per_flow.values())) if per_flow else 0.0,
+            mean_latency_ms=float(np.mean(latencies)) if latencies else 0.0,
+            max_latency_ms=float(max(latencies)) if latencies else 0.0,
+            drops=self._des_drop_count() + bg_outages,
+            migrations=migrations,
+            reconfigurations=reconfigurations,
+            failure_events=len(self.failure_plan),
+            sim_events=self.network.sim.events_processed,
         )

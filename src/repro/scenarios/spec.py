@@ -11,10 +11,15 @@ component             declares
 :class:`FailureSpec`  which links/nodes fail, and when
 :class:`PolicySpec`   how the framework reacts (objective, regressor,
                       re-optimization period, tunnel fan-out)
+:class:`FlowClassSpec` how the hybrid backend splits offered flows into
+                      packet-level foreground and fluid background
 ``backend``           ``"des"`` (packet-level discrete-event emulation via
-                      :class:`repro.framework.SelfDrivingNetwork`) or
+                      :class:`repro.framework.SelfDrivingNetwork`),
                       ``"fluid"`` (closed-form max-min steady states via
-                      :mod:`repro.net.fluid`)
+                      :mod:`repro.net.fluid`) or ``"hybrid"``
+                      (foreground flows packet-level, background flow
+                      classes aggregated into per-link fluid load — see
+                      :mod:`repro.scenarios.hybrid`)
 ====================  ====================================================
 
 Everything downstream — tunnel derivation, traffic generation, failure
@@ -50,9 +55,14 @@ __all__ = [
     "TrafficSpec",
     "FailureSpec",
     "PolicySpec",
+    "FlowClassSpec",
     "Scenario",
+    "BACKENDS",
     "TOPOLOGY_BUILDERS",
 ]
+
+#: Execution backends a scenario (or an override) may name.
+BACKENDS = ("des", "fluid", "hybrid")
 
 
 def _p4lab_fig12(**overrides: Any) -> Network:
@@ -167,6 +177,56 @@ class PolicySpec:
 
 
 @dataclass(frozen=True)
+class FlowClassSpec:
+    """How the ``hybrid`` backend splits the offered load in two.
+
+    Flows whose names match a ``foreground`` pattern (:mod:`fnmatch`
+    globs, checked in offered order) are emulated packet-by-packet
+    through the full framework — ACLs, PBR, Hecate placement,
+    AIMD/CBR applications.  Everything else is a *background* class:
+    aggregated per (ingress, egress) group, spread round-robin over the
+    group's candidate tunnels (unmanaged ECMP-style mice, never
+    individually steered), solved as a fluid max-min allocation per
+    epoch, and applied to the emulator as per-link background load.
+
+    Parameters
+    ----------
+    foreground:
+        Name globs promoting a flow to the packet level.  The default
+        matches the elephants every heavy-tailed traffic pattern emits
+        plus an explicit ``fg*`` escape hatch.  ICMP probes are always
+        promoted regardless of globs or budget — they are latency
+        instruments whose whole purpose needs the packet domain.
+    max_foreground:
+        Hard cap on packet-level flows; matching flows beyond it are
+        demoted to background (offered order wins) so one glob cannot
+        accidentally drag a 10k-flow scenario into pure DES cost.
+    epoch_s:
+        Cadence of the background re-solve grid in seconds; phase
+        transitions and failure events are always epoch edges on top of
+        the grid.  ``None`` disables the grid (solve only at phase /
+        failure edges).
+    max_epochs:
+        Upper bound on solved epochs per run; a finer grid than this is
+        coarsened (event coalescing) so a long horizon cannot explode
+        into tens of thousands of fluid solves.
+    """
+
+    foreground: Tuple[str, ...] = ("elephant*", "fg*")
+    max_foreground: int = 64
+    epoch_s: Optional[float] = 1.0
+    max_epochs: int = 256
+
+    def __post_init__(self) -> None:
+        if self.max_foreground < 0:
+            raise ValueError("max_foreground must be >= 0")
+        if self.epoch_s is not None and self.epoch_s <= 0:
+            raise ValueError("epoch_s must be positive (or None)")
+        if self.max_epochs < 1:
+            raise ValueError("max_epochs must be >= 1")
+
+
+@dataclass(frozen=True)
 class Scenario:
     """One fully-described evaluation of the framework.
 
@@ -192,17 +252,22 @@ class Scenario:
     traffic: TrafficSpec = TrafficSpec()
     failures: FailureSpec = FailureSpec()
     policy: PolicySpec = PolicySpec()
+    classes: FlowClassSpec = FlowClassSpec()
     backend: str = "des"
     horizon: float = 60.0
     warmup: float = 5.0
     seed: int = 0
     tunnels: Optional[Tuple[Tuple[str, int, Tuple[str, ...]], ...]] = None
     phases: Optional[Tuple["TrafficPhase", ...]] = None
+    #: free-form labels; the ``"scale"`` tag marks scenarios sized for
+    #: the hybrid backend (thousands of flows) that registry-wide tools
+    #: (``--all`` sweeps, whole-suite tests) exclude by default.
+    tags: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
-        if self.backend not in ("des", "fluid"):
+        if self.backend not in BACKENDS:
             raise ValueError(
-                f"backend must be 'des' or 'fluid', got {self.backend!r}"
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
             )
         if self.horizon <= 0:
             raise ValueError("horizon must be positive")

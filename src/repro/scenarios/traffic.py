@@ -28,10 +28,21 @@ Patterns
     Literal flow dicts from ``spec.params["flows"]`` (each a
     :class:`~repro.framework.scheduler.FlowRequest` kwargs dict).  Used
     by the paper-figure scenarios where the exact flows matter.
+``scale_mix``
+    The scale-tier workload the hybrid backend exists for: a handful of
+    long-lived TCP elephants (``params["n_elephants"]``, distinct ToS,
+    packet-level foreground) plus *thousands* of short CBR UDP mice
+    sharing ToS 0 (fluid background; never individually steered).  Mice
+    arrive throughout the horizon with batched packet trains
+    (``params["train_packets"]``) so even a pure-DES reference run
+    stays affordable.
 
-Every generated flow gets a distinct ToS byte: the ingress access-lists
-match on (src ip, dst ip, tos), so the ToS is what lets PBR steer flows
-of the same host pair independently (exactly the paper's Fig. 12 trick).
+Flows that PBR must steer independently get a distinct ToS byte: the
+ingress access-lists match on (src ip, dst ip, tos), so the ToS is what
+lets PBR tell flows of the same host pair apart (exactly the paper's
+Fig. 12 trick).  Patterns that tag every flow this way are capped at
+the 255 distinct non-zero values; ``scale_mix`` only spends ToS bytes
+on its elephants, which is what frees it to offer thousands of mice.
 """
 
 from __future__ import annotations
@@ -80,7 +91,10 @@ def _tos(i: int) -> int:
 
 
 def _uniform(
-    network: Network, spec: TrafficSpec, horizon: float, rng: np.random.Generator
+    network: Network,
+    spec: TrafficSpec,
+    horizon: float,
+    rng: np.random.Generator,
 ) -> List[FlowRequest]:
     pairs = host_pairs(network)
     requests = []
@@ -102,11 +116,17 @@ def _uniform(
 
 
 def _hotspot(
-    network: Network, spec: TrafficSpec, horizon: float, rng: np.random.Generator
+    network: Network,
+    spec: TrafficSpec,
+    horizon: float,
+    rng: np.random.Generator,
 ) -> List[FlowRequest]:
     pairs = host_pairs(network)
     fraction = float(spec.params.get("fraction", 0.7))
-    hot = spec.params.get("hot_host") or pairs[int(rng.integers(len(pairs)))][1]
+    hot = (
+        spec.params.get("hot_host")
+        or pairs[int(rng.integers(len(pairs)))][1]
+    )
     to_hot = [p for p in pairs if p[1] == hot]
     requests = []
     for i in range(spec.n_flows):
@@ -128,7 +148,10 @@ def _hotspot(
 
 
 def _bursty(
-    network: Network, spec: TrafficSpec, horizon: float, rng: np.random.Generator
+    network: Network,
+    spec: TrafficSpec,
+    horizon: float,
+    rng: np.random.Generator,
 ) -> List[FlowRequest]:
     pairs = host_pairs(network)
     n_bursts = int(spec.params.get("n_bursts", 3))
@@ -155,7 +178,10 @@ def _bursty(
 
 
 def _elephant_mice(
-    network: Network, spec: TrafficSpec, horizon: float, rng: np.random.Generator
+    network: Network,
+    spec: TrafficSpec,
+    horizon: float,
+    rng: np.random.Generator,
 ) -> List[FlowRequest]:
     pairs = host_pairs(network)
     n_elephants = int(
@@ -188,7 +214,10 @@ def _elephant_mice(
 
 
 def _explicit(
-    network: Network, spec: TrafficSpec, horizon: float, rng: np.random.Generator
+    network: Network,
+    spec: TrafficSpec,
+    horizon: float,
+    rng: np.random.Generator,
 ) -> List[FlowRequest]:
     flows = spec.params.get("flows")
     if not flows:
@@ -196,15 +225,78 @@ def _explicit(
     return [FlowRequest(**dict(kwargs)) for kwargs in flows]
 
 
+def _scale_mix(
+    network: Network,
+    spec: TrafficSpec,
+    horizon: float,
+    rng: np.random.Generator,
+) -> List[FlowRequest]:
+    pairs = host_pairs(network)
+    n_elephants = min(int(spec.params.get("n_elephants", 8)), spec.n_flows)
+    if n_elephants > MAX_FLOWS:
+        raise ValueError(
+            f"n_elephants={n_elephants} exceeds the {MAX_FLOWS} distinct "
+            "ToS bytes available for per-flow PBR steering"
+        )
+    mice_rate = float(spec.params.get("mice_rate_mbps", 0.5))
+    train = int(spec.params.get("train_packets", 8))
+    requests = []
+    for i in range(n_elephants):
+        src, dst = pairs[int(rng.integers(len(pairs)))]
+        requests.append(
+            FlowRequest(
+                flow_name=f"elephant{i}",
+                src=src,
+                dst=dst,
+                protocol="tcp",
+                tos=_tos(i),
+                duration=horizon,
+                start_at=0.0,
+            )
+        )
+    for i in range(n_elephants, spec.n_flows):
+        src, dst = pairs[int(rng.integers(len(pairs)))]
+        duration = max(1.0, round(float(rng.uniform(0.03, 0.1)) * horizon, 3))
+        start = round(
+            float(rng.uniform(0.0, max(0.001, horizon - duration))), 3
+        )
+        requests.append(
+            FlowRequest(
+                flow_name=f"mouse{i}",
+                src=src,
+                dst=dst,
+                protocol="udp",
+                tos=0,  # mice share ToS 0: background class, never steered
+                duration=duration,
+                start_at=start,
+                rate_mbps=mice_rate,
+                train_packets=train,
+            )
+        )
+    return requests
+
+
 TRAFFIC_PATTERNS: Dict[
-    str, Callable[[Network, TrafficSpec, float, np.random.Generator], List[FlowRequest]]
+    str,
+    Callable[
+        [Network, TrafficSpec, float, np.random.Generator],
+        List[FlowRequest],
+    ],
 ] = {
     "uniform": _uniform,
     "hotspot": _hotspot,
     "bursty": _bursty,
     "elephant_mice": _elephant_mice,
     "explicit": _explicit,
+    "scale_mix": _scale_mix,
 }
+
+#: Patterns that stamp a distinct non-zero ToS on every flow (and are
+#: therefore capped at MAX_FLOWS flows); ``explicit`` carries literal
+#: ToS values and ``scale_mix`` only spends ToS on its elephants.
+TOS_PER_FLOW_PATTERNS = frozenset(
+    {"uniform", "hotspot", "bursty", "elephant_mice"}
+)
 
 
 def generate_traffic(
@@ -221,7 +313,7 @@ def generate_traffic(
             f"unknown traffic pattern {spec.pattern!r}; "
             f"choose from {sorted(TRAFFIC_PATTERNS)}"
         ) from None
-    if spec.n_flows > MAX_FLOWS:
+    if spec.pattern in TOS_PER_FLOW_PATTERNS and spec.n_flows > MAX_FLOWS:
         raise ValueError(
             f"n_flows={spec.n_flows} exceeds the {MAX_FLOWS} distinct ToS "
             "bytes available for per-flow PBR steering"

@@ -42,7 +42,10 @@ __all__ = [
 #: previous behaviour then miss instead of silently serving old numbers.
 #: v2: directed link capacities — fluid results for bidirectional
 #: workloads changed, so v1 artifacts must not be served.
-CACHE_VERSION = 2
+#: v3: hybrid flow-class backend — Scenario grew classes/tags fields,
+#: results carry sim_events, UdpFlow throughput is averaged over the
+#: active window, and fluid epochs coalesce beyond max_epochs.
+CACHE_VERSION = 3
 
 #: Where sweeps cache by default (relative to the working directory).
 DEFAULT_CACHE_DIR = Path(".sweep-cache")

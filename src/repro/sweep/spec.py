@@ -19,7 +19,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, List, Mapping, Tuple
 
-from repro.scenarios import Scenario, get_scenario
+from repro.scenarios import BACKENDS, Scenario, get_scenario
 
 __all__ = ["RunSpec", "SweepSpec", "parse_seeds"]
 
@@ -89,8 +89,8 @@ class SweepSpec:
     seeds:
         RNG seeds; every grid cell runs once per seed.
     backends:
-        Backend overrides (``"des"``/``"fluid"``); empty means "each
-        scenario's own backend".
+        Backend overrides (``"des"``/``"fluid"``/``"hybrid"``); empty
+        means "each scenario's own backend".
     overrides:
         ``Scenario`` field overrides (``horizon``, ``warmup``, ...)
         applied to every scenario before expansion.
@@ -113,9 +113,9 @@ class SweepSpec:
         if not self.seeds:
             raise ValueError("sweep needs at least one seed")
         for backend in self.backends:
-            if backend not in ("des", "fluid"):
+            if backend not in BACKENDS:
                 raise ValueError(
-                    f"backend must be 'des' or 'fluid', got {backend!r}"
+                    f"backend must be one of {BACKENDS}, got {backend!r}"
                 )
 
     def expand(self) -> Tuple[RunSpec, ...]:

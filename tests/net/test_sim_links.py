@@ -67,13 +67,15 @@ class TestSimulator:
         assert times == [2.0]
 
     def test_runaway_guard(self):
+        from repro.net import EventBudgetExceeded
+
         sim = Simulator()
 
         def forever():
             sim.schedule(0.0, forever)
 
         sim.schedule(0.0, forever)
-        with pytest.raises(RuntimeError, match="exceeded"):
+        with pytest.raises(EventBudgetExceeded, match="budget"):
             sim.run(until=1.0, max_events=100)
 
     @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30))

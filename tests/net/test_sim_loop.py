@@ -1,0 +1,165 @@
+"""Event-loop hardening: heap ordering, cancellation, budgets, batches.
+
+The scale tier leans on the simulator loop much harder than the paper
+scenarios did, so its contract is pinned down here explicitly: FIFO tie
+breaking at equal timestamps, lazy cancelled-event skipping, exact
+``until``/``max_events`` boundary semantics (a saturated run must raise,
+never silently truncate), and coalesced batch events.
+"""
+
+import pytest
+
+from repro.net import EventBudgetExceeded, Simulator
+
+
+class TestHeapOrdering:
+    def test_equal_timestamps_run_fifo(self):
+        sim = Simulator()
+        log = []
+        for i in range(50):
+            sim.schedule(1.0, lambda i=i: log.append(i))
+        sim.run()
+        assert log == list(range(50))
+
+    def test_equal_timestamps_interleaved_with_earlier_events(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, lambda: log.append("tie-a"))
+        sim.schedule(1.0, lambda: log.append("early"))
+        sim.schedule(2.0, lambda: log.append("tie-b"))
+        sim.schedule(0.5, lambda: log.append("earliest"))
+        sim.run()
+        assert log == ["earliest", "early", "tie-a", "tie-b"]
+
+    def test_events_scheduled_at_now_run_after_current(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append("first")
+            sim.schedule(0.0, lambda: log.append("nested"))
+
+        sim.schedule(1.0, first)
+        sim.schedule(1.0, lambda: log.append("second"))
+        sim.run()
+        # the nested 0-delay event lands after already-queued ties
+        assert log == ["first", "second", "nested"]
+
+
+class TestCancellation:
+    def test_cancelled_events_are_skipped(self):
+        sim = Simulator()
+        fired = []
+        keep = sim.schedule(1.0, lambda: fired.append("keep"))
+        drop = sim.schedule(1.0, lambda: fired.append("drop"))
+        drop.cancel()
+        sim.run()
+        assert fired == ["keep"]
+        assert keep.cancelled is False
+
+    def test_cancelled_events_do_not_count_against_the_budget(self):
+        sim = Simulator()
+        for _ in range(20):
+            sim.schedule(1.0, lambda: None).cancel()
+        sim.schedule(2.0, lambda: None)
+        sim.run(max_events=1)  # 20 cancelled + 1 live within budget 1
+        assert sim.events_processed == 1
+
+    def test_peek_time_purges_cancelled_heads(self):
+        sim = Simulator()
+        early = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        early.cancel()
+        assert sim.peek_time() == 2.0
+        assert sim.pending_events() == 1
+
+
+class TestRunBoundaries:
+    def test_until_is_inclusive_of_events_at_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("at"))
+        sim.schedule(3.0001, lambda: fired.append("past"))
+        sim.run(until=3.0)
+        assert fired == ["at"]
+        assert sim.now == 3.0
+
+    def test_exactly_max_events_completes(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(float(i), lambda: None)
+        sim.run(max_events=10)  # budget == workload: no raise
+        assert sim.events_processed == 10
+
+    def test_budget_plus_one_raises_before_processing(self):
+        sim = Simulator()
+        fired = []
+        for i in range(11):
+            sim.schedule(float(i), lambda i=i: fired.append(i))
+        with pytest.raises(EventBudgetExceeded) as excinfo:
+            sim.run(max_events=10)
+        # the budget-breaking 11th event must NOT have run
+        assert fired == list(range(10))
+        assert excinfo.value.max_events == 10
+        assert excinfo.value.now == 9.0
+
+    def test_budget_error_names_the_horizon(self):
+        sim = Simulator()
+        sim.schedule(0.0, lambda: sim.schedule(0.1, lambda: None))
+        sim.schedule(0.05, lambda: None)
+        with pytest.raises(EventBudgetExceeded, match="t=42"):
+            sim.run(until=42.0, max_events=1)
+
+    def test_truncate_mode_warns_and_marks(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        with pytest.warns(RuntimeWarning, match="truncated"):
+            sim.run(max_events=3, on_budget="truncate")
+        assert sim.truncated is True
+        assert sim.events_processed == 3
+        sim.run()  # the remaining events are still queued, not lost
+        assert sim.events_processed == 5
+
+    def test_unknown_on_budget_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="on_budget"):
+            sim.run(on_budget="ignore")
+
+    def test_budget_is_per_call_not_per_lifetime(self):
+        sim = Simulator()
+        for i in range(6):
+            sim.schedule(float(i), lambda: None)
+        sim.run(until=2.0, max_events=3)
+        sim.run(max_events=3)  # fresh budget for the second call
+        assert sim.events_processed == 6
+
+
+class TestScheduleBatch:
+    def test_batch_runs_callbacks_in_order_as_one_event(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_batch(
+            1.0, [lambda i=i: log.append(i) for i in range(10)]
+        )
+        sim.run()
+        assert log == list(range(10))
+        assert sim.events_processed == 1  # coalesced: one heap entry
+
+    def test_batch_cancellation_cancels_all(self):
+        sim = Simulator()
+        log = []
+        event = sim.schedule_batch(1.0, [lambda: log.append(1)] * 3)
+        event.cancel()
+        sim.run()
+        assert log == []
+
+    def test_batch_interleaves_with_plain_events_by_time(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(0.5, lambda: log.append("before"))
+        sim.schedule_batch(1.0, [lambda: log.append("b1"),
+                                 lambda: log.append("b2")])
+        sim.schedule(1.5, lambda: log.append("after"))
+        sim.run()
+        assert log == ["before", "b1", "b2", "after"]

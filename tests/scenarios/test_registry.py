@@ -42,9 +42,21 @@ class TestRegistry:
             register(existing)
 
     def test_every_builtin_has_description_and_valid_backend(self):
+        from repro.scenarios import BACKENDS
+
         for scenario in list_scenarios():
             assert scenario.description
-            assert scenario.backend in ("des", "fluid")
+            assert scenario.backend in BACKENDS
+
+    def test_scale_tier_is_tagged_and_excludable(self):
+        scale = [s for s in list_scenarios() if "scale" in s.tags]
+        assert len(scale) >= 4
+        assert all(s.name.startswith("scale-") for s in scale)
+        assert all(s.backend == "hybrid" for s in scale)
+        assert all(s.traffic.n_flows >= 2000 for s in scale)
+        small = list_scenarios(include_scale=False)
+        assert not [s for s in small if "scale" in s.tags]
+        assert len(small) + len(scale) == len(list_scenarios())
 
 
 class TestSpecPlumbing:

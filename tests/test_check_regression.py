@@ -68,6 +68,36 @@ class TestGate:
         baseline = _baseline_json(tmp_path / "base.json", {"t::a": 0.0})
         assert check_regression.main([str(current), str(baseline)]) == 1
 
+    def test_markdown_table_written_alongside_the_gate(self, tmp_path):
+        current = _bench_json(
+            tmp_path / "bench.json", {"t::a": 2.5, "t::b": 0.9, "t::new": 1.0}
+        )
+        baseline = _baseline_json(
+            tmp_path / "base.json", {"t::a": 1.0, "t::b": 1.0, "t::gone": 1.0}
+        )
+        md = tmp_path / "summary.md"
+        assert check_regression.main(
+            [str(current), str(baseline), "--markdown", str(md)]
+        ) == 1  # t::a regressed; the table is still written
+        text = md.read_text()
+        assert "| benchmark | baseline | current | ratio | verdict |" in text
+        assert "1 regression(s) beyond 2.0x" in text
+        assert "`t::a`" in text and "2.50x" in text and "regressed" in text
+        assert "`t::b`" in text and "ok" in text
+        assert "`t::gone`" in text and "missing" in text
+        assert "`t::new`" in text and "new" in text
+        # worst ratio first: the regression leads the table
+        assert text.index("`t::a`") < text.index("`t::b`")
+
+    def test_markdown_clean_run_reports_zero_regressions(self, tmp_path):
+        current = _bench_json(tmp_path / "bench.json", {"t::a": 1.0})
+        baseline = _baseline_json(tmp_path / "base.json", {"t::a": 1.0})
+        md = tmp_path / "summary.md"
+        assert check_regression.main(
+            [str(current), str(baseline), "--markdown", str(md)]
+        ) == 0
+        assert "0 regression(s)" in md.read_text()
+
     def test_committed_baseline_matches_the_bench_suite(self):
         """The baseline tracked in git must name real benchmarks."""
         baseline = check_regression.load_baseline(

@@ -87,6 +87,45 @@ class TestScenarioCli:
         ]) == 0
         assert "seed=5" in capsys.readouterr().out
 
+    def test_scenarios_run_hybrid(self, capsys):
+        assert main([
+            "scenarios", "run", "wan-elephant-mice",
+            "--backend", "hybrid", "--horizon", "5", "--warmup", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[hybrid]" in out and "sim_events" in out
+
+    def test_scenarios_list_includes_scale_tier(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "scale-fat-tree-2k" in out and "scale_mix" in out
+
+    def test_sweep_all_excludes_scale_tier(self, monkeypatch, tmp_path):
+        """--all must not drag 2k-10k-flow scenarios into a sweep; they
+        are named explicitly."""
+        from repro.scenarios import list_scenarios
+        from repro.sweep import SweepSpec
+
+        class _Abort(Exception):
+            pass
+
+        names = []
+
+        def spy(self):
+            names.extend(self.scenarios)
+            raise _Abort()
+
+        monkeypatch.setattr(SweepSpec, "expand", spy)
+        with pytest.raises(_Abort):
+            main([
+                "scenarios", "sweep", "--all",
+                "--cache-dir", str(tmp_path),
+            ])
+        assert names == [
+            s.name for s in list_scenarios(include_scale=False)
+        ]
+        assert names and not any(n.startswith("scale-") for n in names)
+
 
 class TestSweepCli:
     GRID = [
