@@ -12,10 +12,16 @@ The wall-clock budget catches the hybrid pipeline getting slower
 (background solves exploding, epoch coalescing regressing); the
 events/second floor catches the packet domain itself degenerating (an
 event-loop or link-layer regression would tank throughput of the
-foreground events long before tier-1's small scenarios notice).  Both
-gates run weekly (and on demand) rather than per-push — see the
-``scale-smoke`` job in ``.github/workflows/ci.yml`` — so scale
-regressions are caught without taxing the tier-1 path.
+foreground events long before tier-1's small scenarios notice); the
+telemetry read budget catches the store's read path going linear again
+(after the run it times a ``latest`` + tail-window read of **every**
+recorded metric, which on the columnar store is O(log n + k) per metric
+no matter how long the horizon was — a regression back to
+re-materialised histories blows the few-hundred-ms budget by orders of
+magnitude at scale-tier sample counts).  All gates run weekly (and on
+demand) rather than per-push — see the ``scale-smoke`` job in
+``.github/workflows/ci.yml`` — so scale regressions are caught without
+taxing the tier-1 path.
 
 Exit status: 0 when within budget and above the floor, 1 otherwise.
 When ``$GITHUB_STEP_SUMMARY`` is set, a markdown summary is appended so
@@ -27,6 +33,27 @@ from __future__ import annotations
 import argparse
 import os
 import time
+
+
+def telemetry_read_ms(runner):
+    """Time one ``latest`` + 10-interval tail-window read of every
+    metric the run recorded (what a dashboard refresh or one controller
+    tick costs).  Returns ``(elapsed_ms, metric_count)``; backends
+    without a telemetry store (fluid) report ``(0.0, 0)``."""
+    if runner.sdn is None:
+        return 0.0, 0
+    db = runner.sdn.telemetry.db
+    interval = runner.scenario.policy.telemetry_interval
+    t_end = runner.network.sim.now
+    names = db.metrics()
+    start = time.perf_counter()
+    sink = 0.0
+    for metric in names:
+        sink += db.latest(metric)
+        _, values = db.window(metric, t_end - 10.0 * interval, t_end)
+        sink += float(values.sum())
+    assert sink == sink  # keep the loop un-elidable (and NaN-free)
+    return (time.perf_counter() - start) * 1e3, len(names)
 
 
 def main(argv=None) -> int:
@@ -43,6 +70,12 @@ def main(argv=None) -> int:
     parser.add_argument("--min-events-per-s", type=float, default=20000.0,
                         help="floor on simulator events processed per "
                         "wall-clock second (default 20000)")
+    parser.add_argument("--telemetry-read-budget-ms", type=float,
+                        default=250.0,
+                        help="budget for reading latest + a tail window "
+                        "of every recorded telemetry metric after the "
+                        "run (default 250 ms); sublinear reads clear it "
+                        "easily, O(history) reads cannot")
     parser.add_argument("--horizon", type=float, default=None,
                         help="override the scenario horizon (seconds)")
     parser.add_argument("--warmup", type=float, default=None,
@@ -62,16 +95,17 @@ def main(argv=None) -> int:
     if overrides:
         scenario = scenario.with_overrides(**overrides)
 
+    runner = ScenarioRunner(scenario, backend=args.backend, seed=args.seed)
     start = time.perf_counter()
-    result = ScenarioRunner(
-        scenario, backend=args.backend, seed=args.seed
-    ).run()
+    result = runner.run()
     wall_s = time.perf_counter() - start
     events_per_s = result.sim_events / wall_s if wall_s > 0 else 0.0
+    read_ms, read_metrics = telemetry_read_ms(runner)
 
     ok_budget = wall_s <= args.budget_s
     ok_floor = events_per_s >= args.min_events_per_s
-    verdict = "PASS" if (ok_budget and ok_floor) else "FAIL"
+    ok_read = read_ms <= args.telemetry_read_budget_ms
+    verdict = "PASS" if (ok_budget and ok_floor and ok_read) else "FAIL"
 
     print(result.summary())
     print(
@@ -80,13 +114,17 @@ def main(argv=None) -> int:
         f"{events_per_s:,.0f} events/s "
         f"(floor {args.min_events_per_s:,.0f}), "
         f"{result.sim_events} events, "
-        f"{result.placed}/{result.offered} flows placed"
+        f"{result.placed}/{result.offered} flows placed, "
+        f"telemetry read {read_ms:.1f}ms over {read_metrics} metrics / "
+        f"{result.telemetry_samples} samples "
+        f"(budget {args.telemetry_read_budget_ms:g}ms)"
     )
 
     summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
     if summary_path:
         budget_mark = "✅" if ok_budget else "❌"
         floor_mark = "✅" if ok_floor else "❌"
+        read_mark = "✅" if ok_read else "❌"
         with open(summary_path, "a", encoding="utf-8") as handle:
             handle.write(
                 f"### Scale smoke: {scenario.name} [{result.backend}] — "
@@ -96,12 +134,16 @@ def main(argv=None) -> int:
                 f"| wall clock | {wall_s:.1f} s | ≤ {args.budget_s:g} s "
                 f"| {budget_mark} |\n"
                 f"| events/s | {events_per_s:,.0f} | "
-                f"≥ {args.min_events_per_s:,.0f} | {floor_mark} |\n\n"
+                f"≥ {args.min_events_per_s:,.0f} | {floor_mark} |\n"
+                f"| telemetry read | {read_ms:.1f} ms | "
+                f"≤ {args.telemetry_read_budget_ms:g} ms | {read_mark} |\n\n"
                 f"{result.offered} flows offered, {result.placed} placed, "
                 f"{result.sim_events} simulator events, "
+                f"{result.telemetry_samples} telemetry samples over "
+                f"{read_metrics} metrics, "
                 f"{result.total_throughput_mbps:.1f} Mbps aggregate.\n"
             )
-    return 0 if (ok_budget and ok_floor) else 1
+    return 0 if (ok_budget and ok_floor and ok_read) else 1
 
 
 if __name__ == "__main__":

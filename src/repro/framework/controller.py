@@ -132,6 +132,10 @@ class Controller:
         self.reopt_solved = 0  # groups re-solved across all ticks
         self.reopt_skipped = 0  # groups skipped as unchanged
         self._group_snapshots: Dict[Tuple[str, str], Tuple] = {}
+        #: tunnel name -> telemetry.get cursor: each retrieval pulls only
+        #: the samples recorded since the previous one (incremental
+        #: getTelemetry; O(new samples) instead of O(history) per ask)
+        self._telemetry_cursors: Dict[str, int] = {}
         self._reopt_armed = False
         bus.subscribe(NEW_FLOW_TOPIC, self._on_new_flow)
 
@@ -167,10 +171,23 @@ class Controller:
     def _edge_router_of(self, host_name: str) -> str:
         return self.network.edge_router_of(host_name)
 
+    def _get_telemetry(self, tunnel_name: str) -> None:
+        """Fig. 4 getTelemetry for one tunnel, incrementally: the reply
+        carries only samples recorded since our stored cursor (a flow
+        storm placing thousands of flows at one instant retrieves each
+        tunnel's history once, then length-zero increments)."""
+        replies = self.bus.request(
+            TELEMETRY_GET_TOPIC,
+            path=tunnel_name,
+            since=self._telemetry_cursors.get(tunnel_name, 0),
+        )
+        if replies and replies[0].get("ok"):
+            self._telemetry_cursors[tunnel_name] = replies[0]["cursor"]
+
     def _ask_hecate(self, candidates: List[TunnelInfo], objective: str) -> Dict:
         # Fig. 4 getTelemetry: the Controller retrieves stored history
         for tunnel in candidates:
-            self.bus.request(TELEMETRY_GET_TOPIC, path=tunnel.name)
+            self._get_telemetry(tunnel.name)
         replies = self.bus.request(
             ASK_PATH_TOPIC,
             paths=[t.name for t in candidates],
@@ -379,7 +396,7 @@ class Controller:
             for tunnel in candidates:
                 if tunnel.name not in seen:
                     seen.add(tunnel.name)
-                    self.bus.request(TELEMETRY_GET_TOPIC, path=tunnel.name)
+                    self._get_telemetry(tunnel.name)
         replies = self.bus.request(
             ASK_PATH_BATCH_TOPIC,
             groups=[

@@ -29,7 +29,11 @@ latest raw measurement instead of a trained forecast — the cold-start
 behaviour a freshly deployed controller needs.  Bus access
 (``telemetry.get`` / ``telemetry.start``) exists so remote components
 never touch the DB object directly, mirroring the paper's
-service-over-message-queue layering.
+service-over-message-queue layering.  ``telemetry.get`` accepts an
+optional ``since`` cursor (returned by the previous reply) and then
+serves only the samples appended since — the incremental read that
+keeps the Controller's per-placement and per-reoptimization telemetry
+pulls O(new samples) on long runs.
 """
 
 from __future__ import annotations
@@ -94,15 +98,27 @@ class TelemetryService:
         return self.db.series(f"path:{name}:{metric}")
 
     def _on_get(self, message: Message):
+        """``telemetry.get``: full history, or — when the payload carries
+        a ``since`` cursor — only the samples appended after it (the
+        incremental read the Controller's hot loop uses; resending the
+        returned ``cursor`` next time keeps the reply O(new samples)
+        instead of O(history))."""
         metric = message.payload.get("metric", "available_mbps")
         path = message.payload.get("path")
         if path is None:
             return {"ok": False, "error": "missing 'path'"}
-        t, v = self.path_history(path, metric)
+        key = f"path:{path}:{metric}"
+        since = message.payload.get("since")
+        if since is None:
+            t, v = self.db.series(key)
+            cursor = self.db.count(key)
+        else:
+            t, v, cursor = self.db.window_since(key, int(since))
         return {
             "ok": True,
             "path": path,
             "metric": metric,
+            "cursor": cursor,
             "t": [float(x) for x in t],
             "values": [float(x) for x in v],
         }

@@ -11,7 +11,7 @@ booted controller needs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -82,6 +82,16 @@ class HecateService:
         self.model_factory = model_factory
         self.n_lags = n_lags
         self.asked: int = 0
+        self.fits: int = 0  # regressor fits actually performed
+        self.forecast_cache_hits: int = 0  # asks served without refit
+        #: (path, horizon) -> (store cursor at fit time, forecast): a
+        #: path whose telemetry has not advanced since the cached fit is
+        #: served from here — e.g. the placement storm at a scenario's
+        #: start asks about the same tunnels many times within one
+        #: sampling interval, and must pay for one fit, not hundreds.
+        #: Keyed per horizon so alternating horizons don't evict each
+        #: other; entries are invalidated by the cursor moving.
+        self._forecast_cache: Dict[Tuple[str, int], Tuple[int, PathForecast]] = {}
         if bus is not None:
             bus.subscribe(ASK_PATH_TOPIC, self._on_ask)
             bus.subscribe(ASK_PATH_BATCH_TOPIC, self._on_ask_batch)
@@ -93,26 +103,39 @@ class HecateService:
         return values
 
     def forecast_path(self, path: str, horizon: int = 10) -> PathForecast:
-        """Forecast one path's available bandwidth + latest latency/util."""
-        history = self._history(path, "available_mbps")
-        if history.size == 0:
+        """Forecast one path's available bandwidth + latest latency/util.
+
+        Cached on the telemetry store's cursor: if the path's series has
+        not grown since the last call with the same horizon, the cached
+        forecast is returned and no regressor is refit (the pipeline is
+        deterministic, so identical history means an identical
+        forecast).  One new sample invalidates the entry.
+        """
+        cursor = self.db.count(f"path:{path}:available_mbps")
+        if cursor == 0:
             raise KeyError(f"no telemetry recorded for path {path!r}")
-        latency = self._history(path, "latency_ms")
-        util = self._history(path, "util")
+        cached = self._forecast_cache.get((path, horizon))
+        if cached is not None and cached[0] == cursor:
+            self.forecast_cache_hits += 1
+            return cached[1]
+        history = self._history(path, "available_mbps")
         if history.size >= max(self.MIN_TRAIN_SAMPLES, self.n_lags + 2):
             predictor = QoSPredictor(self.model_factory(), n_lags=self.n_lags)
             predictor.fit(history)
+            self.fits += 1
             forecast = predictor.forecast(history, steps=horizon)
             forecast = np.clip(forecast, 0.0, None)
         else:
             # cold start: repeat the most recent observation
             forecast = np.full(horizon, float(history[-1]))
-        return PathForecast(
+        result = PathForecast(
             name=path,
             available_mbps=forecast,
-            latency_ms=float(latency[-1]) if latency.size else 0.0,
-            bottleneck_utilization=float(util[-1]) if util.size else 0.0,
+            latency_ms=self.db.latest(f"path:{path}:latency_ms", 0.0),
+            bottleneck_utilization=self.db.latest(f"path:{path}:util", 0.0),
         )
+        self._forecast_cache[(path, horizon)] = (cursor, result)
+        return result
 
     def recommend(
         self,
@@ -167,7 +190,7 @@ class HecateService:
                 memo[path] = self.forecast_path(path, horizon=horizon)
             forecasts.append(memo[path])
         chosen = OBJECTIVES[objective](forecasts)
-        trained = self._history(chosen.name, "available_mbps").size >= max(
+        trained = self.db.count(f"path:{chosen.name}:available_mbps") >= max(
             self.MIN_TRAIN_SAMPLES, self.n_lags + 2
         )
         self.asked += 1

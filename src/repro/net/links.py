@@ -171,6 +171,13 @@ class Link:
             return self._ba
         raise ValueError(f"{node.name} is not attached to this link")
 
+    def direction_from(self, node: "Node") -> _Direction:
+        """The transmit direction out of ``node``: a stable handle whose
+        ``stats`` / ``queue`` / ``background_mbps`` the vectorised
+        telemetry collectors read in bulk each tick (resolving the
+        direction once at start instead of per sample)."""
+        return self._direction_from(node)
+
     def set_background_from(self, node: "Node", mbps: float) -> None:
         """Set the fluid background load (Mbps) transmitting out of
         ``node``; takes effect from the next packet serialization."""

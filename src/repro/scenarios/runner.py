@@ -130,6 +130,10 @@ class ScenarioResult:
     #: wall-clock divided by this is the events/s figure the scale-smoke
     #: CI gate floors.  Deterministic, unlike wall-clock itself.
     sim_events: int = 0
+    #: samples the telemetry store recorded across all metrics (0 on the
+    #: fluid backend, which has no telemetry agents).  Deterministic, so
+    #: sweeps can assert the monitoring volume did not silently change.
+    telemetry_samples: int = 0
 
     #: numeric field -> coercion applied on both to_dict and from_dict, so
     #: results survive a JSON round-trip (and numpy scalars never leak
@@ -153,6 +157,7 @@ class ScenarioResult:
         "reconfigurations": int,
         "failure_events": int,
         "sim_events": int,
+        "telemetry_samples": int,
     }
 
     def to_dict(self) -> Dict[str, Any]:
@@ -176,10 +181,11 @@ class ScenarioResult:
         """Rebuild a result from :meth:`to_dict` output (or its JSON
         round-trip); raises ``KeyError`` on missing fields and ignores
         unknown ones, so cache artifacts from newer minor versions load.
-        ``sim_events`` (added after the first release) defaults to 0 so
-        pre-hybrid payloads still deserialize."""
+        ``sim_events`` and ``telemetry_samples`` (added after the first
+        release) default to 0 so older payloads still deserialize."""
         source = dict(payload)
         source.setdefault("sim_events", 0)
+        source.setdefault("telemetry_samples", 0)
         kwargs: Dict[str, Any] = {
             name: coerce(source[name])
             for name, coerce in cls._FIELD_TYPES.items()
@@ -205,7 +211,8 @@ class ScenarioResult:
             f"  drops={self.drops}  migrations={self.migrations}  "
             f"reconfigurations={self.reconfigurations}  "
             f"failure_events={self.failure_events}  "
-            f"sim_events={self.sim_events}",
+            f"sim_events={self.sim_events}  "
+            f"telemetry_samples={self.telemetry_samples}",
         ]
         if self.per_flow_mbps:
             worst = sorted(self.per_flow_mbps.items(), key=lambda kv: kv[1])
@@ -475,6 +482,7 @@ class ScenarioRunner:
             reconfigurations=reconfigurations,
             failure_events=len(self.failure_plan),
             sim_events=self.network.sim.events_processed,
+            telemetry_samples=self.sdn.telemetry.db.total_samples(),
         )
 
     # ------------------------------------------------------ fluid backend
@@ -738,4 +746,5 @@ class ScenarioRunner:
             reconfigurations=reconfigurations,
             failure_events=len(self.failure_plan),
             sim_events=self.network.sim.events_processed,
+            telemetry_samples=self.sdn.telemetry.db.total_samples(),
         )

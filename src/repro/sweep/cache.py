@@ -45,7 +45,9 @@ __all__ = [
 #: v3: hybrid flow-class backend — Scenario grew classes/tags fields,
 #: results carry sim_events, UdpFlow throughput is averaged over the
 #: active window, and fluid epochs coalesce beyond max_epochs.
-CACHE_VERSION = 3
+#: v4: columnar telemetry store — results carry telemetry_samples, and
+#: the store's window() upper bound became inclusive.
+CACHE_VERSION = 4
 
 #: Where sweeps cache by default (relative to the working directory).
 DEFAULT_CACHE_DIR = Path(".sweep-cache")

@@ -106,6 +106,28 @@ class TestTelemetryService:
         assert replies[0]["ok"]
         assert len(replies[0]["values"]) >= 3
 
+    def test_get_topic_incremental_cursor(self):
+        """``telemetry.get`` with a ``since`` cursor returns only the
+        samples appended after it — the Controller's incremental
+        getTelemetry pull."""
+        net = global_p4_lab()
+        bus = MessageBus()
+        svc = TelemetryService(net, bus)
+        svc.start()
+        svc.create_path_probe("T1", ["MIA", "SAO", "AMS"])
+        net.run(until=4.0)
+        first = bus.request("telemetry.get", path="T1", since=0)[0]
+        assert first["ok"] and len(first["values"]) >= 3
+        cursor = first["cursor"]
+        assert cursor == len(first["values"])
+        caught_up = bus.request("telemetry.get", path="T1", since=cursor)[0]
+        assert caught_up["values"] == []  # nothing new yet
+        assert caught_up["cursor"] == cursor
+        net.run(until=8.0)
+        more = bus.request("telemetry.get", path="T1", since=cursor)[0]
+        assert len(more["values"]) >= 3
+        assert more["cursor"] == cursor + len(more["values"])
+
     def test_get_requires_path(self):
         net = global_p4_lab()
         bus = MessageBus()

@@ -145,6 +145,36 @@ class TestHecateService:
         with pytest.raises(ValueError):
             service.recommend(["T1"], objective="fastest")
 
+    def test_forecast_cache_skips_refit_until_new_sample(self):
+        """Forecasts are cached on the store cursor: asking about an
+        unchanged series (e.g. many placements within one telemetry
+        interval) reuses the fitted forecast; one new sample refits."""
+        db = seeded_db()
+        service = HecateService(db, model_factory=LinearRegression)
+        first = service.forecast_path("T1")
+        assert service.fits == 1
+        again = service.forecast_path("T1")
+        assert again is first  # identical history -> cached object
+        assert service.fits == 1
+        assert service.forecast_cache_hits == 1
+        db.insert("path:T1:available_mbps", 60.0, 5.0)
+        refreshed = service.forecast_path("T1")
+        assert refreshed is not first
+        assert service.fits == 2
+
+    def test_forecast_cache_keyed_on_horizon(self):
+        service = HecateService(seeded_db(), model_factory=LinearRegression)
+        short = service.forecast_path("T1", horizon=10)
+        long = service.forecast_path("T1", horizon=20)
+        assert len(short.available_mbps) == 10
+        assert len(long.available_mbps) == 20
+        assert service.fits == 2  # different horizon -> its own fit
+        # alternating horizons must not evict each other's entries
+        assert service.forecast_path("T1", horizon=10) is short
+        assert service.forecast_path("T1", horizon=20) is long
+        assert service.fits == 2
+        assert service.forecast_cache_hits == 2
+
     def test_bus_interface(self):
         bus = MessageBus()
         HecateService(seeded_db(), bus=bus, model_factory=LinearRegression)

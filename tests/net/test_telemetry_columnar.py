@@ -1,0 +1,287 @@
+"""The columnar TimeSeriesDB against a reference list-based store.
+
+The store rebuild (growable column groups, searchsorted windows,
+zero-copy tails, cursors) must be *invisible* through the read API: this
+file pins value-identity against the seed-era list-of-tuples
+implementation across interleaved writes and reads — including
+out-of-order timestamps, which force the store off its bisection fast
+path — plus the contracts the rebuild added (column groups, cursors,
+views).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.telemetry import TimeSeriesDB
+
+
+class ReferenceTimeSeriesDB:
+    """The seed implementation: metric -> append-only list of (t, v),
+    re-materialised on every read.  Kept as the executable spec the
+    columnar store must match (with the inclusive-window fix applied to
+    both sides)."""
+
+    def __init__(self):
+        self._data = {}
+
+    def insert(self, metric, t, value):
+        self._data.setdefault(metric, []).append((float(t), float(value)))
+
+    def insert_many(self, metric, ts, values):
+        rows = self._data.setdefault(metric, [])
+        for t, v in zip(ts, values):
+            rows.append((float(t), float(v)))
+
+    def series(self, metric):
+        rows = self._data.get(metric, [])
+        if not rows:
+            return np.array([]), np.array([])
+        arr = np.asarray(rows)
+        return arr[:, 0], arr[:, 1]
+
+    def window(self, metric, t0, t1, include_end=True):
+        t, v = self.series(metric)
+        if t.size == 0:
+            return t, v
+        mask = (t >= t0) & ((t <= t1) if include_end else (t < t1))
+        return t[mask], v[mask]
+
+    def window_since(self, metric, cursor):
+        rows = self._data.get(metric, [])
+        start = min(max(int(cursor), 0), len(rows))
+        tail = rows[start:]
+        if not tail:
+            return np.array([]), np.array([]), len(rows)
+        arr = np.asarray(tail)
+        return arr[:, 0], arr[:, 1], len(rows)
+
+    def last(self, metric, n=1):
+        rows = self._data.get(metric, [])
+        if not rows or n <= 0:
+            return np.array([])
+        return np.asarray([v for _, v in rows[-n:]])
+
+    def latest(self, metric, default=0.0):
+        rows = self._data.get(metric)
+        return rows[-1][1] if rows else default
+
+    def count(self, metric):
+        return len(self._data.get(metric, ()))
+
+
+METRICS = ("a", "b", "c")
+
+_op = st.one_of(
+    st.tuples(
+        st.just("insert"),
+        st.sampled_from(METRICS),
+        st.floats(-1.0, 4.0),  # time delta; negatives go out of order
+        st.floats(-1e6, 1e6),
+    ),
+    st.tuples(
+        st.just("insert_many"),
+        st.sampled_from(METRICS),
+        st.lists(
+            st.tuples(st.floats(-1.0, 4.0), st.floats(-1e6, 1e6)),
+            max_size=8,
+        ),
+    ),
+    st.tuples(
+        st.just("window"),
+        st.sampled_from(METRICS),
+        st.floats(-5.0, 40.0),
+        st.floats(-5.0, 40.0),
+        st.booleans(),
+    ),
+    st.tuples(st.just("window_since"), st.sampled_from(METRICS)),
+    st.tuples(
+        st.just("last"), st.sampled_from(METRICS), st.integers(1, 12)
+    ),
+    st.tuples(st.just("latest"), st.sampled_from(METRICS)),
+    st.tuples(st.just("series"), st.sampled_from(METRICS)),
+)
+
+
+class TestValueIdentityWithReference:
+    @given(st.lists(_op, max_size=60))
+    @settings(max_examples=120, deadline=None)
+    def test_interleaved_ops_match_reference(self, ops):
+        """Every read returns exactly what the list-based store returns,
+        for any interleaving of writes and reads (monotone or not)."""
+        columnar, reference = TimeSeriesDB(), ReferenceTimeSeriesDB()
+        clock = {m: 0.0 for m in METRICS}
+        cursors = {m: 0 for m in METRICS}
+        for op in ops:
+            kind, metric = op[0], op[1]
+            if kind == "insert":
+                clock[metric] += op[2]
+                columnar.insert(metric, clock[metric], op[3])
+                reference.insert(metric, clock[metric], op[3])
+            elif kind == "insert_many":
+                ts, vs = [], []
+                for dt, value in op[2]:
+                    clock[metric] += dt
+                    ts.append(clock[metric])
+                    vs.append(value)
+                columnar.insert_many(metric, ts, vs)
+                reference.insert_many(metric, ts, vs)
+            elif kind == "window":
+                t0, t1 = min(op[2], op[3]), max(op[2], op[3])
+                got = columnar.window(metric, t0, t1, include_end=op[4])
+                want = reference.window(metric, t0, t1, include_end=op[4])
+                assert np.array_equal(got[0], want[0])
+                assert np.array_equal(got[1], want[1])
+            elif kind == "window_since":
+                got = columnar.window_since(metric, cursors[metric])
+                want = reference.window_since(metric, cursors[metric])
+                assert np.array_equal(got[0], want[0])
+                assert np.array_equal(got[1], want[1])
+                assert got[2] == want[2]
+                cursors[metric] = got[2]
+            elif kind == "last":
+                assert np.array_equal(
+                    columnar.last(metric, op[2]), reference.last(metric, op[2])
+                )
+            elif kind == "latest":
+                assert columnar.latest(metric) == reference.latest(metric)
+            else:  # series
+                got, want = columnar.series(metric), reference.series(metric)
+                assert np.array_equal(got[0], want[0])
+                assert np.array_equal(got[1], want[1])
+        for metric in METRICS:
+            assert columnar.count(metric) == reference.count(metric)
+
+
+class TestCursors:
+    def test_window_since_returns_only_new_samples(self):
+        db = TimeSeriesDB()
+        db.insert("m", 0.0, 1.0)
+        db.insert("m", 1.0, 2.0)
+        t, v, cursor = db.window_since("m", 0)
+        assert np.array_equal(v, [1.0, 2.0]) and cursor == 2
+        t, v, cursor = db.window_since("m", cursor)
+        assert v.size == 0 and cursor == 2  # unchanged -> empty increment
+        db.insert("m", 2.0, 3.0)
+        t, v, cursor = db.window_since("m", cursor)
+        assert np.array_equal(t, [2.0]) and np.array_equal(v, [3.0])
+        assert cursor == 3
+
+    def test_unknown_metric_resets_cursor(self):
+        t, v, cursor = TimeSeriesDB().window_since("nope", 7)
+        assert t.size == 0 and v.size == 0 and cursor == 0
+
+    def test_cursor_clamped_to_bounds(self):
+        db = TimeSeriesDB()
+        db.insert("m", 0.0, 1.0)
+        _, v, cursor = db.window_since("m", 99)
+        assert v.size == 0 and cursor == 1
+        _, v, cursor = db.window_since("m", -3)
+        assert np.array_equal(v, [1.0]) and cursor == 1
+
+
+class TestColumnGroups:
+    def test_row_append_lands_in_every_metric(self):
+        db = TimeSeriesDB()
+        group = db.column_group(["x", "y", "z"])
+        group.append(1.0, [10.0, 20.0, 30.0])
+        group.append(2.0, [11.0, 21.0, 31.0])
+        for name, expect in (("x", [10.0, 11.0]), ("y", [20.0, 21.0]),
+                             ("z", [30.0, 31.0])):
+            t, v = db.series(name)
+            assert np.array_equal(t, [1.0, 2.0])
+            assert np.array_equal(v, expect)
+
+    def test_short_row_rejected_not_broadcast(self):
+        """numpy would happily broadcast one value across every column;
+        the group must reject the width mismatch instead of silently
+        duplicating telemetry."""
+        db = TimeSeriesDB()
+        group = db.column_group(["x", "y", "z"])
+        with pytest.raises(ValueError, match="3 metrics"):
+            group.append(0.0, [5.0])
+        with pytest.raises(ValueError, match="3 metrics"):
+            group.append(0.0, [1.0, 2.0, 3.0, 4.0])
+        assert db.count("x") == 0  # nothing landed
+
+    def test_group_is_reusable_but_overlap_rejected(self):
+        db = TimeSeriesDB()
+        group = db.column_group(["x", "y"])
+        assert db.column_group(["x", "y"]) is group  # restart path
+        with pytest.raises(ValueError, match="already registered"):
+            db.column_group(["y", "w"])
+
+    def test_individual_insert_into_grouped_metric_rejected(self):
+        db = TimeSeriesDB()
+        db.column_group(["x", "y"])
+        with pytest.raises(ValueError, match="column group"):
+            db.insert("x", 0.0, 1.0)
+
+    def test_growth_preserves_history(self):
+        db = TimeSeriesDB()
+        group = db.column_group(["x", "y"])
+        for i in range(5000):  # forces several capacity doublings
+            group.append(float(i), [float(i), float(-i)])
+        t, v = db.series("y")
+        assert t.size == 5000
+        assert v[0] == 0.0 and v[-1] == -4999.0
+        assert np.array_equal(t, np.arange(5000.0))
+
+
+class TestZeroCopyReads:
+    def test_last_is_a_view_not_a_copy(self):
+        """The satellite fix: ``last(n)`` must slice the tail, not
+        materialise the series."""
+        db = TimeSeriesDB()
+        for i in range(100):
+            db.insert("m", float(i), float(i))
+        tail = db.last("m", 5)
+        _, full = db.series("m")
+        assert np.array_equal(tail, [95.0, 96.0, 97.0, 98.0, 99.0])
+        assert np.shares_memory(tail, full)
+
+    def test_views_are_read_only(self):
+        db = TimeSeriesDB()
+        db.insert("m", 0.0, 1.0)
+        _, v = db.series("m")
+        with pytest.raises(ValueError):
+            v[0] = 99.0
+
+    def test_last_nonpositive_n_is_empty(self):
+        db = TimeSeriesDB()
+        db.insert("m", 0.0, 1.0)
+        assert db.last("m", 0).size == 0
+        assert db.last("m", -1).size == 0
+
+    def test_view_taken_before_growth_stays_valid(self):
+        db = TimeSeriesDB()
+        db.insert("m", 0.0, 42.0)
+        _, before = db.series("m")
+        for i in range(10000):
+            db.insert("m", float(i + 1), 0.0)
+        assert before.size == 1 and before[0] == 42.0  # stable snapshot
+
+
+class TestInsertMany:
+    def test_bulk_matches_loop(self):
+        bulk, loop = TimeSeriesDB(), TimeSeriesDB()
+        ts = np.arange(100.0)
+        vs = np.sin(ts)
+        bulk.insert_many("m", ts, vs)
+        for t, v in zip(ts, vs):
+            loop.insert("m", t, v)
+        for db in (bulk, loop):
+            t, v = db.series("m")
+            assert np.array_equal(t, ts) and np.array_equal(v, vs)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatched"):
+            TimeSeriesDB().insert_many("m", [0.0, 1.0], [1.0])
+
+    def test_out_of_order_bulk_still_windows_correctly(self):
+        db = TimeSeriesDB()
+        db.insert_many("m", [5.0, 1.0, 3.0], [50.0, 10.0, 30.0])
+        t, v = db.window("m", 1.0, 3.0)
+        assert np.array_equal(t, [1.0, 3.0])  # insertion order preserved
+        assert np.array_equal(v, [10.0, 30.0])

@@ -38,11 +38,22 @@ class TestTimeSeriesDB:
         assert np.array_equal(t, [1.0, 2.0])
         assert np.array_equal(v, [5.0, 7.0])
 
-    def test_window(self):
+    def test_window_includes_end_sample(self):
+        """The upper bound is inclusive: a reader asking for history "up
+        to now" must not lose a sample stamped exactly now (probe and
+        reader fire at the same simulated instant)."""
         db = TimeSeriesDB()
         for i in range(10):
             db.insert("m", float(i), float(i * i))
         t, v = db.window("m", 3.0, 6.0)
+        assert np.array_equal(t, [3.0, 4.0, 5.0, 6.0])
+        assert np.array_equal(v, [9.0, 16.0, 25.0, 36.0])
+
+    def test_window_half_open_opt_out(self):
+        db = TimeSeriesDB()
+        for i in range(10):
+            db.insert("m", float(i), float(i * i))
+        t, _ = db.window("m", 3.0, 6.0, include_end=False)
         assert np.array_equal(t, [3.0, 4.0, 5.0])
 
     def test_missing_metric_empty(self):
@@ -95,6 +106,65 @@ class TestLinkTelemetry:
         with pytest.raises(ValueError):
             LinkTelemetryCollector(net, TimeSeriesDB(), interval=0.0)
 
+    def test_zero_rate_link_samples_stay_finite(self):
+        """A failed/zeroed link must not blow up the sampling pass:
+        the unguarded ``mbps / rate_mbps`` raised ZeroDivisionError the
+        moment any link's rate hit zero.  Utilization of a direction
+        with no usable rate is 0.0 by definition."""
+        net = loaded_line()
+        net.link("r1", "r2").rate_mbps = 0.0
+        db = TimeSeriesDB()
+        LinkTelemetryCollector(net, db, interval=1.0).start()
+        net.run(until=5.0)
+        _, util = db.series("link:r1->r2:util")
+        assert util.size >= 4
+        assert np.all(np.isfinite(util))
+        assert np.allclose(util, 0.0)
+        # the mbps series still reports (zero) carried load, finitely
+        _, mbps = db.series("link:r1->r2:mbps")
+        assert np.all(np.isfinite(mbps))
+
+    def test_runtime_rate_change_tracked_live(self):
+        """``Network.set_link_rate`` is a runtime impairment: util must
+        be computed against the rate at sample time, not a value
+        captured when sampling started."""
+        net = loaded_line()
+        db = TimeSeriesDB()
+        LinkTelemetryCollector(net, db, interval=1.0).start()
+        UdpFlow(net.hosts["h1"], net.hosts["h2"], rate_mbps=5.0,
+                duration=10.0).start()
+        net.run(until=4.0)
+        net.set_link_rate("r1", "r2", 5.0)  # throttle 10 -> 5 mid-run
+        net.run(until=9.0)
+        _, util = db.series("link:r1->r2:util")
+        assert util[3] == pytest.approx(0.5, abs=0.1)  # ~5 of 10 Mbps
+        assert util[-1] == pytest.approx(1.0, abs=0.15)  # ~5 of 5 Mbps
+
+    def test_no_link_network_samples_nothing(self):
+        net = Network()
+        net.add_host("h1", ip="1.0.0.1")
+        net.build()
+        db = TimeSeriesDB()
+        LinkTelemetryCollector(net, db, interval=1.0).start()
+        net.run(until=3.0)
+        assert len(db) == 0  # no links -> no series, and no crash
+
+    def test_util_may_exceed_one_with_background_load(self):
+        """Documented contract: ``util`` reports *offered* load against
+        the configured rate.  Folded-in fluid background (hybrid
+        backend) can push it past 1.0 — consumers must not assume a
+        0..1 range."""
+        net = loaded_line()
+        link = net.link("r1", "r2")
+        link.set_background_from(net.node("r1"), 15.0)  # rate is 10
+        db = TimeSeriesDB()
+        LinkTelemetryCollector(net, db, interval=1.0).start()
+        net.run(until=3.0)
+        _, util = db.series("link:r1->r2:util")
+        assert util.size >= 2
+        assert np.all(util[1:] > 1.0)
+        assert np.all(np.isfinite(util))
+
     def test_stop_halts_sampling(self):
         net = loaded_line()
         db = TimeSeriesDB()
@@ -131,6 +201,23 @@ class TestPathProbe:
             PathTelemetryProbe(net, TimeSeriesDB(), "P", ["r1"])
         with pytest.raises(ValueError):
             PathTelemetryProbe(net, TimeSeriesDB(), "P", ["r1", "r2"], interval=0)
+
+    def test_zero_rate_hop_samples_stay_finite(self):
+        """The probe shares the collector's rate guard: a dead hop means
+        zero headroom and zero utilization, never inf/NaN or a crash."""
+        net = loaded_line()
+        net.link("r1", "r2").rate_mbps = 0.0
+        db = TimeSeriesDB()
+        PathTelemetryProbe(net, db, "P1", ["r1", "r2"], interval=1.0).start()
+        net.run(until=4.0)
+        _, avail = db.series("path:P1:available_mbps")
+        _, util = db.series("path:P1:util")
+        _, lat = db.series("path:P1:latency_ms")
+        assert avail.size >= 3
+        for values in (avail, util, lat):
+            assert np.all(np.isfinite(values))
+        assert np.allclose(avail, 0.0)  # no usable rate -> no headroom
+        assert np.allclose(util, 0.0)
 
 
 class TestFluidModel:

@@ -334,7 +334,14 @@ class TestHybridSweepDeterminism:
             aggregate(parallel.runs, parallel.results),
         )
         assert blob_1 == blob_2
-        assert json.loads(blob_1)  # and it is valid JSON
+        payload = json.loads(blob_1)  # and it is valid JSON
+        # the columnar store's sample count is part of the rendered
+        # result: a telemetry refactor that changed sampling volume (or
+        # made it nondeterministic) must fail here, not ship silently
+        samples = [
+            run["result"]["telemetry_samples"] for run in payload["runs"]
+        ]
+        assert all(s > 0 for s in samples)
 
 
 class TestBackendValidation:
