@@ -8,6 +8,17 @@ Usage::
     PYTHONPATH=src python benchmarks/scale_smoke.py scale-fat-tree-2k \
         --budget-s 180 --min-events-per-s 20000 [--horizon 10 --warmup 2]
 
+``--service`` switches to the open-loop service tier: the positional
+name then selects a registered service workload (``repro service
+list``), which runs under the wall-clock budget plus two service-grade
+gates — a placement-latency p99 budget and an exact admission-ledger
+reconciliation (admitted + rejected + deferred == offered; a counter
+leak fails CI even when latency looks fine)::
+
+    PYTHONPATH=src python benchmarks/scale_smoke.py fat-tree-churn \
+        --service --rate 500 --duration 60 --seed 1 \
+        --budget-s 120 --placement-p99-budget-ms 250
+
 The wall-clock budget catches the hybrid pipeline getting slower
 (background solves exploding, epoch coalescing regressing); the
 events/second floor catches the packet domain itself degenerating (an
@@ -56,11 +67,92 @@ def telemetry_read_ms(runner):
     return (time.perf_counter() - start) * 1e3, len(names)
 
 
+def service_main(args) -> int:
+    """The ``--service`` gate: one service workload under a wall-clock
+    budget, a placement-latency p99 budget, and exact admission-counter
+    reconciliation."""
+    from repro.framework.service_mode import run_service
+    from repro.scenarios import get_workload
+
+    workload = get_workload(args.scenario)
+    start = time.perf_counter()
+    result = run_service(
+        workload,
+        rate=args.rate,
+        duration=args.duration,
+        warmup=args.warmup,
+        seed=args.seed,
+    )
+    wall_s = time.perf_counter() - start
+    placements_per_s = result.placed / wall_s if wall_s > 0 else 0.0
+
+    ok_budget = wall_s <= args.budget_s
+    ok_p99 = result.placement_p99_ms <= args.placement_p99_budget_ms
+    ok_ledger = result.reconciles()
+    verdict = "PASS" if (ok_budget and ok_p99 and ok_ledger) else "FAIL"
+
+    print(result.summary())
+    print(
+        f"\nservice-smoke [{verdict}] {workload.name}: "
+        f"wall={wall_s:.1f}s (budget {args.budget_s:g}s), "
+        f"{placements_per_s:,.0f} placements/s wall, "
+        f"p99={result.placement_p99_ms:.1f}ms "
+        f"(budget {args.placement_p99_budget_ms:g}ms), "
+        f"ledger {'reconciles' if ok_ledger else 'DOES NOT RECONCILE'} "
+        f"({result.offered} offered = {result.admitted} admitted + "
+        f"{result.rejected} rejected + {result.deferred_pending} deferred)"
+    )
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        budget_mark = "✅" if ok_budget else "❌"
+        p99_mark = "✅" if ok_p99 else "❌"
+        ledger_mark = "✅" if ok_ledger else "❌"
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write(
+                f"### Service smoke: {workload.name} — {verdict}\n\n"
+                "| gate | value | limit | verdict |\n"
+                "| --- | ---: | ---: | :-- |\n"
+                f"| wall clock | {wall_s:.1f} s | ≤ {args.budget_s:g} s "
+                f"| {budget_mark} |\n"
+                f"| placement p99 | {result.placement_p99_ms:.1f} ms | "
+                f"≤ {args.placement_p99_budget_ms:g} ms | {p99_mark} |\n"
+                f"| admission ledger | "
+                f"{result.admitted}+{result.rejected}"
+                f"+{result.deferred_pending} | = {result.offered} "
+                f"| {ledger_mark} |\n\n"
+                f"{result.offered} flows offered at "
+                f"{result.rate:g}/s over {result.duration_s:g}s, "
+                f"{result.placed} placed ({placements_per_s:,.0f}/s wall), "
+                f"{result.retired} retired, "
+                f"p50/p95/p99 = {result.placement_p50_ms:.1f}/"
+                f"{result.placement_p95_ms:.1f}/"
+                f"{result.placement_p99_ms:.1f} ms, "
+                f"{result.migrations} migrations over "
+                f"{result.reopt_ticks} re-optimization ticks.\n"
+            )
+    return 0 if (ok_budget and ok_p99 and ok_ledger) else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("scenario",
                         help="scale-* scenario name (see 'repro scenarios "
-                        "list')")
+                        "list'), or with --service a service workload "
+                        "name (see 'repro service list')")
+    parser.add_argument("--service", action="store_true",
+                        help="gate a service workload (open-loop churn) "
+                        "instead of a scale scenario")
+    parser.add_argument("--rate", type=float, default=None,
+                        help="service mode: override the arrival rate "
+                        "(flows/second)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="service mode: override the run duration "
+                        "(virtual seconds)")
+    parser.add_argument("--placement-p99-budget-ms", type=float,
+                        default=250.0,
+                        help="service mode: budget for the placement-"
+                        "latency p99 (default 250 ms of virtual time)")
     parser.add_argument("--backend", default="hybrid",
                         choices=("des", "fluid", "hybrid"),
                         help="backend to gate (default: hybrid)")
@@ -83,6 +175,9 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=None,
                         help="override the scenario seed")
     args = parser.parse_args(argv)
+
+    if args.service:
+        return service_main(args)
 
     from repro.scenarios import ScenarioRunner, get_scenario
 

@@ -11,8 +11,9 @@ subscribe with synchronous delivery and a full audit log.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, MutableSequence, Optional
 
 __all__ = ["Message", "MessageBus"]
 
@@ -35,12 +36,24 @@ class MessageBus:
     reproducible.  Every message is appended to :attr:`log` so experiments
     can audit the exact control-plane conversation (the sequence of
     Fig. 4).
+
+    ``log_limit`` bounds the audit log to the most recent N messages
+    (a deque).  Finite scenarios keep the default unbounded list, but a
+    long-lived service (see :mod:`repro.framework.service_mode`) placing
+    hundreds of placements per second would otherwise retain every
+    control message ever exchanged — the log must be a window, not a
+    leak.  Message ids keep counting monotonically either way.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, log_limit: Optional[int] = None) -> None:
+        if log_limit is not None and log_limit < 1:
+            raise ValueError(f"log_limit must be >= 1, got {log_limit}")
         self._subscribers: Dict[str, List[Callable[[Message], None]]] = {}
         self._ids = itertools.count()
-        self.log: List[Message] = []
+        self.log_limit = log_limit
+        self.log: MutableSequence[Message] = (
+            [] if log_limit is None else deque(maxlen=log_limit)
+        )
 
     def subscribe(self, topic: str, handler: Callable[[Message], None]) -> None:
         self._subscribers.setdefault(topic, []).append(handler)

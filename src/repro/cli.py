@@ -21,6 +21,13 @@ fanned out over worker processes and served from an on-disk cache::
         --seeds 0-4 --backend fluid --jobs 4 --stats --json sweep.json
     repro scenarios compare --all --from-cache
 
+Service mode (see :mod:`repro.framework.service_mode`) — open-loop
+churn against the framework with steady-state SLO metrics::
+
+    repro service list
+    repro service run fat-tree-churn --rate 500 --duration 60 --seed 1
+    repro service run ring-steady --json -
+
 ``repro`` is installed as a console script by setup.py; ``python -m
 repro`` is equivalent.
 """
@@ -467,19 +474,116 @@ def _scenarios_main(argv) -> int:
         return 2
 
 
+def _service_list() -> int:
+    from repro.scenarios import list_workloads
+
+    workloads = list_workloads()
+    width = max(len(w.name) for w in workloads)
+    header = (
+        f"{'name':<{width}}  {'topology':<18}{'rate/s':>7}{'profile':>9}"
+        f"{'holding':>13}{'duration':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for w in workloads:
+        print(
+            f"{w.name:<{width}}  {w.topology.kind:<18}"
+            f"{w.churn.rate:>7g}{w.churn.rate_profile:>9}"
+            f"{w.churn.holding:>13}{w.duration:>8g}s"
+        )
+        print(f"{'':<{width}}    {w.description}")
+    return 0
+
+
+def _service_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.framework.service_mode import run_service
+    from repro.scenarios import get_workload
+
+    try:
+        workload = get_workload(args.name)
+        result = run_service(
+            workload,
+            rate=args.rate,
+            duration=args.duration,
+            warmup=args.warmup,
+            seed=args.seed,
+        )
+    except (KeyError, ValueError) as exc:
+        raise _UserError(exc.args[0]) from exc
+    if args.json:
+        text = json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n"
+        if args.json == "-":
+            print(text, end="")
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(text)
+    if args.json != "-":
+        print(result.summary())
+    if not result.reconciles():
+        print(
+            "error: admission counters do not reconcile "
+            "(admitted + rejected + deferred_pending != offered)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _service_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro service",
+        description="Open-loop service mode: sustained flow churn with "
+        "admission control and steady-state SLO metrics "
+        "(see repro.framework.service_mode).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="show the registered service workloads")
+
+    run = sub.add_parser("run", help="run one service workload")
+    run.add_argument("name", help="workload name (see 'list')")
+    run.add_argument("--rate", type=float, default=None,
+                     help="override the arrival rate (flows/second)")
+    run.add_argument("--duration", type=float, default=None,
+                     help="override the run duration (virtual seconds)")
+    run.add_argument("--warmup", type=float, default=None,
+                     help="override the SLO warmup window (seconds; "
+                     "samples arriving earlier are excluded from "
+                     "percentiles, never from counters)")
+    run.add_argument("--seed", type=int, default=None,
+                     help="override the workload's seed")
+    run.add_argument("--json", metavar="PATH",
+                     help="write the result as JSON ('-' for stdout, "
+                     "replacing the summary)")
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _service_list()
+        return _service_run(args)
+    except _UserError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "scenarios":
         return _scenarios_main(argv[1:])
+    if argv and argv[0] == "service":
+        return _service_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce figures from 'Framework for Integrating ML "
         "Methods for Path-Aware Source Routing'.",
-        epilog="'repro scenarios --help' documents the scenario suite.",
+        epilog="'repro scenarios --help' documents the scenario suite; "
+        "'repro service --help' the open-loop service mode.",
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), 'list'/'all', or 'scenarios'",
+        help="experiment id (see 'list'), 'list'/'all', 'scenarios', "
+        "or 'service'",
     )
     args = parser.parse_args(argv)
 

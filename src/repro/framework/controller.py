@@ -34,13 +34,14 @@ assignment optimizer so re-optimization steers flows around outages.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, MutableSequence, Optional, Sequence, Tuple
 
 from repro.bus import Message, MessageBus
 from repro.freertr.service import RECONFIG_TOPIC
 from repro.hecate.objectives import assign_flows
-from repro.hecate.service import ASK_PATH_BATCH_TOPIC, ASK_PATH_TOPIC
+from repro.hecate.service import ASK_PATH_BATCH_TOPIC, ASK_PATH_TOPIC, EVICT_PATH_TOPIC
 from repro.net.apps import PingApp, TcpFlow, UdpFlow
 from repro.net.topology import Network
 
@@ -97,7 +98,7 @@ class FlowRecord:
     request: FlowRequest
     acl_name: str
     tunnel: str
-    app: object
+    app: Optional[object]  # None under launch_apps=False (control-plane only)
     placed_at: float = 0.0
     migrations: List[Tuple[float, str, str]] = field(default_factory=list)
 
@@ -120,17 +121,40 @@ class Controller:
         telemetry: TelemetryService,
         reoptimize_every: Optional[float] = None,
         reopt_threshold_mbps: float = 1.0,
+        launch_apps: bool = True,
+        decision_log_limit: Optional[int] = None,
     ):
+        if decision_log_limit is not None and decision_log_limit < 1:
+            raise ValueError(
+                f"decision_log_limit must be >= 1, got {decision_log_limit}"
+            )
         self.network = network
         self.bus = bus
         self.telemetry = telemetry
         self.reoptimize_every = reoptimize_every
         self.reopt_threshold_mbps = reopt_threshold_mbps
+        #: False -> place flows on the control plane only (ACL + PBR +
+        #: FlowRecord) without starting packet-level traffic apps.  The
+        #: open-loop service driver uses this: at hundreds of placements
+        #: per second the DES cannot afford per-packet events, and the
+        #: admission/SLO behaviour under test is purely control-plane.
+        self.launch_apps = launch_apps
         self.tunnels: Dict[str, TunnelInfo] = {}
         self.flows: Dict[str, FlowRecord] = {}
-        self.decisions: List[Dict] = []  # audit of Hecate recommendations
+        #: audit of Hecate recommendations; bounded to the most recent
+        #: ``decision_log_limit`` when set (long-lived service mode)
+        self.decisions: MutableSequence[Dict] = (
+            [] if decision_log_limit is None else deque(maxlen=decision_log_limit)
+        )
         self.reopt_solved = 0  # groups re-solved across all ticks
         self.reopt_skipped = 0  # groups skipped as unchanged
+        self.reopt_ticks = 0  # periodic ticks executed
+        self.migrations_total = 0  # lifetime PBR re-binds
+        self.removed_flows = 0  # lifetime flow teardowns
+        #: optional hook invoked after every periodic re-optimization
+        #: tick with this controller — the service driver's convergence
+        #: probe (it watches migrations_total settle between ticks)
+        self.on_reopt: Optional[Callable[["Controller"], None]] = None
         self._group_snapshots: Dict[Tuple[str, str], Tuple] = {}
         #: tunnel name -> telemetry.get cursor: each retrieval pulls only
         #: the samples recorded since the previous one (incremental
@@ -157,6 +181,31 @@ class Controller:
             raise RuntimeError(f"tunnel creation failed: {replies}")
         self.telemetry.create_path_probe(name, path)
         self.tunnels[name] = TunnelInfo(name=name, tunnel_id=tunnel_id, path=path)
+
+    def remove_tunnel(self, name: str) -> None:
+        """Tear down one candidate tunnel and every cache keyed on it.
+
+        Refuses while any flow still rides the tunnel (migrate or
+        remove those first).  Evicts the telemetry probe, the incremental
+        getTelemetry cursor and Hecate's cached forecasts — the
+        per-tunnel state that would otherwise outlive the tunnel — and
+        drops every group snapshot, since removing a candidate changes
+        any group's assignment problem."""
+        if name not in self.tunnels:
+            raise KeyError(f"unknown tunnel {name!r}")
+        riders = sorted(
+            fn for fn, record in self.flows.items() if record.tunnel == name
+        )
+        if riders:
+            raise ValueError(
+                f"tunnel {name!r} still carries flows {riders}; "
+                "migrate or remove them first"
+            )
+        del self.tunnels[name]
+        self._telemetry_cursors.pop(name, None)
+        self._group_snapshots.clear()
+        self.telemetry.remove_path_probe(name)
+        self.bus.request(EVICT_PATH_TOPIC, path=name)
 
     def _candidates_for(self, ingress: str, egress: str) -> List[TunnelInfo]:
         """Tunnels usable by a flow entering at ``ingress`` towards a host
@@ -226,6 +275,8 @@ class Controller:
             raise RuntimeError(f"PBR bind failed: {replies}")
 
     def _launch_app(self, request: FlowRequest):
+        if not self.launch_apps:
+            return None
         src = self.network.hosts[request.src]
         dst = self.network.hosts[request.dst]
         if request.protocol == "tcp":
@@ -289,6 +340,42 @@ class Controller:
             raise RuntimeError(f"PBR re-bind failed: {replies}")
         record.tunnel = tunnel_name
         record.migrations.append((self.network.sim.now, old, tunnel_name))
+        self.migrations_total += 1
+
+    def remove_flow(self, flow_name: str) -> FlowRecord:
+        """Retire one placed flow: stop its app, unbind its PBR entry,
+        delete its access-list, and drop its group snapshot.
+
+        The inverse of :meth:`place_flow`, and the operation sustained
+        churn exercises thousands of times — everything keyed on the
+        flow must go, or the controller's footprint grows with lifetime
+        arrivals instead of concurrent flows.  Returns the record."""
+        record = self.flows.pop(flow_name, None)
+        if record is None:
+            raise KeyError(f"unknown flow {flow_name!r}")
+        if record.app is not None:
+            record.app.stop()
+        router = self.tunnels[record.tunnel].ingress
+        replies = self.bus.request(
+            RECONFIG_TOPIC, command="unbind_pbr", router=router,
+            acl=record.acl_name,
+        )
+        if not replies or not replies[0].get("ok"):
+            raise RuntimeError(f"PBR unbind failed: {replies}")
+        replies = self.bus.request(
+            RECONFIG_TOPIC, command="remove_acl", router=router,
+            name=record.acl_name,
+        )
+        if not replies or not replies[0].get("ok"):
+            raise RuntimeError(f"ACL removal failed: {replies}")
+        # membership changed -> the group must re-solve next tick anyway,
+        # so dropping its snapshot unconditionally is both correct and O(1)
+        egress = self._edge_router_of(record.request.dst)
+        self._group_snapshots.pop(
+            (self.tunnels[record.tunnel].ingress, egress), None
+        )
+        self.removed_flows += 1
+        return record
 
     def _flow_rate_estimate(self, record: FlowRecord) -> float:
         """Recent throughput of a managed flow (Mbps).
@@ -300,6 +387,10 @@ class Controller:
         """
         app = record.app
         now = self.network.sim.now
+        if app is None:
+            # control-plane-only placement: fall back to the requested
+            # rate (UDP) or a nominal trickle, the best estimate we have
+            return record.request.rate_mbps or 0.1
         if isinstance(app, TcpFlow):
             started = app.started_at if app.started_at is not None else now
             return app.goodput_mbps(max(started, now - 5.0), now)
@@ -488,4 +579,7 @@ class Controller:
 
     def _reoptimize_tick(self) -> None:
         self.reoptimize_now()
+        self.reopt_ticks += 1
+        if self.on_reopt is not None:
+            self.on_reopt(self)
         self.network.sim.schedule(self.reoptimize_every, self._reoptimize_tick)

@@ -72,6 +72,15 @@ class SelfDrivingNetwork:
         Telemetry movement (Mbps per candidate link) below which an
         unchanged flow group is skipped by the incremental
         re-optimization tick.
+    launch_apps:
+        When False the Controller places flows on the control plane only
+        (ACL + PBR + record) without packet-level traffic apps — the
+        mode the open-loop service driver runs in.
+    bus_log_limit / audit_limit / decision_log_limit:
+        Optional bounds on the bus audit log, the Scheduler's request
+        trail and the Controller's decision log.  Finite scenarios keep
+        the unbounded defaults; a long-lived service must bound all
+        three or its footprint grows with lifetime arrivals.
     """
 
     def __init__(
@@ -81,9 +90,13 @@ class SelfDrivingNetwork:
         telemetry_interval: float = 1.0,
         reoptimize_every: Optional[float] = None,
         reopt_threshold_mbps: float = 1.0,
+        launch_apps: bool = True,
+        bus_log_limit: Optional[int] = None,
+        audit_limit: Optional[int] = None,
+        decision_log_limit: Optional[int] = None,
     ):
         self.network = network
-        self.bus = MessageBus()
+        self.bus = MessageBus(log_limit=bus_log_limit)
         self.router_config = RouterConfigService(network, self.bus)
         self.telemetry = TelemetryService(
             network, self.bus, interval=telemetry_interval
@@ -91,13 +104,15 @@ class SelfDrivingNetwork:
         self.hecate = HecateService(
             self.telemetry.db, bus=self.bus, model_factory=model_factory
         )
-        self.scheduler = Scheduler(self.bus)
+        self.scheduler = Scheduler(self.bus, audit_limit=audit_limit)
         self.controller = Controller(
             network,
             self.bus,
             self.telemetry,
             reoptimize_every=reoptimize_every,
             reopt_threshold_mbps=reopt_threshold_mbps,
+            launch_apps=launch_apps,
+            decision_log_limit=decision_log_limit,
         )
         self.dashboard = Dashboard(self.bus, self.telemetry.db, self.controller)
         self.telemetry.start()
@@ -119,6 +134,15 @@ class SelfDrivingNetwork:
 
     def migrate_flow(self, flow_name: str, tunnel_name: str) -> None:
         self.controller.migrate_flow(flow_name, tunnel_name)
+
+    def retire_flow(self, flow_name: str) -> FlowRecord:
+        """Tear down a departed flow end to end: Controller state (app,
+        PBR entry, access-list, group snapshot) and the Scheduler's
+        dedup entry — the full inverse of :meth:`request_flow`, so a
+        long-lived deployment's footprint tracks *concurrent* flows."""
+        record = self.controller.remove_flow(flow_name)
+        self.scheduler.retire(flow_name)
+        return record
 
     # ---------------------------------------------------------------- run
 

@@ -23,12 +23,20 @@ forwarded verbatim to Hecate.
 Rejected requests are counted in :attr:`Scheduler.rejected` and never
 reach the Controller; accepted ones are retained in order in
 :attr:`Scheduler.requests` as the audit trail of offered load.
+
+Churn support: a long-lived service admits and retires flows forever,
+so the per-name dedup map must shrink when flows depart
+(:meth:`Scheduler.retire`) and the audit trail may be bounded to the
+most recent ``audit_limit`` requests; the :attr:`Scheduler.submitted` /
+:attr:`Scheduler.rejected` counters carry the lifetime totals either
+way.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, MutableSequence, Optional
 
 from repro.bus import Message, MessageBus
 
@@ -82,9 +90,14 @@ class FlowRequest:
 class Scheduler:
     """Queues flow requests and notifies the Controller (Fig. 4)."""
 
-    def __init__(self, bus: MessageBus):
+    def __init__(self, bus: MessageBus, audit_limit: Optional[int] = None):
+        if audit_limit is not None and audit_limit < 1:
+            raise ValueError(f"audit_limit must be >= 1, got {audit_limit}")
         self.bus = bus
-        self.requests: List[FlowRequest] = []
+        self.requests: MutableSequence[FlowRequest] = (
+            [] if audit_limit is None else deque(maxlen=audit_limit)
+        )
+        self.submitted: int = 0
         self.rejected: int = 0
         self._names: Dict[str, FlowRequest] = {}
         bus.subscribe(INSERT_FLOW_TOPIC, self._on_insert)
@@ -99,12 +112,20 @@ class Scheduler:
             self.rejected += 1
             return {"ok": False, "error": str(exc)}
         self.requests.append(request)
+        self.submitted += 1
         self._names[request.flow_name] = request
         replies = self.bus.request(NEW_FLOW_TOPIC, request=request)
         result = {"ok": True, "flow_name": request.flow_name}
         if replies:
             result["controller"] = replies[0]
         return result
+
+    def retire(self, flow_name: str) -> bool:
+        """Forget a departed flow's name so the dedup map stays bounded
+        under sustained churn (the audit trail keeps its entry until the
+        ``audit_limit`` window slides past it).  Returns whether the
+        name was known; retiring frees the name for reuse."""
+        return self._names.pop(flow_name, None) is not None
 
     def _on_insert(self, message: Message) -> Dict:
         payload = dict(message.payload)

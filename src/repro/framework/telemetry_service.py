@@ -86,6 +86,19 @@ class TelemetryService:
         probe.start(at)
         self.path_probes[name] = probe
 
+    def remove_path_probe(self, name: str) -> bool:
+        """Disarm and forget one path's agent (tunnel teardown).
+
+        The probe stops sampling immediately; its already-recorded
+        series stay in the DB.  Returns whether the probe existed —
+        removing an unknown name is a no-op, so teardown paths can call
+        this unconditionally."""
+        probe = self.path_probes.pop(name, None)
+        if probe is None:
+            return False
+        probe.stop()
+        return True
+
     def stop(self) -> None:
         self.link_collector.stop()
         for probe in self.path_probes.values():

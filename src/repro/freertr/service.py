@@ -9,6 +9,7 @@ on the shared :class:`repro.bus.MessageBus`; supported commands:
 
 ``apply_config``   full config text for an edge router (replaces policy),
 ``add_acl``        add one access-list to an existing policy,
+``remove_acl``     delete an unbound access-list (flow teardown),
 ``create_tunnel``  add one tunnel (explicit path) to an existing policy,
 ``bind_pbr``       point an access-list at a tunnel (the one-touch
                    migration primitive of Figs. 11-12),
@@ -62,6 +63,8 @@ class RouterConfigService:
                 return self._apply_config(payload)
             if command == "add_acl":
                 return self._add_acl(payload)
+            if command == "remove_acl":
+                return self._remove_acl(payload)
             if command == "create_tunnel":
                 return self._create_tunnel(payload)
             if command == "bind_pbr":
@@ -104,6 +107,17 @@ class RouterConfigService:
         policy.install_on(self.network)
         self.applied += 1
         return {"ok": True, "router": router, "acl": name, "rules": len(acl.rules)}
+
+    def _remove_acl(self, payload: Dict) -> Dict:
+        """Delete one access-list (the Controller's flow-teardown path;
+        the entry must already be unbound)."""
+        router = payload["router"]
+        name = payload["name"]
+        policy = self.policy(router)
+        policy.remove_access_list(name)
+        policy.install_on(self.network)
+        self.applied += 1
+        return {"ok": True, "router": router, "acl": name}
 
     def _create_tunnel(self, payload: Dict) -> Dict:
         router = payload["router"]

@@ -87,6 +87,22 @@ class EdgePolicy:
     def add_access_list(self, acl: AccessList) -> None:
         self.access_lists[acl.name] = acl
 
+    def remove_access_list(self, name: str) -> None:
+        """Delete an access-list that no PBR entry references.
+
+        Requires the caller to :meth:`unbind` first — deleting an ACL
+        out from under a live PBR entry would silently stop classifying
+        its flow, so that is an error rather than a cascade."""
+        if name not in self.access_lists:
+            raise KeyError(f"unknown access-list {name!r}")
+        if any(entry.acl == name for entry in self.entries):
+            raise ValueError(
+                f"access-list {name!r} is still referenced by a PBR entry; "
+                "unbind it first"
+            )
+        del self.access_lists[name]
+        self.reconfigurations += 1
+
     def add_tunnel(self, tunnel: PolkaTunnel) -> None:
         if tunnel.ingress != self.router_name:
             raise ValueError(

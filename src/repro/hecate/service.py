@@ -26,11 +26,13 @@ __all__ = [
     "HecateService",
     "ASK_PATH_TOPIC",
     "ASK_PATH_BATCH_TOPIC",
+    "EVICT_PATH_TOPIC",
     "default_model_factory",
 ]
 
 ASK_PATH_TOPIC = "hecate.ask_path"
 ASK_PATH_BATCH_TOPIC = "hecate.ask_path_batch"
+EVICT_PATH_TOPIC = "hecate.evict_path"
 
 
 def default_model_factory():
@@ -95,6 +97,27 @@ class HecateService:
         if bus is not None:
             bus.subscribe(ASK_PATH_TOPIC, self._on_ask)
             bus.subscribe(ASK_PATH_BATCH_TOPIC, self._on_ask_batch)
+            bus.subscribe(EVICT_PATH_TOPIC, self._on_evict)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def evict_path(self, path: str) -> int:
+        """Drop every cached forecast for ``path`` (all horizons).
+
+        Called when a tunnel is torn down: under sustained churn the
+        forecast cache would otherwise accumulate one entry per
+        (departed tunnel, horizon) forever.  Returns the number of
+        entries evicted; unknown paths evict zero (idempotent)."""
+        stale = [key for key in self._forecast_cache if key[0] == path]
+        for key in stale:
+            del self._forecast_cache[key]
+        return len(stale)
+
+    def _on_evict(self, message: Message) -> Dict:
+        path = message.payload.get("path")
+        if not path:
+            return {"ok": False, "error": "evict_path needs a 'path'"}
+        return {"ok": True, "evicted": self.evict_path(path)}
 
     # ------------------------------------------------------------ queries
 

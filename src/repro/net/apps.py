@@ -62,6 +62,10 @@ class PingApp:
 
     def stop(self) -> None:
         self.count = self.sent  # no further ticks send anything
+        # retire the receive handler so a departed probe cannot pin
+        # itself in the host's handler map (collected RTTs are kept)
+        self.host.unregister_flow(self.flow_id)
+        self._pending.clear()
 
     def _tick(self) -> None:
         if self.count is not None and self.sent >= self.count:
@@ -174,6 +178,8 @@ class TcpFlow:
         self.ack_log: List[Tuple[float, int]] = []  # (t, bytes)
         self.started_at: Optional[float] = None
         self.stop_at: Optional[float] = None
+        self._start_event: Optional[Event] = None
+        self._stopped = False
 
         # receiver side: count delivered bytes, ack every segment
         dst.register_flow(self.flow_id, self._receiver_on_data)
@@ -183,12 +189,34 @@ class TcpFlow:
 
     def start(self, at: float = 0.0) -> "TcpFlow":
         def begin():
+            if self._stopped:
+                return
             self.started_at = self.sim.now
             self.stop_at = self.sim.now + self.duration
             self._pump()
 
-        self.sim.schedule(at, begin)
+        self._start_event = self.sim.schedule(at, begin)
         return self
+
+    def stop(self) -> None:
+        """Tear the flow down now: stop sending, cancel every pending
+        retransmission timer and unregister both hosts' handlers.
+
+        Collected results (``ack_log``, ``goodput_mbps``) stay valid;
+        the flow simply ends at the current instant instead of at its
+        scheduled ``stop_at``.  Idempotent — the retirement path of a
+        long-lived service calls this for every departing flow."""
+        self._stopped = True
+        if self._start_event is not None:
+            self._start_event.cancel()
+        if self.stop_at is None or self.sim.now < self.stop_at:
+            self.stop_at = self.sim.now
+        for event in self.inflight.values():
+            event.cancel()
+        self.inflight.clear()
+        self.first_tx.clear()
+        self.host.unregister_flow(self.flow_id)
+        self.dst.unregister_flow(self.flow_id)
 
     @property
     def _sending(self) -> bool:
@@ -363,10 +391,14 @@ class UdpFlow:
         self._start_time: Optional[float] = None
         self._stop_time: Optional[float] = None
         self._packet_budget = 0
+        self._start_event = None
+        self._stopped = False
         dst.register_flow(self.flow_id, self._on_data)
 
     def start(self, at: float = 0.0) -> "UdpFlow":
         def begin():
+            if self._stopped:
+                return
             self._start_time = self.host.sim.now
             self._stop_time = self.host.sim.now + self.duration
             # the strictly-paced sender ticks once per interval while
@@ -376,8 +408,21 @@ class UdpFlow:
             self._packet_budget = int(math.ceil(self.duration / interval))
             self._tick()
 
-        self.host.sim.schedule(at, begin)
+        self._start_event = self.host.sim.schedule(at, begin)
         return self
+
+    def stop(self) -> None:
+        """Stop sending now and unregister the receiver's handler.
+
+        The next timer tick (if any is pending) sees the moved
+        ``_stop_time`` and does nothing; results collected so far
+        (``delivered_mbps``, ``loss_rate``) stay valid.  Idempotent."""
+        self._stopped = True
+        if self._start_event is not None:
+            self._start_event.cancel()
+        if self._stop_time is None or self.host.sim.now < self._stop_time:
+            self._stop_time = self.host.sim.now
+        self.dst.unregister_flow(self.flow_id)
 
     def _tick(self) -> None:
         if self.host.sim.now >= self._stop_time:

@@ -77,6 +77,13 @@ class Host(Node):
     def register_flow(self, flow_id: int, handler: Callable[[Packet], None]) -> None:
         self.flow_handlers[flow_id] = handler
 
+    def unregister_flow(self, flow_id: int) -> None:
+        """Drop a flow's handler (idempotent).  Retired flows must not
+        pin their applications in the handler map forever — under
+        sustained churn that map is the host-side leak.  Packets still
+        in flight for the flow land in ``received_unclaimed``."""
+        self.flow_handlers.pop(flow_id, None)
+
     def send_packet(self, packet: Packet) -> bool:
         packet.created_at = self.sim.now if packet.created_at == 0.0 else packet.created_at
         return self.send_out(self.uplink_port, packet)

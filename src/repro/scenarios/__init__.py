@@ -28,19 +28,31 @@ from .dynamic import (
 )
 from .failures import FailureEvent, plan_failures
 from .hybrid import split_requests
-from .registry import SCENARIOS, get_scenario, list_scenarios, register
+from .registry import (
+    SCENARIOS,
+    SERVICE_WORKLOADS,
+    get_scenario,
+    get_workload,
+    list_scenarios,
+    list_workloads,
+    register,
+    register_workload,
+)
 from .runner import (
     MODEL_FACTORIES,
     ScenarioResult,
     ScenarioRunner,
     derive_tunnels,
+    derive_tunnels_for_pairs,
 )
 from .spec import (
     BACKENDS,
+    ChurnSpec,
     FailureSpec,
     FlowClassSpec,
     PolicySpec,
     Scenario,
+    ServiceWorkload,
     TopologySpec,
     TrafficSpec,
 )
@@ -53,6 +65,8 @@ __all__ = [
     "FailureSpec",
     "PolicySpec",
     "FlowClassSpec",
+    "ChurnSpec",
+    "ServiceWorkload",
     "BACKENDS",
     "split_requests",
     "ScenarioRunner",
@@ -67,10 +81,15 @@ __all__ = [
     "get_scenario",
     "list_scenarios",
     "SCENARIOS",
+    "register_workload",
+    "get_workload",
+    "list_workloads",
+    "SERVICE_WORKLOADS",
     "MODEL_FACTORIES",
     "TRAFFIC_PATTERNS",
     "generate_traffic",
     "host_pairs",
     "plan_failures",
     "derive_tunnels",
+    "derive_tunnels_for_pairs",
 ]

@@ -35,9 +35,26 @@ from .dynamic import (
     elephant_schedule_phases,
     flash_crowd_phases,
 )
-from .spec import FailureSpec, PolicySpec, Scenario, TopologySpec, TrafficSpec
+from .spec import (
+    ChurnSpec,
+    FailureSpec,
+    PolicySpec,
+    Scenario,
+    ServiceWorkload,
+    TopologySpec,
+    TrafficSpec,
+)
 
-__all__ = ["register", "get_scenario", "list_scenarios", "SCENARIOS"]
+__all__ = [
+    "register",
+    "get_scenario",
+    "list_scenarios",
+    "SCENARIOS",
+    "register_workload",
+    "get_workload",
+    "list_workloads",
+    "SERVICE_WORKLOADS",
+]
 
 SCENARIOS: Dict[str, Scenario] = {}
 
@@ -675,5 +692,139 @@ register(
         backend="hybrid",
         horizon=40.0,
         tags=("scale",),
+    )
+)
+
+
+# ---------------------------------------------------- service workloads
+# Open-loop churn programs for service mode (see
+# repro.framework.service_mode): flows arrive forever, hold, and depart;
+# the framework is measured on steady-state SLOs — placement-latency
+# percentiles, admission outcomes, re-optimization convergence — not on
+# a finite scenario's end-state throughput.
+#
+#     repro service list
+#     repro service run fat-tree-churn --rate 500 --duration 60 --seed 1
+
+SERVICE_WORKLOADS: Dict[str, ServiceWorkload] = {}
+
+
+def register_workload(workload: ServiceWorkload) -> ServiceWorkload:
+    """Add one service workload; duplicate names are an error."""
+    if workload.name in SERVICE_WORKLOADS:
+        raise ValueError(f"workload {workload.name!r} already registered")
+    SERVICE_WORKLOADS[workload.name] = workload
+    return workload
+
+
+def get_workload(name: str) -> ServiceWorkload:
+    try:
+        return SERVICE_WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown service workload {name!r}; "
+            f"choose from {sorted(SERVICE_WORKLOADS)}"
+        ) from None
+
+
+def list_workloads() -> List[ServiceWorkload]:
+    """All registered service workloads, sorted by name."""
+    return [SERVICE_WORKLOADS[name] for name in sorted(SERVICE_WORKLOADS)]
+
+
+register_workload(
+    ServiceWorkload(
+        name="ring-steady",
+        description=(
+            "Steady-state baseline: six-router ring under constant "
+            "Poisson churn (~45 concurrent flows) with the 5 s "
+            "re-optimizer on — the convergence-SLO reference point"
+        ),
+        topology=TopologySpec(
+            "ring",
+            {
+                "n_routers": 6,
+                "n_host_pairs": 2,
+                "rate_mbps": 50.0,
+                "host_rate_mbps": 100.0,
+            },
+        ),
+        churn=ChurnSpec(
+            rate=30.0,
+            mean_holding_s=1.5,
+            n_pairs=4,
+            admission_rate=500.0,
+            admission_burst=64,
+        ),
+        policy=PolicySpec(reoptimize_every=5.0),
+        duration=60.0,
+        warmup=5.0,
+    )
+)
+
+register_workload(
+    ServiceWorkload(
+        name="fat-tree-churn",
+        description=(
+            "Churn storm: k=4 fat tree absorbing hundreds of "
+            "placements per second (run with --rate 500 for the "
+            "acceptance load); re-optimization off so the measurement "
+            "isolates the placement pipeline and admission control"
+        ),
+        topology=TopologySpec(
+            "fat_tree",
+            {
+                "k": 4,
+                "n_hosts": 8,
+                "rate_mbps": 25.0,
+                "host_rate_mbps": 50.0,
+            },
+        ),
+        churn=ChurnSpec(
+            rate=200.0,
+            mean_holding_s=2.0,
+            n_pairs=8,
+            admission_rate=1000.0,
+            admission_burst=64,
+        ),
+        duration=60.0,
+        warmup=5.0,
+    )
+)
+
+register_workload(
+    ServiceWorkload(
+        name="geo-diurnal",
+        description=(
+            "Diurnal rate on a random geometric WAN: Poisson arrivals "
+            "thinned against a sinusoidal day (trough at t=0), "
+            "heavy-tailed lognormal sessions, re-optimizer riding the "
+            "swell"
+        ),
+        topology=TopologySpec(
+            "random_geometric",
+            {
+                "n_routers": 10,
+                "n_host_pairs": 2,
+                "seed": 7,
+                "rate_mbps": 50.0,
+                "host_rate_mbps": 100.0,
+            },
+        ),
+        churn=ChurnSpec(
+            rate=40.0,
+            rate_profile="diurnal",
+            diurnal_amplitude=0.6,
+            diurnal_period=60.0,
+            holding="lognormal",
+            mean_holding_s=2.0,
+            sigma=0.8,
+            n_pairs=4,
+            admission_rate=500.0,
+            admission_burst=64,
+        ),
+        policy=PolicySpec(reoptimize_every=5.0),
+        duration=60.0,
+        warmup=5.0,
     )
 )

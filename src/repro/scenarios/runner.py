@@ -95,7 +95,13 @@ from .hybrid import (
 from .spec import BACKENDS, Scenario
 from .traffic import generate_traffic
 
-__all__ = ["ScenarioResult", "ScenarioRunner", "MODEL_FACTORIES"]
+__all__ = [
+    "ScenarioResult",
+    "ScenarioRunner",
+    "MODEL_FACTORIES",
+    "derive_tunnels",
+    "derive_tunnels_for_pairs",
+]
 
 #: PolicySpec.model -> regressor factory for Hecate's predictor.
 MODEL_FACTORIES = {
@@ -245,6 +251,19 @@ def derive_tunnels(
         if pair[0] != pair[1] and pair not in seen:
             seen.add(pair)
             pairs.append(pair)
+    return derive_tunnels_for_pairs(network, pairs, k_paths)
+
+
+def derive_tunnels_for_pairs(
+    network: Network,
+    pairs: Sequence[Tuple[str, str]],
+    k_paths: int,
+) -> Tuple[Tuple[str, int, Tuple[str, ...]], ...]:
+    """Candidate tunnels for explicit (ingress, egress) router pairs —
+    the pair-first entry point service mode uses, where the pair set is
+    fixed up front and flows arrive forever (so tunnels cannot be
+    derived from a finite request list)."""
+    router_graph = network.graph.subgraph(network.routers)
     tunnels: List[Tuple[str, int, Tuple[str, ...]]] = []
     tid = 1
     for ingress, egress in pairs:

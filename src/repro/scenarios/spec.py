@@ -56,7 +56,9 @@ __all__ = [
     "FailureSpec",
     "PolicySpec",
     "FlowClassSpec",
+    "ChurnSpec",
     "Scenario",
+    "ServiceWorkload",
     "BACKENDS",
     "TOPOLOGY_BUILDERS",
 ]
@@ -224,6 +226,148 @@ class FlowClassSpec:
             raise ValueError("epoch_s must be positive (or None)")
         if self.max_epochs < 1:
             raise ValueError("max_epochs must be >= 1")
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Open-loop offered load for service mode: how flows arrive, how
+    long they hold, and what the admission controller tolerates.
+
+    Arrivals
+    --------
+    ``arrival="poisson"`` draws exponential inter-arrival gaps at
+    ``rate`` flows/second; ``rate_profile="diurnal"`` modulates that
+    rate sinusoidally (thinning at the peak rate, so the schedule stays
+    a deterministic function of the seed):
+    ``rate(t) = rate * (1 + diurnal_amplitude * sin(2*pi*t/diurnal_period
+    - pi/2))`` — trough at t=0, peak half a period in.
+    ``arrival="trace"`` replays the explicit ``trace`` tuple of arrival
+    times instead (rate/profile ignored).
+
+    Holding times
+    -------------
+    ``holding="exponential"`` draws from Exp(``mean_holding_s``);
+    ``"lognormal"`` from a lognormal with that mean and shape
+    ``sigma`` (heavy-tailed sessions).
+
+    Admission
+    ---------
+    A token bucket refilling at ``admission_rate`` tokens/second with
+    depth ``admission_burst`` gates every submission.  On exhaustion,
+    ``on_exhausted="reject"`` drops the request (counted), while
+    ``"defer"`` queues it for replay — in submission order — at the
+    next batch tick with tokens available.
+
+    ``batch_interval_s`` is the driver's virtual-time batching quantum:
+    arrivals due within one quantum are submitted together (placement
+    latency is measured from arrival to the admitting batch tick).
+    ``launch_apps=False`` (the default) places flows on the control
+    plane only — at hundreds of placements/second the DES cannot afford
+    per-packet events, and admission/SLO behaviour is control-plane.
+    ``n_pairs`` bounds how many (src, dst) host pairs the workload
+    spreads arrivals over (tunnels are derived for exactly those pairs).
+    """
+
+    rate: float = 50.0
+    arrival: str = "poisson"
+    trace: Optional[Tuple[float, ...]] = None
+    rate_profile: str = "constant"
+    diurnal_amplitude: float = 0.5
+    diurnal_period: float = 60.0
+    holding: str = "exponential"
+    mean_holding_s: float = 2.0
+    sigma: float = 1.0
+    n_pairs: int = 4
+    protocol: str = "udp"
+    rate_mbps: float = 2.0
+    batch_interval_s: float = 0.1
+    admission_rate: float = 1000.0
+    admission_burst: int = 64
+    on_exhausted: str = "defer"
+    launch_apps: bool = False
+
+    def __post_init__(self) -> None:
+        if self.arrival not in ("poisson", "trace"):
+            raise ValueError(
+                f"arrival must be 'poisson' or 'trace', got {self.arrival!r}"
+            )
+        if self.arrival == "trace":
+            if not self.trace:
+                raise ValueError("arrival='trace' needs a non-empty trace")
+            times = tuple(self.trace)
+            if any(t < 0 for t in times) or list(times) != sorted(times):
+                raise ValueError("trace times must be sorted and non-negative")
+        elif self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.rate_profile not in ("constant", "diurnal"):
+            raise ValueError(
+                "rate_profile must be 'constant' or 'diurnal', "
+                f"got {self.rate_profile!r}"
+            )
+        if not 0 <= self.diurnal_amplitude < 1:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if self.diurnal_period <= 0:
+            raise ValueError("diurnal_period must be positive")
+        if self.holding not in ("exponential", "lognormal"):
+            raise ValueError(
+                "holding must be 'exponential' or 'lognormal', "
+                f"got {self.holding!r}"
+            )
+        if self.mean_holding_s <= 0:
+            raise ValueError("mean_holding_s must be positive")
+        if self.sigma <= 0:
+            raise ValueError("sigma must be positive")
+        if self.n_pairs < 1:
+            raise ValueError("n_pairs must be >= 1")
+        if self.batch_interval_s <= 0:
+            raise ValueError("batch_interval_s must be positive")
+        if self.admission_rate < 0:
+            raise ValueError("admission_rate must be non-negative")
+        if self.admission_burst < 0:
+            raise ValueError("admission_burst must be >= 0")
+        if self.on_exhausted not in ("reject", "defer"):
+            raise ValueError(
+                "on_exhausted must be 'reject' or 'defer', "
+                f"got {self.on_exhausted!r}"
+            )
+        if self.protocol not in ("tcp", "udp", "icmp"):
+            raise ValueError(f"unsupported protocol {self.protocol!r}")
+        if self.rate_mbps <= 0:
+            raise ValueError("rate_mbps must be positive")
+
+
+@dataclass(frozen=True)
+class ServiceWorkload:
+    """One registered open-loop service-mode run: a topology under a
+    churn program, evaluated for ``duration`` seconds of virtual time
+    (the first ``warmup`` seconds excluded from SLO percentiles, never
+    from admission counters).
+
+    The service driver (:mod:`repro.framework.service_mode`) owns
+    execution; this spec stays a pure value object like
+    :class:`Scenario`, so registered workloads can be re-run with
+    overridden rate/duration/seed and same-seed runs are bit-identical.
+    """
+
+    name: str
+    description: str
+    topology: TopologySpec
+    churn: ChurnSpec = ChurnSpec()
+    policy: PolicySpec = PolicySpec()
+    duration: float = 60.0
+    warmup: float = 5.0
+    seed: int = 0
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if not 0 <= self.warmup < self.duration:
+            raise ValueError("warmup must satisfy 0 <= warmup < duration")
+
+    def with_overrides(self, **changes: Any) -> "ServiceWorkload":
+        """A copy with the given fields replaced (spec stays immutable)."""
+        return dataclasses.replace(self, **changes)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,163 @@
+"""Admission-control edge cases: the token bucket in isolation and the
+open-loop driver's reject/defer handling end to end."""
+
+import pytest
+
+from repro.framework.service_mode import ServiceDriver, TokenBucket, run_service
+from repro.scenarios import ChurnSpec, PolicySpec, ServiceWorkload, TopologySpec
+
+RING = TopologySpec(
+    "ring",
+    {
+        "n_routers": 6,
+        "n_host_pairs": 2,
+        "rate_mbps": 50.0,
+        "host_rate_mbps": 100.0,
+    },
+)
+
+
+def make_workload(churn, duration=2.0, warmup=0.0, name="admission-test"):
+    return ServiceWorkload(
+        name=name,
+        description="admission edge-case fixture",
+        topology=RING,
+        churn=churn,
+        policy=PolicySpec(),
+        duration=duration,
+        warmup=warmup,
+        seed=11,
+    )
+
+
+class TestTokenBucket:
+    def test_zero_rate_zero_depth_admits_nothing(self):
+        bucket = TokenBucket(rate=0.0, depth=0)
+        assert not any(bucket.try_take(t * 0.1) for t in range(50))
+
+    def test_burst_exactly_at_depth(self):
+        bucket = TokenBucket(rate=0.0, depth=5)
+        taken = [bucket.try_take(0.0) for _ in range(6)]
+        assert taken == [True] * 5 + [False]
+
+    def test_refill_capped_at_depth(self):
+        bucket = TokenBucket(rate=100.0, depth=3)
+        for _ in range(3):
+            assert bucket.try_take(0.0)
+        # an hour of idle accrual still caps at the depth
+        taken = [bucket.try_take(3600.0) for _ in range(4)]
+        assert taken == [True, True, True, False]
+
+    def test_lazy_refill_tracks_virtual_time(self):
+        bucket = TokenBucket(rate=2.0, depth=2)
+        assert bucket.try_take(0.0) and bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)  # drained
+        assert bucket.try_take(0.5)  # 0.5 s * 2/s = 1 token back
+        assert not bucket.try_take(0.5)
+        assert bucket.try_take(1.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=-1.0, depth=4)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, depth=-1)
+
+
+class TestDriverAdmission:
+    def test_zero_capacity_reject_mode_rejects_all(self):
+        churn = ChurnSpec(
+            rate=40.0,
+            mean_holding_s=0.5,
+            admission_rate=0.0,
+            admission_burst=0,
+            on_exhausted="reject",
+        )
+        result = run_service(make_workload(churn))
+        assert result.offered > 0
+        assert result.admitted == 0
+        assert result.placed == 0
+        assert result.rejected == result.offered
+        assert result.reconciles()
+
+    def test_burst_exactly_at_depth_all_admitted(self):
+        """depth simultaneous arrivals with a zero refill rate: the
+        burst is admitted in full, arrival depth+1 is rejected."""
+        trace = tuple([0.05] * 6 + [0.06])
+        churn = ChurnSpec(
+            arrival="trace",
+            trace=trace,
+            mean_holding_s=0.5,
+            admission_rate=0.0,
+            admission_burst=6,
+            on_exhausted="reject",
+        )
+        result = run_service(make_workload(churn))
+        assert result.offered == 7
+        assert result.admitted == 6
+        assert result.rejected == 1
+        assert result.reconciles()
+
+    def test_deferred_requests_replayed_in_submission_order(self):
+        """A burst beyond the bucket defers; as tokens return one per
+        tick, replays must preserve arrival order — no later arrival
+        may overtake a deferred one."""
+        trace = tuple([0.05] * 5 + [0.31, 0.52])
+        churn = ChurnSpec(
+            arrival="trace",
+            trace=trace,
+            mean_holding_s=30.0,  # nothing departs during the run
+            admission_rate=5.0,  # 1 token per 0.2 s
+            admission_burst=2,
+            batch_interval_s=0.1,
+            on_exhausted="defer",
+        )
+        driver = ServiceDriver(make_workload(churn, duration=3.0))
+        result = driver.run()
+        assert result.offered == 7
+        assert result.deferrals > 0
+        assert result.replayed == result.deferrals
+        assert result.deferred_pending == 0
+        assert result.admitted == 7
+        assert result.reconciles()
+        submitted = [r.flow_name for r in driver.sdn.scheduler.requests]
+        assert submitted == sorted(submitted)
+        assert submitted == [f"svc{i:06d}" for i in range(7)]
+
+    def test_late_arrival_queues_behind_deferred_backlog(self):
+        """While the defer queue is non-empty, a fresh arrival must not
+        grab a token ahead of it even if one is available — it joins
+        the back of the queue instead."""
+        trace = (0.05, 0.05, 0.05, 1.05)
+        churn = ChurnSpec(
+            arrival="trace",
+            trace=trace,
+            mean_holding_s=30.0,
+            admission_rate=1.0,
+            admission_burst=1,
+            batch_interval_s=0.1,
+            on_exhausted="defer",
+        )
+        driver = ServiceDriver(make_workload(churn, duration=5.0))
+        result = driver.run()
+        # arrival 4 shows up at t=1.05 while svc2 is still queued: it
+        # must be counted as a deferral and replay after svc2
+        assert result.deferrals == 3
+        submitted = [r.flow_name for r in driver.sdn.scheduler.requests]
+        assert submitted == [f"svc{i:06d}" for i in range(4)]
+        assert result.reconciles()
+
+    def test_defer_mode_counters_reconcile_with_pending_backlog(self):
+        """Overload that never drains: the run ends with a non-empty
+        defer queue and the ledger still reconciles exactly."""
+        churn = ChurnSpec(
+            rate=100.0,
+            mean_holding_s=30.0,
+            admission_rate=10.0,
+            admission_burst=4,
+            on_exhausted="defer",
+        )
+        result = run_service(make_workload(churn, duration=2.0))
+        assert result.deferred_pending > 0
+        assert result.rejected == 0
+        assert result.admitted + result.deferred_pending == result.offered
+        assert result.reconciles()

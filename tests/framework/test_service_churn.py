@@ -1,0 +1,182 @@
+"""Churn-hardening tests: the controller's footprint must track the
+*concurrent* population, never lifetime arrivals, and tearing down a
+tunnel must evict every cache keyed on it."""
+
+import pytest
+
+from repro.framework.scheduler import FlowRequest
+from repro.framework.service_mode import ServiceDriver, _AUDIT_WINDOW
+from repro.scenarios import ChurnSpec, PolicySpec, ServiceWorkload, TopologySpec
+
+RING = TopologySpec(
+    "ring",
+    {
+        "n_routers": 6,
+        "n_host_pairs": 2,
+        "rate_mbps": 50.0,
+        "host_rate_mbps": 100.0,
+    },
+)
+
+
+def make_driver(churn, duration=10.0, warmup=0.0):
+    workload = ServiceWorkload(
+        name="churn-test",
+        description="bounded-memory fixture",
+        topology=RING,
+        churn=churn,
+        policy=PolicySpec(),
+        duration=duration,
+        warmup=warmup,
+        seed=4,
+    )
+    return ServiceDriver(workload)
+
+
+class TestBoundedMemory:
+    def test_1k_arrive_depart_cycles_leave_no_residue(self):
+        """~1000 full arrive/place/hold/depart cycles: afterwards every
+        per-flow structure holds only the still-active population and
+        every audit trail respects its retention window.  Before the
+        churn-hardening fix, flows, ACLs, scheduler dedup entries and
+        group snapshots all grew with lifetime arrivals."""
+        driver = make_driver(
+            ChurnSpec(
+                rate=100.0,
+                mean_holding_s=0.3,
+                n_pairs=4,
+                admission_rate=2000.0,
+                admission_burst=256,
+            ),
+            duration=10.0,
+        )
+        result = driver.run()
+        assert result.offered >= 800  # ~Poisson(1000)
+        assert result.placed >= 800
+        assert result.retired >= 700  # short holdings: most depart in-run
+        assert result.reconciles()
+
+        controller = driver.sdn.controller
+        active = result.active_at_end
+        # per-flow state tracks concurrency, not lifetime arrivals
+        assert len(controller.flows) == active
+        assert len(driver.sdn.scheduler._names) == active
+        # per-tunnel / per-group state is bounded by the topology
+        n_tunnels = len(controller.tunnels)
+        assert len(controller._telemetry_cursors) <= n_tunnels
+        assert len(controller._group_snapshots) <= len(driver.pairs)
+        assert len(driver.sdn.telemetry.path_probes) == n_tunnels
+        assert all(
+            key[0] in controller.tunnels
+            for key in driver.sdn.hecate._forecast_cache
+        )
+        # audit trails honour their retention windows
+        assert len(driver.sdn.bus.log) <= _AUDIT_WINDOW
+        assert len(driver.sdn.scheduler.requests) <= _AUDIT_WINDOW
+        assert len(controller.decisions) <= _AUDIT_WINDOW
+
+    def test_retired_names_free_for_reuse(self):
+        """Scheduler dedup must forget departed flows — resubmitting a
+        retired name is a fresh placement, not a duplicate error."""
+        driver = make_driver(ChurnSpec(rate=10.0), duration=1.0)
+        driver.sdn.network.sim.run(until=0.5)  # first telemetry samples
+        request = FlowRequest(
+            flow_name="recycled",
+            src=driver.pairs[0][0],
+            dst=driver.pairs[0][1],
+            protocol="udp",
+            tos=1,
+            duration=5.0,
+            rate_mbps=1.0,
+        )
+        for _ in range(3):
+            reply = driver.sdn.scheduler.submit(request)
+            assert reply["ok"] and reply["controller"]["ok"]
+            driver.sdn.retire_flow("recycled")
+        assert "recycled" not in driver.sdn.controller.flows
+        # a duplicate while active is still refused
+        assert driver.sdn.scheduler.submit(request)["ok"]
+        assert not driver.sdn.scheduler.submit(request)["ok"]
+        driver.sdn.retire_flow("recycled")
+
+
+class TestTunnelTeardown:
+    def test_remove_tunnel_evicts_every_cache(self):
+        driver = make_driver(ChurnSpec(rate=10.0), duration=1.0)
+        sdn = driver.sdn
+        sdn.network.sim.run(until=0.5)  # first telemetry samples
+        controller = sdn.controller
+        name = next(iter(controller.tunnels))
+        # populate the per-tunnel caches
+        sdn.bus.request("hecate.ask_path", paths=[name], horizon=3)
+        assert any(k[0] == name for k in sdn.hecate._forecast_cache)
+        assert name in sdn.telemetry.path_probes
+
+        controller.remove_tunnel(name)
+        assert name not in controller.tunnels
+        assert name not in controller._telemetry_cursors
+        assert name not in sdn.telemetry.path_probes
+        assert not any(k[0] == name for k in sdn.hecate._forecast_cache)
+        assert controller._group_snapshots == {}
+
+    def test_remove_tunnel_refuses_while_flows_ride_it(self):
+        driver = make_driver(ChurnSpec(rate=10.0), duration=1.0)
+        driver.sdn.network.sim.run(until=0.5)  # first telemetry samples
+        request = FlowRequest(
+            flow_name="rider",
+            src=driver.pairs[0][0],
+            dst=driver.pairs[0][1],
+            protocol="udp",
+            tos=1,
+            duration=5.0,
+            rate_mbps=1.0,
+        )
+        reply = driver.sdn.scheduler.submit(request)
+        assert reply["ok"]
+        tunnel = driver.sdn.controller.flows["rider"].tunnel
+        with pytest.raises(ValueError, match="rider"):
+            driver.sdn.controller.remove_tunnel(tunnel)
+        # after retirement the teardown goes through
+        driver.sdn.retire_flow("rider")
+        driver.sdn.controller.remove_tunnel(tunnel)
+        assert tunnel not in driver.sdn.controller.tunnels
+
+    def test_remove_unknown_tunnel_and_flow_raise(self):
+        driver = make_driver(ChurnSpec(rate=10.0), duration=1.0)
+        with pytest.raises(KeyError):
+            driver.sdn.controller.remove_tunnel("no-such-tunnel")
+        with pytest.raises(KeyError):
+            driver.sdn.controller.remove_flow("no-such-flow")
+
+
+class TestFlowRemoval:
+    def test_remove_flow_unwinds_the_data_plane(self):
+        """Retiring a flow must delete its ingress ACL and PBR binding —
+        the edge policy returns to its pre-placement size."""
+        driver = make_driver(ChurnSpec(rate=10.0), duration=1.0)
+        sdn = driver.sdn
+        sdn.network.sim.run(until=0.5)  # first telemetry samples
+        record_sizes = {}
+        for router, policy in sdn.router_config.policies.items():
+            record_sizes[router] = (
+                len(policy.access_lists),
+                len(policy.entries),
+            )
+        request = FlowRequest(
+            flow_name="unwind",
+            src=driver.pairs[0][0],
+            dst=driver.pairs[0][1],
+            protocol="udp",
+            tos=7,
+            duration=5.0,
+            rate_mbps=1.0,
+        )
+        assert sdn.scheduler.submit(request)["ok"]
+        record = sdn.retire_flow("unwind")
+        assert record.request.flow_name == "unwind"
+        for router, policy in sdn.router_config.policies.items():
+            assert record_sizes[router] == (
+                len(policy.access_lists),
+                len(policy.entries),
+            )
+        assert "unwind" not in sdn.controller.flows

@@ -1,0 +1,185 @@
+"""End-to-end service-mode tests: same-seed determinism, the admission
+ledger, the columnar SLO series, and the re-optimization convergence
+probe."""
+
+import json
+
+from repro.framework.service_mode import (
+    CONVERGENCE_METRIC,
+    COUNTER_METRICS,
+    ServiceDriver,
+    ServiceResult,
+    run_service,
+)
+from repro.scenarios import (
+    ChurnSpec,
+    PolicySpec,
+    ServiceWorkload,
+    TopologySpec,
+    get_workload,
+    list_workloads,
+)
+
+RING = TopologySpec(
+    "ring",
+    {
+        "n_routers": 6,
+        "n_host_pairs": 2,
+        "rate_mbps": 50.0,
+        "host_rate_mbps": 100.0,
+    },
+)
+
+
+def quick_workload(**overrides):
+    return get_workload("ring-steady").with_overrides(
+        duration=overrides.pop("duration", 8.0),
+        warmup=overrides.pop("warmup", 2.0),
+        **overrides,
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_runs_serialize_byte_identical(self):
+        """The acceptance bar: two runs of the same workload and seed
+        produce JSON artifacts that are equal byte for byte — admission
+        counts, latency percentiles, and the retired-set digest."""
+        a = run_service(quick_workload(), rate=40.0, seed=5)
+        b = run_service(quick_workload(), rate=40.0, seed=5)
+        dump = lambda r: json.dumps(r.to_dict(), indent=2, sort_keys=True)  # noqa: E731
+        assert dump(a) == dump(b)
+
+    def test_different_seeds_diverge(self):
+        a = run_service(quick_workload(), rate=40.0, seed=5)
+        b = run_service(quick_workload(), rate=40.0, seed=6)
+        assert a.retired_digest != b.retired_digest
+
+    def test_result_round_trips_through_dict(self):
+        result = run_service(quick_workload(duration=4.0, warmup=1.0))
+        clone = ServiceResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert clone == result
+
+    def test_overrides_are_recorded(self):
+        result = run_service(
+            quick_workload(), rate=25.0, duration=4.0, warmup=1.0, seed=9
+        )
+        assert result.rate == 25.0
+        assert result.duration_s == 4.0
+        assert result.warmup_s == 1.0
+        assert result.seed == 9
+
+
+class TestLedgerAndStore:
+    def test_counters_reconcile_and_flows_retire(self):
+        result = run_service(quick_workload(), rate=40.0, seed=3)
+        assert result.offered > 0
+        assert result.reconciles()
+        assert result.admitted + result.rejected + result.deferred_pending == (
+            result.offered
+        )
+        assert result.placed + result.place_failed == result.admitted
+        assert result.placed - result.retired == result.active_at_end
+        # mean holding 1.5 s over an 8 s run: most flows depart in-run
+        assert result.retired > 0
+        assert result.place_failed == 0
+
+    def test_counter_rows_land_in_columnar_store(self):
+        driver = ServiceDriver(quick_workload(duration=4.0), rate=40.0, seed=3)
+        result = driver.run()
+        db = driver.sdn.db
+        for metric in COUNTER_METRICS:
+            assert db.count(metric) == result.batches
+        # the final row is the final ledger
+        assert db.latest("service:offered") == float(result.offered)
+        assert db.latest("service:admitted") == float(result.admitted)
+        assert db.latest("service:placed") == float(result.placed)
+        assert db.latest("service:active") == float(result.active_at_end)
+
+    def test_placement_percentiles_ordered_and_sampled(self):
+        result = run_service(quick_workload(), rate=40.0, seed=3)
+        assert result.placement_samples > 0
+        assert (
+            0.0
+            < result.placement_p50_ms
+            <= result.placement_p95_ms
+            <= result.placement_p99_ms
+        )
+        # virtual-time queueing delay under an uncontended bucket is
+        # bounded by one batch interval (100 ms)
+        assert result.placement_p99_ms <= 100.0 + 1e-9
+
+    def test_registered_workloads_present(self):
+        names = [w.name for w in list_workloads()]
+        assert names == sorted(names)
+        for expected in ("fat-tree-churn", "geo-diurnal", "ring-steady"):
+            assert expected in names
+
+
+class TestConvergenceProbe:
+    def test_reopt_ticks_fire_on_ring_steady(self):
+        result = run_service(quick_workload(duration=12.0), rate=30.0, seed=1)
+        assert result.reopt_ticks >= 2
+        assert result.migrations >= 0
+
+    def test_episode_opens_on_migration_and_settles_on_quiet_tick(self):
+        """Drive the probe directly: a tick with migrations opens an
+        episode, further migrating ticks extend it, and the first quiet
+        tick closes it with the episode's virtual-time span."""
+
+        class FakeController:
+            migrations_total = 0
+
+        driver = ServiceDriver(quick_workload(warmup=0.0))
+        sim = driver.sdn.network.sim
+        fake = FakeController()
+
+        driver._on_reopt(fake)  # quiet before any episode: no sample
+        sim.run(until=1.0)
+        fake.migrations_total = 3
+        driver._on_reopt(fake)  # episode opens at t=1
+        sim.run(until=2.0)
+        fake.migrations_total = 5
+        driver._on_reopt(fake)  # still unstable
+        sim.run(until=3.5)
+        driver._on_reopt(fake)  # quiet: settles, span 2.5 s
+        assert driver.collector.convergence_s == [2.5]
+        assert driver.sdn.db.count(CONVERGENCE_METRIC) == 1
+
+        sim.run(until=4.0)
+        driver._on_reopt(fake)  # quiet again: no second sample
+        assert len(driver.collector.convergence_s) == 1
+
+    def test_trace_burst_that_stops_lets_the_reoptimizer_settle(self):
+        """A trace whose arrivals stop partway: once the population
+        drains, re-optimization ticks migrate nothing and any open
+        episode must close (no sample leaks past the end)."""
+        trace = tuple(0.05 + 0.01 * i for i in range(20))
+        workload = ServiceWorkload(
+            name="trace-settle",
+            description="burst then silence",
+            topology=RING,
+            churn=ChurnSpec(
+                arrival="trace",
+                trace=trace,
+                mean_holding_s=1.0,
+                n_pairs=4,
+                admission_rate=500.0,
+                admission_burst=64,
+            ),
+            policy=PolicySpec(reoptimize_every=1.0),
+            duration=10.0,
+            warmup=0.0,
+            seed=2,
+        )
+        result = run_service(workload)
+        assert result.offered == 20
+        assert result.reconciles()
+        assert result.reopt_ticks >= 8
+        # every flow departs well before t=10: the tail ticks are quiet
+        assert result.active_at_end == 0
+        assert result.retired == result.placed
+        if result.migrations > 0:
+            # churn caused at least one episode; silence closed it
+            assert result.convergence_samples >= 1

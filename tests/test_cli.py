@@ -272,3 +272,54 @@ class TestSweepCli:
         captured = capsys.readouterr()
         assert "fluid" in captured.out
         assert "line-baseline[des] seed=0" in captured.err  # the note
+
+
+class TestServiceCli:
+    RUN = [
+        "service", "run", "ring-steady",
+        "--rate", "30", "--duration", "4", "--warmup", "1", "--seed", "2",
+    ]
+
+    def test_service_list(self, capsys):
+        from repro.scenarios import list_workloads
+
+        assert main(["service", "list"]) == 0
+        out = capsys.readouterr().out
+        for workload in list_workloads():
+            assert workload.name in out
+        assert "fat-tree-churn" in out and "geo-diurnal" in out
+
+    def test_service_run_prints_summary(self, capsys):
+        assert main(self.RUN) == 0
+        out = capsys.readouterr().out
+        assert "ring-steady" in out and "seed=2" in out
+        assert "admission" in out and "latency" in out
+        assert "p99" in out
+
+    def test_service_run_json_to_stdout_is_deterministic(self, capsys):
+        import json
+
+        assert main(self.RUN + ["--json", "-"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.RUN + ["--json", "-"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert payload["workload"] == "ring-steady"
+        assert payload["rate"] == 30.0
+        assert payload["admitted"] + payload["rejected"] + \
+            payload["deferred_pending"] == payload["offered"]
+
+    def test_service_run_json_to_file(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "service.json"
+        assert main(self.RUN + ["--json", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "admission" in out  # summary still printed
+        payload = json.loads(target.read_text())
+        assert payload["duration_s"] == 4.0
+
+    def test_service_run_unknown_workload(self, capsys):
+        assert main(["service", "run", "atlantis"]) == 2
+        assert "unknown service workload" in capsys.readouterr().err
