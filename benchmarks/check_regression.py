@@ -50,14 +50,19 @@ def load_baseline(path: Path) -> Dict[str, float]:
 
 
 def write_baseline(path: Path, means: Dict[str, float]) -> None:
-    payload = {
-        "comment": (
-            "Benchmark baseline for benchmarks/check_regression.py: "
-            "fullname -> mean seconds. Refresh with --update after "
-            "intentional performance changes."
-        ),
-        "benchmarks": {name: means[name] for name in sorted(means)},
-    }
+    # the baseline file carries sections beyond "benchmarks" (e.g. the
+    # "scale_smoke" gate table scale_smoke.py --gates reads); --update
+    # must refresh the bench means without discarding them
+    payload: Dict[str, object] = {}
+    if path.exists():
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    payload.setdefault(
+        "comment",
+        "Benchmark baseline for benchmarks/check_regression.py: "
+        "fullname -> mean seconds. Refresh with --update after "
+        "intentional performance changes.",
+    )
+    payload["benchmarks"] = {name: means[name] for name in sorted(means)}
     path.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

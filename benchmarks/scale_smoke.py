@@ -8,6 +8,17 @@ Usage::
     PYTHONPATH=src python benchmarks/scale_smoke.py scale-fat-tree-2k \
         --budget-s 180 --min-events-per-s 20000 [--horizon 10 --warmup 2]
 
+    # per-tier gates from the committed baseline (CI's invocation):
+    PYTHONPATH=src python benchmarks/scale_smoke.py scale-100k \
+        --gates benchmarks/baseline.json
+
+``--gates`` reads per-scenario budgets and floors from the
+``"scale_smoke"`` section of ``benchmarks/baseline.json`` (keys:
+``budget_s``, ``min_events_per_s``, ``telemetry_read_budget_ms``), so
+each tier's gate lives next to the tier-1 bench baseline instead of
+being frozen into the workflow file.  Explicit command-line flags win
+over the file; built-in defaults apply when neither names a value.
+
 ``--service`` switches to the open-loop service tier: the positional
 name then selects a registered service workload (``repro service
 list``), which runs under the wall-clock budget plus two service-grade
@@ -42,8 +53,40 @@ the numbers are readable straight from the workflow page.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import time
+
+#: Built-in gate defaults, used when neither the command line nor a
+#: ``--gates`` file names a value.
+DEFAULT_BUDGET_S = 180.0
+DEFAULT_MIN_EVENTS_PER_S = 20000.0
+DEFAULT_TELEMETRY_READ_BUDGET_MS = 250.0
+
+
+def resolve_gates(args) -> None:
+    """Fill ``args.budget_s`` / ``args.min_events_per_s`` /
+    ``args.telemetry_read_budget_ms`` from (in precedence order) the
+    explicit command line, the scenario's entry in the ``--gates``
+    file's ``"scale_smoke"`` section, then the built-in defaults."""
+    file_gates = {}
+    if args.gates:
+        with open(args.gates, encoding="utf-8") as handle:
+            file_gates = json.load(handle).get("scale_smoke", {}).get(
+                args.scenario, {}
+            )
+    if args.budget_s is None:
+        args.budget_s = float(file_gates.get("budget_s", DEFAULT_BUDGET_S))
+    if args.min_events_per_s is None:
+        args.min_events_per_s = float(
+            file_gates.get("min_events_per_s", DEFAULT_MIN_EVENTS_PER_S)
+        )
+    if args.telemetry_read_budget_ms is None:
+        args.telemetry_read_budget_ms = float(
+            file_gates.get(
+                "telemetry_read_budget_ms", DEFAULT_TELEMETRY_READ_BUDGET_MS
+            )
+        )
 
 
 def telemetry_read_ms(runner):
@@ -156,18 +199,26 @@ def main(argv=None) -> int:
     parser.add_argument("--backend", default="hybrid",
                         choices=("des", "fluid", "hybrid"),
                         help="backend to gate (default: hybrid)")
-    parser.add_argument("--budget-s", type=float, default=180.0,
+    parser.add_argument("--gates", default=None, metavar="JSON",
+                        help="read per-scenario gate values from this "
+                        "file's \"scale_smoke\" section (normally "
+                        "benchmarks/baseline.json); explicit flags "
+                        "below override it")
+    parser.add_argument("--budget-s", type=float, default=None,
                         help="hard wall-clock budget in seconds "
-                        "(default 180)")
-    parser.add_argument("--min-events-per-s", type=float, default=20000.0,
+                        f"(default {DEFAULT_BUDGET_S:g})")
+    parser.add_argument("--min-events-per-s", type=float, default=None,
                         help="floor on simulator events processed per "
-                        "wall-clock second (default 20000)")
+                        "wall-clock second "
+                        f"(default {DEFAULT_MIN_EVENTS_PER_S:g})")
     parser.add_argument("--telemetry-read-budget-ms", type=float,
-                        default=250.0,
+                        default=None,
                         help="budget for reading latest + a tail window "
                         "of every recorded telemetry metric after the "
-                        "run (default 250 ms); sublinear reads clear it "
-                        "easily, O(history) reads cannot")
+                        "run (default "
+                        f"{DEFAULT_TELEMETRY_READ_BUDGET_MS:g} ms); "
+                        "sublinear reads clear it easily, O(history) "
+                        "reads cannot")
     parser.add_argument("--horizon", type=float, default=None,
                         help="override the scenario horizon (seconds)")
     parser.add_argument("--warmup", type=float, default=None,
@@ -175,6 +226,7 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=None,
                         help="override the scenario seed")
     args = parser.parse_args(argv)
+    resolve_gates(args)
 
     if args.service:
         return service_main(args)

@@ -169,12 +169,48 @@ def _resolve(name: str, args: argparse.Namespace):
         raise _UserError(exc.args[0]) from exc
 
 
+def _profiled_run(runner, profile_path: str) -> "object":
+    """Run one scenario under cProfile and print where the time went.
+
+    Prints the top functions by internal time (the hot loops) and by
+    cumulative time (the call paths), then — when ``profile_path`` is
+    not ``-`` — dumps the raw stats for ``pstats`` / ``snakeviz``.
+    Profiling inflates the wall clock of call-heavy code (every event
+    callback pays the tracer), so treat the *shape* as truth and the
+    seconds as relative; measure real wall clock without --profile.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = runner.run()
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs()
+    print("--- top 20 by internal time (the hot loops) ---")
+    stats.sort_stats("tottime").print_stats(20)
+    print("--- top 20 by cumulative time (the call paths) ---")
+    stats.sort_stats("cumulative").print_stats(20)
+    if profile_path != "-":
+        profiler.dump_stats(profile_path)
+        print(f"raw profile written to {profile_path} "
+              "(inspect with python -m pstats)")
+    return result
+
+
 def _scenarios_run(args: argparse.Namespace) -> int:
     from repro.scenarios import ScenarioRunner
 
     scenario = _resolve(args.name, args)
     runner = ScenarioRunner(scenario, backend=args.backend, seed=args.seed)
-    print(runner.run().summary())
+    if args.profile is not None:
+        result = _profiled_run(runner, args.profile)
+    else:
+        result = runner.run()
+    print(result.summary())
     return 0
 
 
@@ -375,7 +411,13 @@ def _scenarios_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _scenarios_main(argv) -> int:
+def build_scenarios_parser() -> argparse.ArgumentParser:
+    """The ``repro scenarios`` argument parser, construction only.
+
+    Kept separate from execution so tooling (and the doc-snippet tests,
+    which parse every ``repro ...`` command block in README/docs against
+    the real parser) can validate invocations without running anything.
+    """
     parser = argparse.ArgumentParser(
         prog="repro scenarios",
         description="Run declarative evaluation scenarios through the "
@@ -386,17 +428,32 @@ def _scenarios_main(argv) -> int:
 
     def common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--seed", type=int, default=None,
-                       help="override the scenario's seed")
+                       help="override the scenario's seed "
+                       "(default: the scenario's registered seed)")
         p.add_argument("--horizon", type=float, default=None,
-                       help="override the measurement horizon (seconds)")
+                       help="override the measurement horizon, in "
+                       "seconds of virtual time (default: the "
+                       "scenario's registered horizon)")
         p.add_argument("--warmup", type=float, default=None,
-                       help="override the telemetry warmup (seconds)")
+                       help="override the telemetry warmup, in seconds "
+                       "of virtual time before traffic starts "
+                       "(default: the scenario's registered warmup)")
 
     run = sub.add_parser("run", help="run one scenario")
     run.add_argument("name", help="scenario name (see 'list')")
     run.add_argument("--backend", choices=("des", "fluid", "hybrid"),
                      default=None,
-                     help="override the scenario's backend")
+                     help="override the scenario's backend "
+                     "(default: the scenario's registered backend)")
+    run.add_argument("--profile", nargs="?", const="-", default=None,
+                     metavar="PATH",
+                     help="profile the run under cProfile and print the "
+                     "top functions by internal and cumulative time; "
+                     "with PATH, also dump raw pstats data there for "
+                     "python -m pstats / snakeviz (default: no "
+                     "profiling; bare --profile prints the summary "
+                     "only).  Profiler overhead inflates wall clock — "
+                     "use it to find bottlenecks, not to measure them")
     common(run)
 
     compare = sub.add_parser(
@@ -425,40 +482,50 @@ def _scenarios_main(argv) -> int:
     sweep.add_argument("names", nargs="*", help="scenario names")
     sweep.add_argument("--all", action="store_true",
                        help="sweep every registered scenario "
-                       "(scale tier excluded; name scale-* "
-                       "scenarios explicitly)")
+                       "(default when no names are given; scale tier "
+                       "excluded either way — name scale-* scenarios "
+                       "explicitly)")
     sweep.add_argument("--seeds", default="0",
-                       help="seed list, e.g. '0,1,2' or '0-4' "
-                       "(default '0')")
+                       help="seed axis: a list like '0,1,2' or an "
+                       "inclusive range like '0-4' (default '0')")
     sweep.add_argument("--backend", action="append",
                        choices=("des", "fluid", "hybrid"),
                        help="backend axis (repeatable; default: each "
-                       "scenario's own backend)")
+                       "scenario's own registered backend)")
     sweep.add_argument("--policy", action="append", metavar="K=V[,K=V]",
                        help="policy-override variant, e.g. "
-                       "'reoptimize_every=5.0' (repeatable: each adds "
-                       "one grid axis value)")
+                       "'reoptimize_every=5.0' (units follow the "
+                       "PolicySpec field: seconds for periods/"
+                       "intervals, Mbps for thresholds; repeatable — "
+                       "each use adds one grid axis value; default: "
+                       "no policy axis)")
     sweep.add_argument("--jobs", type=_positive_int, default=1,
-                       help="worker processes (default 1: in-process)")
+                       help="worker processes (default 1: in-process; "
+                       "results are byte-identical at any --jobs)")
     sweep.add_argument("--cache-dir", default=None,
                        help="result cache directory "
                        "(default .sweep-cache)")
     sweep.add_argument("--no-cache", action="store_true",
-                       help="neither read nor write the result cache")
+                       help="neither read nor write the result cache "
+                       "(default: cache on)")
     sweep.add_argument("--refresh", action="store_true",
                        help="re-execute every cell but still write the "
-                       "cache back")
+                       "cache back (default: serve cached cells)")
     sweep.add_argument("--stats", action="store_true",
-                       help="print cache/executor statistics")
+                       help="print cache/executor statistics after the "
+                       "table (default: off)")
     sweep.add_argument("--json", metavar="PATH",
                        help="write runs + aggregates as JSON "
-                       "('-' for stdout)")
+                       "('-' for stdout; default: no JSON output)")
     sweep.add_argument("--csv", metavar="PATH",
                        help="write the aggregate table as CSV "
-                       "('-' for stdout)")
+                       "('-' for stdout; default: no CSV output)")
     common(sweep)
+    return parser
 
-    args = parser.parse_args(argv)
+
+def _scenarios_main(argv) -> int:
+    args = build_scenarios_parser().parse_args(argv)
     try:
         if args.command == "list":
             return _scenarios_list()
@@ -531,7 +598,13 @@ def _service_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _service_main(argv) -> int:
+def build_service_parser() -> argparse.ArgumentParser:
+    """The ``repro service`` argument parser, construction only.
+
+    Separate from execution for the same reason as
+    :func:`build_scenarios_parser`: the doc-snippet tests validate
+    documented command lines against the real parser.
+    """
     parser = argparse.ArgumentParser(
         prog="repro service",
         description="Open-loop service mode: sustained flow churn with "
@@ -544,20 +617,29 @@ def _service_main(argv) -> int:
     run = sub.add_parser("run", help="run one service workload")
     run.add_argument("name", help="workload name (see 'list')")
     run.add_argument("--rate", type=float, default=None,
-                     help="override the arrival rate (flows/second)")
+                     help="override the flow arrival rate, in flows per "
+                     "virtual second (default: the workload's "
+                     "registered rate)")
     run.add_argument("--duration", type=float, default=None,
-                     help="override the run duration (virtual seconds)")
+                     help="override the run duration, in virtual "
+                     "seconds (default: the workload's registered "
+                     "duration)")
     run.add_argument("--warmup", type=float, default=None,
-                     help="override the SLO warmup window (seconds; "
-                     "samples arriving earlier are excluded from "
-                     "percentiles, never from counters)")
+                     help="override the SLO warmup window, in virtual "
+                     "seconds; samples arriving earlier are excluded "
+                     "from percentiles, never from counters "
+                     "(default: the workload's registered warmup)")
     run.add_argument("--seed", type=int, default=None,
-                     help="override the workload's seed")
+                     help="override the workload's seed "
+                     "(default: the workload's registered seed)")
     run.add_argument("--json", metavar="PATH",
                      help="write the result as JSON ('-' for stdout, "
-                     "replacing the summary)")
+                     "replacing the summary; default: summary only)")
+    return parser
 
-    args = parser.parse_args(argv)
+
+def _service_main(argv) -> int:
+    args = build_service_parser().parse_args(argv)
     try:
         if args.command == "list":
             return _service_list()

@@ -39,6 +39,7 @@ __all__ = [
     "FluidFlow",
     "max_min_fair",
     "max_min_fair_bounded",
+    "max_min_fair_weighted",
     "total_throughput",
     "link_capacities",
 ]
@@ -249,6 +250,106 @@ def max_min_fair_bounded(
     while pending:
         fair = max_min_fair(
             [FluidFlow.from_path(n, p) for n, p in pending.items()], remaining
+        )
+        capped = {
+            name for name, rate in fair.items()
+            if name in bounds and rate > bounds[name]
+        }
+        if not capped:
+            rates.update(fair)
+            break
+        for name in sorted(capped):
+            rate = bounds[name]
+            rates[name] = rate
+            path = pending[name]
+            for hop in zip(path[:-1], path[1:]):
+                # directed lookup, reversed fallback — the same key
+                # resolution max_min_fair applies
+                key = hop if hop in remaining else (hop[1], hop[0])
+                remaining[key] = max(0.0, remaining[key] - rate)
+            del pending[name]
+    return rates
+
+
+def _fill_vector_weighted(
+    flow_links: Dict[str, List[Tuple[str, str]]],
+    caps: Dict[Tuple[str, str], float],
+    weights: Dict[str, float],
+) -> Dict[str, float]:
+    """Weighted progressive filling: flow ``f`` grows at ``weights[f]``
+    times the common fill level, so a flow-class aggregate standing in
+    for ``w`` identical flows claims exactly the share those ``w`` flows
+    would have claimed individually.  With all weights 1 this reduces to
+    :func:`_fill_vector` (the property tests pin integer-weight
+    equivalence against duplicated unweighted flows).
+    """
+    names = list(flow_links)
+    keys = list(caps)
+    key_index = {key: i for i, key in enumerate(keys)}
+    incidence = np.zeros((len(keys), len(names)))
+    for j, name in enumerate(names):
+        for key in flow_links[name]:
+            incidence[key_index[key], j] += 1.0
+    weight = np.array([float(weights.get(name, 1.0)) for name in names])
+    cap = np.array([caps[key] for key in keys])
+    remaining = cap.copy()
+    sat_eps = _REL_EPS * np.maximum(cap, 1.0)
+    rates = np.zeros(len(names))
+    active = weight > 0.0  # zero-weight flows never claim capacity
+    for _ in range(len(names)):
+        users = incidence @ (weight * active)
+        used = users > 0.0
+        if not used.any():
+            break
+        increment = float(np.min(remaining[used] / users[used]))
+        if increment < 0.0:
+            increment = 0.0
+        rates[active] += increment * weight[active]
+        remaining[used] -= increment * users[used]
+        saturated = remaining <= sat_eps
+        frozen = active & (incidence[saturated].sum(axis=0) > 0.0)
+        if not frozen.any():
+            break  # increment underflow: stop deterministically
+        active &= ~frozen
+        if not active.any():
+            break
+    return {name: float(rates[j]) for j, name in enumerate(names)}
+
+
+def max_min_fair_weighted(
+    flow_paths: Mapping[str, Sequence[str]],
+    capacities: Mapping[Tuple[str, str], float],
+    bounds: Mapping[str, float],
+    weights: Mapping[str, float],
+) -> Dict[str, float]:
+    """Weighted max-min fair allocation with per-flow rate ceilings.
+
+    The solver behind the hybrid backend's *aggregate-mice* mode: each
+    entry in ``flow_paths`` is either a real (foreground) flow with
+    weight 1, or a flow-class aggregate whose ``weights`` entry is the
+    time-averaged number of member flows concurrently active — the class
+    then claims ``weight`` fair shares per filling round, exactly what
+    its members would have claimed as individual flows on the same path.
+    ``bounds`` caps rigid aggregates (e.g. the summed offered load of
+    CBR members) by water-filling, the same pin-and-reshare loop as
+    :func:`max_min_fair_bounded`: capped entries are pinned at their
+    ceiling, their usage leaves the link budgets, and the elastic rest
+    re-share the remainder.
+
+    Weights absent from ``weights`` default to 1.0; zero-weight entries
+    are reported at 0.0 and never claim capacity.  Returned rates are
+    per *entry* (an aggregate's rate is the whole class's Mbps).
+    """
+    rates: Dict[str, float] = {}
+    pending = {name: tuple(path) for name, path in flow_paths.items()}
+    remaining = dict(capacities)
+    while pending:
+        flow_links, caps = _canonicalize(
+            [FluidFlow.from_path(n, p) for n, p in pending.items()],
+            remaining,
+        )
+        fair = _fill_vector_weighted(
+            flow_links, caps, {n: weights.get(n, 1.0) for n in pending}
         )
         capped = {
             name for name, rate in fair.items()

@@ -38,6 +38,7 @@ from .dynamic import (
 from .spec import (
     ChurnSpec,
     FailureSpec,
+    FlowClassSpec,
     PolicySpec,
     Scenario,
     ServiceWorkload,
@@ -691,6 +692,76 @@ register(
         policy=PolicySpec(reoptimize_every=5.0),
         backend="hybrid",
         horizon=40.0,
+        tags=("scale",),
+    )
+)
+
+# The 100k/1M tier flips FlowClassSpec.aggregate_background on: mice
+# stop existing even as individual fluid flows and become per-tunnel
+# flow classes (see repro.scenarios.hybrid.BackgroundAggregate), so
+# packet events scale with the elephants and solver cost with the
+# tunnel count — the "millions of users" end of the roadmap.  See
+# docs/PERFORMANCE.md for measured wall-clock and events/s per tier.
+
+register(
+    Scenario(
+        name="scale-100k",
+        description=(
+            "k=6 fat tree offered 100 000 flows: 16 packet-level "
+            "TCP elephants over aggregate-mice flow classes — the "
+            "weekly scale-smoke gate for the 100k tier"
+        ),
+        topology=TopologySpec(
+            "fat_tree",
+            {
+                "k": 6,
+                "n_hosts": 36,
+                "rate_mbps": 40.0,
+                "host_rate_mbps": 100.0,
+            },
+        ),
+        traffic=TrafficSpec(
+            "scale_mix",
+            n_flows=100_000,
+            # 0.05 Mbps mice: ~6.5k concurrent mice offer ~325 Mbps —
+            # enough to keep every uplink warm without starving the
+            # packet-level elephants whose events the smoke gate floors
+            params={"n_elephants": 16, "mice_rate_mbps": 0.05},
+        ),
+        classes=FlowClassSpec(aggregate_background=True),
+        backend="hybrid",
+        horizon=30.0,
+        tags=("scale",),
+    )
+)
+
+register(
+    Scenario(
+        name="scale-1m",
+        description=(
+            "One million offered flows on a 24-router geometric "
+            "WAN: the aggregate-mice ceiling, where traffic "
+            "generation itself dominates the run (run on demand; "
+            "not part of the weekly gate)"
+        ),
+        topology=TopologySpec(
+            "random_geometric",
+            {
+                "n_routers": 24,
+                "n_host_pairs": 10,
+                "seed": 5,
+                "rate_mbps": 100.0,
+                "host_rate_mbps": 400.0,
+            },
+        ),
+        traffic=TrafficSpec(
+            "scale_mix",
+            n_flows=1_000_000,
+            params={"n_elephants": 20, "mice_rate_mbps": 0.2},
+        ),
+        classes=FlowClassSpec(aggregate_background=True),
+        backend="hybrid",
+        horizon=30.0,
         tags=("scale",),
     )
 )

@@ -85,11 +85,14 @@ from repro.net.topology import Network
 from .dynamic import compile_phases
 from .failures import FailureEvent, plan_failures
 from .hybrid import (
+    aggregate_background,
+    aggregate_background_epochs,
     assign_class_paths,
     background_epochs,
     epoch_edges,
     quantize_edges,
     solve_epochs,
+    solve_epochs_aggregate,
     split_requests,
 )
 from .spec import BACKENDS, Scenario
@@ -140,6 +143,15 @@ class ScenarioResult:
     #: fluid backend, which has no telemetry agents).  Deterministic, so
     #: sweeps can assert the monitoring volume did not silently change.
     telemetry_samples: int = 0
+    #: hybrid backend: flows carried in the fluid background domain (0
+    #: elsewhere).  In aggregate-mice mode these flows have no per-flow
+    #: entry in ``per_flow_mbps`` — this count plus ``background_mbps``
+    #: is their footprint in the result.
+    background_flows: int = 0
+    #: flow classes the aggregate-mice solver used (0 in per-flow mode).
+    background_classes: int = 0
+    #: total background throughput, Mbps averaged over the horizon.
+    background_mbps: float = 0.0
 
     #: numeric field -> coercion applied on both to_dict and from_dict, so
     #: results survive a JSON round-trip (and numpy scalars never leak
@@ -164,6 +176,9 @@ class ScenarioResult:
         "failure_events": int,
         "sim_events": int,
         "telemetry_samples": int,
+        "background_flows": int,
+        "background_classes": int,
+        "background_mbps": float,
     }
 
     def to_dict(self) -> Dict[str, Any]:
@@ -192,6 +207,9 @@ class ScenarioResult:
         source = dict(payload)
         source.setdefault("sim_events", 0)
         source.setdefault("telemetry_samples", 0)
+        source.setdefault("background_flows", 0)
+        source.setdefault("background_classes", 0)
+        source.setdefault("background_mbps", 0.0)
         kwargs: Dict[str, Any] = {
             name: coerce(source[name])
             for name, coerce in cls._FIELD_TYPES.items()
@@ -220,6 +238,16 @@ class ScenarioResult:
             f"sim_events={self.sim_events}  "
             f"telemetry_samples={self.telemetry_samples}",
         ]
+        if self.background_flows:
+            mode = (
+                f"{self.background_classes} classes"
+                if self.background_classes
+                else "per-flow fluid"
+            )
+            lines.append(
+                f"  background: {self.background_flows} flows ({mode}), "
+                f"{self.background_mbps:.2f} Mbps"
+            )
         if self.per_flow_mbps:
             worst = sorted(self.per_flow_mbps.items(), key=lambda kv: kv[1])
             shown = ", ".join(f"{k}:{v:.2f}" for k, v in worst[:8])
@@ -557,7 +585,9 @@ class ScenarioRunner:
         return paths, migrations, unplaced
 
     def _solve_inputs(
-        self, paths: Dict[str, Tuple[str, ...]]
+        self,
+        paths: Dict[str, Tuple[str, ...]],
+        requests: Optional[Sequence[FlowRequest]] = None,
     ) -> Tuple[
         Dict[str, Tuple[float, float]],
         Dict[str, float],
@@ -567,26 +597,31 @@ class ScenarioRunner:
         """The epoch solver's workload view, shared by the fluid and
         hybrid backends: per-flow horizon-clamped spans (placed flows
         only), CBR rate caps, the ICMP probe set, and phase fractions.
+        ``requests`` restricts the view to a subset of the offered
+        flows (aggregate-mice mode passes the foreground only; the
+        background never exists per-flow there).
 
         ICMP probes send a packet per second — inelastic, negligible
         load; modelling them as elastic flows would credit them with
         the whole path capacity (DES reports them at 0 Mbps too).
         """
+        if requests is None:
+            requests = self.requests
         horizon = self.scenario.horizon
         spans = {
             r.flow_name: (
                 min(r.start_at, horizon),
                 min(r.start_at + r.duration, horizon),
             )
-            for r in self.requests
+            for r in requests
             if r.flow_name in paths
         }
         rate_caps = {
             r.flow_name: r.rate_mbps
-            for r in self.requests
+            for r in requests
             if r.protocol == "udp" and r.rate_mbps
         }
-        probes = {r.flow_name for r in self.requests if r.protocol == "icmp"}
+        probes = {r.flow_name for r in requests if r.protocol == "icmp"}
         phase_fracs = (
             tuple(p.at_frac for p in self.scenario.phases)
             if self.scenario.phases is not None
@@ -685,6 +720,8 @@ class ScenarioRunner:
         the aggregate, so Hecate's placement sees the background without
         ever paying packet-level cost for it.
         """
+        if self.scenario.classes.aggregate_background:
+            return self._run_hybrid_aggregate()
         scenario = self.scenario
         horizon = scenario.horizon
         capacities = link_capacities(self.network)
@@ -766,4 +803,151 @@ class ScenarioRunner:
             failure_events=len(self.failure_plan),
             sim_events=self.network.sim.events_processed,
             telemetry_samples=self.sdn.telemetry.db.total_samples(),
+            background_flows=len(bg_delivered),
+            background_mbps=float(sum(bg_delivered.values()) / horizon),
+        )
+
+    def _run_hybrid_aggregate(self) -> ScenarioResult:
+        """Hybrid run with the background collapsed into flow classes.
+
+        Same shape as :meth:`_run_hybrid`, but no background flow ever
+        exists individually: placement, the per-epoch fluid solve and
+        the delivered accounting all operate on
+        :class:`~repro.scenarios.hybrid.BackgroundAggregate` columns —
+        cost scales with (tunnels x epochs) instead of (users x
+        epochs), which is what lets the scale tier reach 100k–1M
+        offered flows.  ``per_flow_mbps`` covers the foreground only;
+        the background is reported as ``background_flows`` /
+        ``background_classes`` / ``background_mbps``, and latency means
+        weight each class by its member count so the distribution
+        matches what per-flow mode would report.
+        """
+        scenario = self.scenario
+        horizon = scenario.horizon
+        capacities = link_capacities(self.network)
+
+        aggregate = aggregate_background(
+            self.network, self.tunnels, self.background, horizon
+        )
+        fg_paths, _ = assign_class_paths(
+            self.network, self.tunnels, self.foreground, spread=False
+        )
+        spans, rate_caps, probes, phase_fracs = self._solve_inputs(
+            fg_paths, requests=self.foreground
+        )
+        edges = epoch_edges(
+            horizon, self.failure_plan, phase_fracs, scenario.classes
+        )
+        solves = solve_epochs_aggregate(
+            spans,
+            fg_paths,
+            capacities,
+            rate_caps,
+            probes,
+            self.failure_plan,
+            edges,
+            aggregate,
+        )
+        epochs = aggregate_background_epochs(solves, aggregate)
+
+        # ----- packet domain: warmup, foreground, failures, background
+        self.sdn.run(until=scenario.warmup)
+        self.inject_traffic()
+        self.arm_failures()
+        install_background_schedule(
+            self.network, epochs, offset=self.network.sim.now
+        )
+        self.sdn.run(until=scenario.warmup + scenario.horizon)
+
+        # ----- merge: foreground per-flow, background per-class
+        per_flow, latencies = self._des_flow_metrics()
+        n_classes = len(aggregate.class_paths)
+        delivered_c = np.zeros(n_classes)
+        bg_outages = 0
+        for solve in solves:
+            delivered_c += solve.class_rates * (solve.t1 - solve.t0)
+            bg_outages += solve.blacked_members
+        member_seconds = aggregate.member_seconds()
+        # a class's average per-mouse rate: delivered Mbps-seconds over
+        # summed member-active seconds — enters min_flow_mbps so a
+        # starved class is as visible as a starved flow
+        class_avg_mbps = [
+            float(delivered_c[k] / member_seconds[k])
+            for k in range(n_classes)
+            if member_seconds[k] > 0.0
+        ]
+        background_mbps = float(delivered_c.sum() / horizon)
+        flow_rates = list(per_flow.values()) + class_avg_mbps
+        members_per_class = np.bincount(
+            aggregate.class_of, minlength=n_classes
+        )
+        # total_throughput keeps the per-flow hybrid semantic (sum of
+        # span-averaged per-flow rates): each class contributes its
+        # average member rate times its positive-span member count, so
+        # the two hybrid modes report comparable totals.  The horizon-
+        # averaged background total is background_mbps above.
+        spanned_members = np.bincount(
+            aggregate.class_of,
+            weights=(aggregate.ends > aggregate.starts),
+            minlength=n_classes,
+        )
+        bg_span_avg_total = float(
+            sum(
+                spanned_members[k] * delivered_c[k] / member_seconds[k]
+                for k in range(n_classes)
+                if member_seconds[k] > 0.0
+            )
+        )
+        class_delays = [
+            self.network.path_delay_ms(list(path))
+            for path in aggregate.class_paths
+        ]
+        latency_sum = float(sum(latencies)) + float(
+            sum(
+                delay * int(count)
+                for delay, count in zip(class_delays, members_per_class)
+            )
+        )
+        latency_n = len(latencies) + int(members_per_class.sum())
+        max_latency = max(latencies) if latencies else 0.0
+        populated_delays = [
+            delay
+            for delay, count in zip(class_delays, members_per_class)
+            if count
+        ]
+        if populated_delays:
+            max_latency = max(max_latency, max(populated_delays))
+        migrations = sum(
+            len(record.migrations)
+            for record in self.sdn.controller.flows.values()
+        )
+        reconfigurations = sum(
+            policy.reconfigurations
+            for policy in self.sdn.router_config.policies.values()
+        )
+        return ScenarioResult(
+            scenario=scenario.name,
+            backend="hybrid",
+            seed=self.seed,
+            horizon_s=horizon,
+            warmup_s=scenario.warmup,
+            tunnels=len(self.tunnels),
+            offered=len(self.requests),
+            placed=self.placed + aggregate.members,
+            rejected=self.rejected + aggregate.unplaced,
+            per_flow_mbps=per_flow,
+            total_throughput_mbps=float(sum(per_flow.values()))
+            + bg_span_avg_total,
+            min_flow_mbps=float(min(flow_rates)) if flow_rates else 0.0,
+            mean_latency_ms=(latency_sum / latency_n if latency_n else 0.0),
+            max_latency_ms=float(max_latency),
+            drops=self._des_drop_count() + bg_outages,
+            migrations=migrations,
+            reconfigurations=reconfigurations,
+            failure_events=len(self.failure_plan),
+            sim_events=self.network.sim.events_processed,
+            telemetry_samples=self.sdn.telemetry.db.total_samples(),
+            background_flows=aggregate.members,
+            background_classes=n_classes,
+            background_mbps=background_mbps,
         )

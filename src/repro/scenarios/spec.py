@@ -212,12 +212,24 @@ class FlowClassSpec:
         Upper bound on solved epochs per run; a finer grid than this is
         coarsened (event coalescing) so a long horizon cannot explode
         into tens of thousands of fluid solves.
+    aggregate_background:
+        When True, background flows never exist individually even in
+        the fluid domain: they are collapsed into per-tunnel **flow
+        classes** (columnar arrays + one weighted solver variable per
+        class — see :class:`repro.scenarios.hybrid.BackgroundAggregate`)
+        so solve cost scales with tunnels, not users.  Routing is
+        unchanged (same round-robin spreading); per-mouse rates are no
+        longer reported individually (``ScenarioResult.per_flow_mbps``
+        then covers foreground only, with class totals in
+        ``background_mbps``).  The default keeps the exact per-flow
+        fluid bookkeeping, which small suites assert against.
     """
 
     foreground: Tuple[str, ...] = ("elephant*", "fg*")
     max_foreground: int = 64
     epoch_s: Optional[float] = 1.0
     max_epochs: int = 256
+    aggregate_background: bool = False
 
     def __post_init__(self) -> None:
         if self.max_foreground < 0:

@@ -47,7 +47,10 @@ __all__ = [
 #: active window, and fluid epochs coalesce beyond max_epochs.
 #: v4: columnar telemetry store — results carry telemetry_samples, and
 #: the store's window() upper bound became inclusive.
-CACHE_VERSION = 4
+#: v5: aggregate-mice hybrid mode — Scenario grew
+#: classes.aggregate_background, results carry background_flows /
+#: background_classes / background_mbps.
+CACHE_VERSION = 5
 
 #: Where sweeps cache by default (relative to the working directory).
 DEFAULT_CACHE_DIR = Path(".sweep-cache")

@@ -163,3 +163,106 @@ class TestScheduleBatch:
         sim.schedule(1.5, lambda: log.append("after"))
         sim.run()
         assert log == ["before", "b1", "b2", "after"]
+
+    def test_batch_scheduled_out_of_time_order_fires_in_time_order(self):
+        # regression: a batch landing *earlier* than already-queued far
+        # events must not inherit the far bucket's promotion window —
+        # the calendar has to re-partition around the new minimum
+        sim = Simulator()
+        log = []
+        sim.schedule(50.0, lambda: log.append("late"))
+        sim.schedule_batch(2.0, [lambda: log.append("batch")])
+        sim.schedule(1.0, lambda: log.append("early"))
+        sim.run()
+        assert log == ["early", "batch", "late"]
+
+
+class TestCalendarQueueEquivalence:
+    """The two-tier calendar must be indistinguishable from one global
+    heap with a ``(time, sequence)`` tie-break.  The reference order is
+    therefore a *stable sort by time* over the issue sequence — computed
+    independently here, not by another Simulator."""
+
+    def _reference_order(self, entries):
+        # entries: (issue_seq, time, key, cancelled); stable sort == the
+        # (time, seq) heap contract
+        live = [e for e in entries if not e[3]]
+        return [key for _, _, key, _ in sorted(live, key=lambda e: e[1])]
+
+    def test_100k_schedule_cancel_batch_round_trip(self):
+        import random
+
+        rng = random.Random(1234)
+        sim = Simulator(near_window=0.5)
+        log = []
+        entries = []  # (issue_seq, time, key, cancelled)
+        handles = []
+        seq = 0
+        n = 100_000
+        while seq < n:
+            # times span ~40 near windows, with heavy duplication so
+            # FIFO tie-breaking is exercised at scale, plus exact
+            # window-boundary hits (k * near_window)
+            roll = rng.random()
+            if roll < 0.05:
+                time = 0.5 * rng.randrange(0, 40)  # exactly on boundary
+            else:
+                time = rng.uniform(0.0, 20.0)
+                if roll < 0.30:
+                    time = round(time, 1)  # duplicate-rich
+            if roll < 0.10 and seq + 3 < n:
+                keys = [f"b{seq}.{j}" for j in range(3)]
+                event = sim.schedule_batch(
+                    time, [lambda k=k: log.append(k) for k in keys]
+                )
+                entries.append((seq, time, keys, False))
+                handles.append((len(entries) - 1, event))
+                seq += 3
+            else:
+                key = f"e{seq}"
+                event = sim.schedule(time, lambda k=key: log.append(k))
+                entries.append((seq, time, [key], False))
+                handles.append((len(entries) - 1, event))
+                seq += 1
+        # cancel ~5% after the fact, spread across the whole horizon
+        for idx, event in handles:
+            if rng.random() < 0.05:
+                event.cancel()
+                entry = entries[idx]
+                entries[idx] = (entry[0], entry[1], entry[2], True)
+        sim.run()
+        expected = [
+            key
+            for keys in self._reference_order(
+                [(s, t, ks, c) for s, t, ks, c in entries]
+            )
+            for key in keys
+        ]
+        assert log == expected
+
+    def test_nested_scheduling_across_the_window_boundary(self):
+        # a callback running in window [0, 0.5) schedules into the far
+        # future and into its own window; both must fire in time order
+        sim = Simulator(near_window=0.5)
+        log = []
+
+        def burst():
+            log.append("t0.1")
+            sim.schedule(5.0, lambda: log.append("far"))
+            sim.schedule(0.1, lambda: log.append("near"))
+
+        sim.schedule(0.1, burst)
+        sim.schedule(3.0, lambda: log.append("mid"))
+        sim.run()
+        assert log == ["t0.1", "near", "mid", "far"]
+
+    def test_event_exactly_at_near_end_goes_to_far(self):
+        # the near heap holds strictly-less-than _near_end; an event at
+        # the boundary must still fire, and in the right order
+        sim = Simulator(near_window=1.0)
+        log = []
+        sim.schedule(1.0, lambda: log.append("boundary"))
+        sim.schedule(0.999, lambda: log.append("inside"))
+        sim.schedule(1.001, lambda: log.append("outside"))
+        sim.run()
+        assert log == ["inside", "boundary", "outside"]

@@ -14,11 +14,13 @@ the backend (see ARCHITECTURE.md "Hybrid backend"):
   more than ``LATENCY_ABS_SLACK_MS``.
 """
 
+import dataclasses
 import json
 
 import pytest
 
 from repro.net.background import BackgroundEpoch
+from repro.net.fluid import max_min_fair_weighted
 from repro.scenarios import (
     FlowClassSpec,
     ScenarioRunner,
@@ -308,6 +310,139 @@ class TestHybridRunner:
                 assert link.background_from(
                     runner.network.node(node_name)
                 ) == 0.0
+
+
+class TestWeightedSolver:
+    """``max_min_fair_weighted`` contract: a class entry of integer
+    weight k is exactly k unit flows riding the same path."""
+
+    CAPS = {("a", "b"): 8.0, ("b", "c"): 100.0}
+
+    def test_integer_weight_equals_duplicated_unit_flows(self):
+        weighted = max_min_fair_weighted(
+            {"fg": ["a", "b"], "class:0": ["a", "b", "c"]},
+            self.CAPS,
+            bounds={},
+            weights={"fg": 1.0, "class:0": 3.0},
+        )
+        unit = max_min_fair_weighted(
+            {"fg": ["a", "b"], "m0": ["a", "b", "c"],
+             "m1": ["a", "b", "c"], "m2": ["a", "b", "c"]},
+            self.CAPS,
+            bounds={},
+            weights={},  # default weight 1 everywhere
+        )
+        # the bottleneck (a,b) splits 1:3 — one share to fg, three to
+        # the class; the class total equals the sum of the three mice
+        assert weighted["fg"] == pytest.approx(unit["fg"])
+        assert weighted["class:0"] == pytest.approx(
+            unit["m0"] + unit["m1"] + unit["m2"]
+        )
+        assert weighted["fg"] == pytest.approx(2.0)
+        assert weighted["class:0"] == pytest.approx(6.0)
+
+    def test_fractional_weight_scales_the_share(self):
+        # a half-populated class (time-averaged 0.5 concurrent members)
+        # claims half a fair share
+        rates = max_min_fair_weighted(
+            {"fg": ["a", "b"], "class:0": ["a", "b"]},
+            self.CAPS,
+            bounds={},
+            weights={"class:0": 0.5},
+        )
+        assert rates["fg"] == pytest.approx(8.0 / 1.5)
+        assert rates["class:0"] == pytest.approx(0.5 * 8.0 / 1.5)
+
+    def test_zero_weight_class_gets_nothing_and_claims_nothing(self):
+        rates = max_min_fair_weighted(
+            {"fg": ["a", "b"], "class:0": ["a", "b"]},
+            self.CAPS,
+            bounds={},
+            weights={"class:0": 0.0},
+        )
+        assert rates["class:0"] == 0.0
+        assert rates["fg"] == pytest.approx(8.0)
+
+    def test_bounded_class_pins_and_reshares(self):
+        # a CBR-bounded class pins at its aggregate ceiling; the elastic
+        # foreground flow soaks up the rest of the bottleneck
+        rates = max_min_fair_weighted(
+            {"fg": ["a", "b"], "class:0": ["a", "b"]},
+            self.CAPS,
+            bounds={"class:0": 1.0},
+            weights={"class:0": 2.0},
+        )
+        assert rates["class:0"] == pytest.approx(1.0)
+        assert rates["fg"] == pytest.approx(7.0)
+
+
+class TestAggregateMice:
+    """``FlowClassSpec(aggregate_background=True)``: mice become
+    per-tunnel flow classes; the run must agree with per-flow hybrid."""
+
+    @staticmethod
+    def _aggregate(scenario):
+        return dataclasses.replace(
+            scenario,
+            classes=dataclasses.replace(
+                scenario.classes, aggregate_background=True
+            ),
+        )
+
+    def test_agrees_with_per_flow_hybrid(self):
+        scenario = get_scenario("wan-elephant-mice").quick(
+            horizon=6.0, warmup=2.0
+        )
+        per_flow = ScenarioRunner(scenario, backend="hybrid").run()
+        aggregate = ScenarioRunner(
+            self._aggregate(scenario), backend="hybrid"
+        ).run()
+        # identical admission: routing and spreading are unchanged
+        assert aggregate.placed == per_flow.placed
+        assert aggregate.offered == per_flow.offered
+        assert aggregate.rejected == per_flow.rejected
+        # the weighted-class solve is the same allocation whenever the
+        # member spans cover their epochs; on this scenario the two
+        # modes must agree tightly, not just within backend tolerance
+        assert aggregate.total_throughput_mbps == pytest.approx(
+            per_flow.total_throughput_mbps, rel=0.05
+        )
+        assert aggregate.mean_latency_ms == pytest.approx(
+            per_flow.mean_latency_ms, rel=0.05
+        )
+
+    def test_result_reports_classes_not_mice(self):
+        scenario = self._aggregate(
+            get_scenario("wan-elephant-mice").quick(horizon=6.0, warmup=2.0)
+        )
+        runner = ScenarioRunner(scenario, backend="hybrid")
+        result = runner.run()
+        assert result.background_flows == len(runner.background) == 6
+        assert 1 <= result.background_classes <= result.background_flows
+        assert result.background_mbps > 0.0
+        # per-flow table carries the foreground only; mice appear as
+        # class totals in background_mbps
+        assert set(result.per_flow_mbps) == {
+            r.flow_name for r in runner.foreground
+        }
+
+    def test_round_trips_through_json(self):
+        scenario = self._aggregate(
+            get_scenario("wan-elephant-mice").quick(horizon=4.0, warmup=1.0)
+        )
+        result = ScenarioRunner(scenario, backend="hybrid").run()
+        restored = type(result).from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert restored == result
+
+    def test_deterministic(self):
+        scenario = self._aggregate(
+            get_scenario("wan-elephant-mice").quick(horizon=4.0, warmup=1.0)
+        )
+        r1 = ScenarioRunner(scenario, backend="hybrid").run()
+        r2 = ScenarioRunner(scenario, backend="hybrid").run()
+        assert r1 == r2
 
 
 class TestHybridSweepDeterminism:

@@ -95,6 +95,34 @@ class TestScenarioCli:
         out = capsys.readouterr().out
         assert "[hybrid]" in out and "sim_events" in out
 
+    def test_scenarios_run_profile(self, capsys, tmp_path):
+        """--profile wraps the run in cProfile: same summary, plus the
+        hot-loop / call-path tables and a loadable raw dump."""
+        import pstats
+
+        dump = tmp_path / "run.prof"
+        assert main([
+            "scenarios", "run", "line-baseline",
+            "--backend", "fluid", "--horizon", "4", "--warmup", "1",
+            "--profile", str(dump),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "by internal time" in out and "by cumulative time" in out
+        assert "line-baseline" in out and "throughput" in out
+        stats = pstats.Stats(str(dump))
+        assert stats.total_calls > 0
+
+    def test_scenarios_run_profile_summary_only(self, capsys):
+        # bare --profile prints the tables without writing a dump
+        assert main([
+            "scenarios", "run", "line-baseline",
+            "--backend", "fluid", "--horizon", "4", "--warmup", "1",
+            "--profile",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "by internal time" in out
+        assert "raw profile written" not in out
+
     def test_scenarios_list_includes_scale_tier(self, capsys):
         assert main(["scenarios", "list"]) == 0
         out = capsys.readouterr().out
