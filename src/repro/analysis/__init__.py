@@ -1,0 +1,44 @@
+"""Static analysis subsystem: the repro-lint determinism checker.
+
+The repo's correctness story rests on invariants no unit test can prove
+cheaply — byte-identical parallel sweeps, same-seed identical artifacts,
+bit-stable event ordering.  This package checks the lintable subset of
+those invariants statically, on every PR, via an ``ast``-based rule
+engine (:mod:`repro.analysis.engine`), eight project-specific rules
+(:mod:`repro.analysis.rules`, ids ``RL001``–``RL008``), and
+deterministic text/JSON reporters (:mod:`repro.analysis.report`).
+
+Surfaced as ``repro lint [PATHS]`` (see :mod:`repro.cli`) and as a CI
+gate; the invariant catalog lives in ``docs/DETERMINISM.md``.
+
+The package is stdlib-only by design: the CI lint job runs it without
+installing the simulation stack.
+"""
+
+from .engine import (
+    Analyzer,
+    Baseline,
+    FileContext,
+    Finding,
+    PARSE_ERROR_ID,
+    Rule,
+    all_rules,
+    get_rule,
+    register,
+)
+from .report import JSON_SCHEMA_VERSION, render_json, render_text
+
+__all__ = [
+    "Analyzer",
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "PARSE_ERROR_ID",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register",
+    "JSON_SCHEMA_VERSION",
+    "render_json",
+    "render_text",
+]

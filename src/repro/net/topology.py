@@ -94,7 +94,7 @@ class Network:
             return self
         # 1. deterministic port numbering on routers (hosts use port 0..)
         adjacency: Dict[str, Dict[str, int]] = {}
-        for rname, router in self.routers.items():
+        for rname in self.routers:
             neighbours = sorted(self.graph.neighbors(rname))
             adjacency[rname] = {nbr: i for i, nbr in enumerate(neighbours)}
         # 2. PolKA identities over the router fabric

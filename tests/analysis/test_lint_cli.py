@@ -1,0 +1,156 @@
+"""``repro lint`` CLI behaviour, and the self-check that keeps the
+tree clean: ``repro lint src/`` must exit 0 with zero non-baselined
+findings — the same gate CI applies on every PR.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import JSON_SCHEMA_VERSION, all_rules
+from repro.cli import build_lint_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BAD = "import json\nblob = json.dumps(payload)\n"
+
+
+def write_bad(tmp_path):
+    file = tmp_path / "mod.py"
+    file.write_text(BAD)
+    return file
+
+
+class TestSelfCheck:
+    def test_src_tree_is_clean(self, capsys):
+        """The whole point of the subsystem: the invariants hold, on
+        every file under src/, right now."""
+        code = main(
+            ["lint", str(REPO_ROOT / "src"), "--root", str(REPO_ROOT)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, f"repro lint src/ is not clean:\n{out}"
+        assert "clean: no findings" in out
+
+    def test_benchmarks_keep_their_wall_clock_exemption(self):
+        # benchmarks measure wall time on purpose; RL002 must not fire
+        code = main(
+            [
+                "lint",
+                str(REPO_ROOT / "benchmarks"),
+                "--root",
+                str(REPO_ROOT),
+                "--select",
+                "RL002",
+            ]
+        )
+        assert code == 0
+
+
+class TestLintCli:
+    def test_findings_fail_with_exit_1(self, tmp_path, capsys):
+        file = write_bad(tmp_path)
+        code = main(["lint", str(file), "--root", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RL004" in out and "mod.py:2:" in out
+
+    def test_json_to_stdout_replaces_text(self, tmp_path, capsys):
+        file = write_bad(tmp_path)
+        code = main(
+            ["lint", str(file), "--root", str(tmp_path), "--json", "-"]
+        )
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == JSON_SCHEMA_VERSION
+        assert document["summary"]["by_rule"] == {"RL004": 1}
+
+    def test_json_to_file(self, tmp_path, capsys):
+        file = write_bad(tmp_path)
+        out_path = tmp_path / "findings.json"
+        code = main(
+            [
+                "lint", str(file),
+                "--root", str(tmp_path),
+                "--json", str(out_path),
+            ]
+        )
+        assert code == 1
+        document = json.loads(out_path.read_text())
+        assert document["summary"]["active"] == 1
+        # the text report still goes to stdout alongside the file
+        assert "RL004" in capsys.readouterr().out
+
+    def test_select_limits_the_rule_set(self, tmp_path, capsys):
+        file = write_bad(tmp_path)
+        code = main(
+            [
+                "lint", str(file),
+                "--root", str(tmp_path),
+                "--select", "RL005",
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0  # RL004 violation, but only RL005 selected
+
+    def test_select_unknown_rule_is_a_user_error(self, tmp_path, capsys):
+        code = main(["lint", str(tmp_path), "--select", "RL999"])
+        assert code == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_baseline_workflow(self, tmp_path, capsys):
+        file = write_bad(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main(
+                [
+                    "lint", str(file),
+                    "--root", str(tmp_path),
+                    "--baseline", str(baseline),
+                    "--write-baseline",
+                ]
+            )
+            == 0
+        )
+        assert baseline.exists()
+        code = main(
+            [
+                "lint", str(file),
+                "--root", str(tmp_path),
+                "--baseline", str(baseline),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(1 baselined)" in out
+
+    def test_missing_baseline_is_a_user_error(self, tmp_path, capsys):
+        file = write_bad(tmp_path)
+        code = main(
+            [
+                "lint", str(file),
+                "--root", str(tmp_path),
+                "--baseline", str(tmp_path / "nope.json"),
+            ]
+        )
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_write_baseline_requires_a_path(self, tmp_path, capsys):
+        code = main(["lint", str(tmp_path), "--write-baseline"])
+        assert code == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_list_rules_prints_the_catalog(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in all_rules():
+            assert rule.id in out
+            assert rule.name in out
+
+    def test_parser_builds_without_executing(self):
+        args = build_lint_parser().parse_args(
+            ["src", "--json", "out.json", "--select", "RL001"]
+        )
+        assert args.paths == ["src"]
+        assert args.json == "out.json"
+        assert args.select == "RL001"

@@ -1,0 +1,168 @@
+"""Engine semantics: inline disables, baselines, reporters, parsing.
+
+The engine is itself held to the invariants it enforces: reports carry
+no timestamps, findings are globally sorted, and rendering the same
+tree twice is byte-identical.
+"""
+
+import json
+
+from repro.analysis import (
+    Analyzer,
+    Baseline,
+    Finding,
+    JSON_SCHEMA_VERSION,
+    PARSE_ERROR_ID,
+    render_json,
+    render_text,
+)
+
+BAD = "def f(xs=[]):\n    pass\n"
+PATH = "src/repro/mod.py"
+
+
+def lint(source, path=PATH, **kwargs):
+    return Analyzer(root=".", **kwargs).lint_source(source, path)
+
+
+class TestInlineDirectives:
+    def test_disable_one_rule_on_the_line(self):
+        source = "def f(xs=[]):  # repro-lint: disable=RL005\n    pass\n"
+        assert lint(source) == []
+
+    def test_disable_lists_multiple_ids(self):
+        source = (
+            "import json\n"
+            "blob = json.dumps(d)  # repro-lint: disable=RL001,RL004\n"
+        )
+        assert lint(source) == []
+
+    def test_disable_wrong_rule_does_not_suppress(self):
+        source = "def f(xs=[]):  # repro-lint: disable=RL001\n    pass\n"
+        assert [f.rule for f in lint(source)] == ["RL005"]
+
+    def test_bare_disable_suppresses_every_rule_on_the_line(self):
+        source = "def f(xs=[]):  # repro-lint: disable\n    pass\n"
+        assert lint(source) == []
+
+    def test_disable_applies_only_to_its_own_line(self):
+        source = (
+            "x = 1  # repro-lint: disable=RL005\n"
+            "def f(xs=[]):\n    pass\n"
+        )
+        assert [f.rule for f in lint(source)] == ["RL005"]
+
+    def test_skip_file(self):
+        source = "# repro-lint: skip-file\n" + BAD
+        assert lint(source) == []
+
+    def test_directive_inside_a_string_is_inert(self):
+        source = 'tag = "# repro-lint: skip-file"\n' + BAD
+        assert [f.rule for f in lint(source)] == ["RL005"]
+
+
+class TestParseError:
+    def test_syntax_error_becomes_a_finding(self):
+        findings = lint("def f(:\n")
+        assert [f.rule for f in findings] == [PARSE_ERROR_ID]
+        assert findings[0].severity == "error"
+
+    def test_parse_error_fails_the_gate(self):
+        assert not all(f.baselined for f in lint("def f(:\n"))
+
+
+class TestBaseline:
+    def test_round_trip_marks_findings_baselined(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        findings = lint(BAD)
+        assert len(findings) == 1 and not findings[0].baselined
+        Baseline.dump(findings, baseline_path)
+        again = lint(BAD, baseline=Baseline.load(baseline_path))
+        assert len(again) == 1 and again[0].baselined
+
+    def test_fingerprint_survives_line_shifts(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.dump(lint(BAD), baseline_path)
+        shifted = "import os\n\n\n" + BAD
+        findings = lint(shifted, baseline=Baseline.load(baseline_path))
+        rl005 = [f for f in findings if f.rule == "RL005"]
+        assert rl005 and all(f.baselined for f in rl005)
+
+    def test_editing_the_flagged_line_invalidates_the_entry(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.dump(lint(BAD), baseline_path)
+        edited = "def f(xs=[], n=1):\n    pass\n"
+        findings = lint(edited, baseline=Baseline.load(baseline_path))
+        assert findings and not findings[0].baselined
+
+    def test_baseline_file_is_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        findings = lint(BAD + "def g(m={}):\n    pass\n")
+        Baseline.dump(findings, a)
+        Baseline.dump(list(reversed(findings)), b)
+        assert a.read_text() == b.read_text()
+
+
+class TestReporters:
+    def test_text_report_lists_location_rule_and_name(self):
+        text = render_text(lint(BAD))
+        assert f"{PATH}:1:" in text
+        assert "RL005" in text and "[mutable-default]" in text
+        assert "1 finding(s)" in text
+
+    def test_text_report_clean(self):
+        assert "clean: no findings" in render_text([])
+
+    def test_baselined_findings_do_not_count_as_active(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.dump(lint(BAD), baseline_path)
+        findings = lint(BAD, baseline=Baseline.load(baseline_path))
+        text = render_text(findings)
+        assert "clean: no findings (1 baselined)" in text
+
+    def test_json_schema(self):
+        document = json.loads(render_json(lint(BAD)))
+        assert document["version"] == JSON_SCHEMA_VERSION
+        assert document["summary"] == {
+            "total": 1,
+            "active": 1,
+            "baselined": 0,
+            "by_rule": {"RL005": 1},
+        }
+        (finding,) = document["findings"]
+        assert set(finding) == {
+            "rule", "name", "severity", "path", "line", "col",
+            "message", "snippet", "baselined", "fingerprint",
+        }
+        assert finding["rule"] == "RL005"
+        assert finding["path"] == PATH
+        assert finding["line"] == 1
+        assert finding["snippet"] == "def f(xs=[]):"
+
+    def test_json_is_byte_deterministic(self):
+        findings = lint(BAD)
+        assert render_json(findings) == render_json(lint(BAD))
+
+
+class TestAnalyzerPaths:
+    def test_directory_walk_is_sorted_and_relative(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "b.py").write_text(BAD)
+        (tmp_path / "pkg" / "a.py").write_text(BAD)
+        analyzer = Analyzer(root=tmp_path)
+        findings = analyzer.lint_paths([tmp_path / "pkg"])
+        assert [f.path for f in findings] == ["pkg/a.py", "pkg/b.py"]
+
+    def test_duplicate_inputs_lint_once(self, tmp_path):
+        file = tmp_path / "m.py"
+        file.write_text(BAD)
+        analyzer = Analyzer(root=tmp_path)
+        assert len(analyzer.lint_paths([file, file, tmp_path])) == 1
+
+    def test_findings_sort_key_is_total(self):
+        f = Finding(
+            rule="RL005", name="mutable-default", severity="error",
+            path="a.py", line=3, col=1, message="m", snippet="s",
+        )
+        assert f.sort_key() == ("a.py", 3, 1, "RL005")
+        assert f.location() == "a.py:3:1"

@@ -1,0 +1,349 @@
+"""Failing-first fixtures for every repro-lint rule.
+
+Each rule gets at least one *bad* snippet that must flag and one *good*
+snippet that must stay clean, plus a scoping case where the rule is
+path-restricted.  These fixtures are the rules' contract: a rule change
+that stops catching its own bad fixture is a regression, not a
+refactor.
+"""
+
+import pytest
+
+from repro.analysis import Analyzer, all_rules
+
+
+def lint(source, path="src/repro/mod.py"):
+    return Analyzer(root=".").lint_source(source, path)
+
+
+def rule_ids(source, path="src/repro/mod.py"):
+    return {f.rule for f in lint(source, path)}
+
+
+class TestRegistry:
+    def test_eight_rules_registered(self):
+        rules = all_rules()
+        assert [r.id for r in rules] == [
+            f"RL00{i}" for i in range(1, 9)
+        ]
+
+    def test_every_rule_is_documented(self):
+        for rule in all_rules():
+            assert rule.name, rule.id
+            assert rule.description, rule.id
+            assert rule.rationale, rule.id
+            assert rule.severity in ("error", "warning"), rule.id
+
+
+class TestRL001UnseededRandom:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "import random\nrandom.shuffle(xs)\n",
+            "import random\nx = random.randint(0, 10)\n",
+            "import random\nrandom.seed(42)\n",
+            "import random as rnd\nrnd.random()\n",
+            "import numpy as np\nnp.random.rand(3)\n",
+            "import numpy as np\nnp.random.seed(0)\n",
+            "import numpy\nnumpy.random.shuffle(xs)\n",
+            "from numpy import random\nrandom.permutation(10)\n",
+        ],
+    )
+    def test_bad(self, source):
+        assert "RL001" in rule_ids(source)
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # the sanctioned pattern: an explicit seeded Generator
+            "import numpy as np\nrng = np.random.default_rng(0)\n",
+            # calls on a passed-in rng variable are not module state
+            "def draw(rng):\n    return rng.random()\n",
+            # a local named 'random' without the import is not the module
+            "random = make_source()\nrandom.shuffle(xs)\n",
+            # seeded legacy RandomState is explicit about its stream
+            "import numpy as np\nnp.random.RandomState(7)\n",
+            "import random\nr = random.Random(123)\n",
+        ],
+    )
+    def test_good(self, source):
+        assert "RL001" not in rule_ids(source)
+
+
+class TestRL002WallClock:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "import time\nt0 = time.time()\n",
+            "import time\nt0 = time.perf_counter()\n",
+            "import time\nt0 = time.monotonic()\n",
+            "from time import perf_counter\nt0 = perf_counter()\n",
+            "from datetime import datetime\nstamp = datetime.now()\n",
+            "import datetime\nstamp = datetime.datetime.utcnow()\n",
+        ],
+    )
+    def test_bad(self, source):
+        assert "RL002" in rule_ids(source)
+
+    def test_good_virtual_time(self):
+        assert "RL002" not in rule_ids("now = sim.now\n")
+
+    def test_benchmarks_are_exempt(self):
+        source = "import time\nt0 = time.perf_counter()\n"
+        assert "RL002" not in rule_ids(source, "benchmarks/scale.py")
+
+    def test_time_sleep_is_not_a_clock_read(self):
+        assert "RL002" not in rule_ids("import time\ntime.sleep(1)\n")
+
+
+class TestRL003UnorderedIteration:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "for x in {1, 2, 3}:\n    pass\n",
+            "for x in set(xs):\n    pass\n",
+            "for k in mapping.keys():\n    pass\n",
+            "ys = [f(x) for x in set(xs)]\n",
+            "out = ','.join(set(names))\n",
+            "ordered = list({n for n in names})\n",
+            "pairs = tuple(set(edges))\n",
+        ],
+    )
+    def test_bad(self, source):
+        assert "RL003" in rule_ids(source)
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "for x in sorted(set(xs)):\n    pass\n",
+            "for x in sorted({1, 2, 3}):\n    pass\n",
+            "out = ','.join(sorted(set(names)))\n",
+            "for k in sorted(mapping):\n    pass\n",
+            # plain dict iteration is insertion-ordered; only .keys()
+            # (and sets) are flagged
+            "for k in mapping:\n    pass\n",
+            "present = x in set(xs)\n",  # membership, not iteration
+        ],
+    )
+    def test_good(self, source):
+        assert "RL003" not in rule_ids(source)
+
+
+class TestRL004UnsortedJson:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "import json\nblob = json.dumps(payload)\n",
+            "import json\nblob = json.dumps(payload, indent=2)\n",
+            "import json\nblob = json.dumps(payload, sort_keys=False)\n",
+            "import json\njson.dump(payload, fh)\n",
+        ],
+    )
+    def test_bad(self, source):
+        assert "RL004" in rule_ids(source)
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "import json\nblob = json.dumps(payload, sort_keys=True)\n",
+            "import json\npayload = json.loads(blob)\n",
+            # **kwargs forwarding cannot be judged statically
+            "import json\nblob = json.dumps(payload, **opts)\n",
+        ],
+    )
+    def test_good(self, source):
+        assert "RL004" not in rule_ids(source)
+
+
+class TestRL005MutableDefault:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "def f(xs=[]):\n    pass\n",
+            "def f(m={}):\n    pass\n",
+            "def f(s={1, 2}):\n    pass\n",
+            "def f(*, xs=[]):\n    pass\n",
+            "def f(xs=list()):\n    pass\n",
+            "from collections import deque\ndef f(q=deque()):\n    pass\n",
+            (
+                "from collections import defaultdict\n"
+                "def f(m=defaultdict(list)):\n    pass\n"
+            ),
+        ],
+    )
+    def test_bad(self, source):
+        assert "RL005" in rule_ids(source)
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "def f(xs=None):\n    pass\n",
+            "def f(xs=()):\n    pass\n",
+            "def f(name='x'):\n    pass\n",
+        ],
+    )
+    def test_good(self, source):
+        assert "RL005" not in rule_ids(source)
+
+
+class TestRL006FloatEquality:
+    SOLVER = "src/repro/net/fluid.py"
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "if rate == 0.0:\n    pass\n",
+            "if 1.0 != share:\n    pass\n",
+            "done = residual == -0.0\n",
+            "if x == float(y):\n    pass\n",
+        ],
+    )
+    def test_bad_in_solver(self, source):
+        assert "RL006" in rule_ids(source, self.SOLVER)
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "if rate <= 1e-9:\n    pass\n",
+            "import math\nif math.isclose(rate, 0.0):\n    pass\n",
+            "if count == 0:\n    pass\n",  # int comparison
+        ],
+    )
+    def test_good_in_solver(self, source):
+        assert "RL006" not in rule_ids(source, self.SOLVER)
+
+    def test_hecate_is_in_scope(self):
+        source = "if score == 0.5:\n    pass\n"
+        assert "RL006" in rule_ids(source, "src/repro/hecate/lp.py")
+
+    def test_out_of_scope_paths_are_clean(self):
+        source = "if rate == 0.0:\n    pass\n"
+        assert "RL006" not in rule_ids(source, "src/repro/ml/metrics.py")
+
+
+DRIFTED = '''\
+from dataclasses import dataclass
+
+@dataclass(frozen=True)
+class Result:
+    scenario: str
+    drops: int
+
+    def to_dict(self):
+        return {"scenario": self.scenario}
+'''
+
+FIELD_TYPES_STYLE = '''\
+from dataclasses import dataclass
+
+@dataclass(frozen=True)
+class Result:
+    scenario: str
+    drops: int
+
+    _FIELD_TYPES = {"scenario": str, "drops": int}
+
+    def to_dict(self):
+        return {k: c(getattr(self, k)) for k, c in self._FIELD_TYPES.items()}
+'''
+
+EXPLICIT_STYLE = '''\
+from dataclasses import dataclass
+
+@dataclass
+class Result:
+    scenario: str
+    drops: int
+
+    def to_dict(self):
+        return {"scenario": self.scenario, "drops": self.drops}
+'''
+
+DOCSTRING_ONLY = '''\
+from dataclasses import dataclass
+
+@dataclass
+class Result:
+    """The drops field is documented here but never serialized."""
+
+    scenario: str
+    drops: int
+
+    def to_dict(self):
+        return {"scenario": self.scenario}
+'''
+
+
+class TestRL007SerializationDrift:
+    def test_missing_field_is_flagged(self):
+        findings = [f for f in lint(DRIFTED) if f.rule == "RL007"]
+        assert len(findings) == 1
+        assert "drops" in findings[0].message
+        assert "CACHE_VERSION" in findings[0].message
+
+    def test_field_types_mapping_counts_as_serialized(self):
+        assert "RL007" not in rule_ids(FIELD_TYPES_STYLE)
+
+    def test_explicit_dict_counts_as_serialized(self):
+        assert "RL007" not in rule_ids(EXPLICIT_STYLE)
+
+    def test_docstring_mention_does_not_count(self):
+        assert "RL007" in rule_ids(DOCSTRING_ONLY)
+
+    def test_underscore_fields_are_exempt(self):
+        source = DRIFTED.replace("drops: int", "_drops: int")
+        assert "RL007" not in rule_ids(source)
+
+    def test_dataclass_without_to_dict_is_exempt(self):
+        source = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\nclass Spec:\n    a: int\n"
+        )
+        assert "RL007" not in rule_ids(source)
+
+
+class TestRL008UnboundedGrowth:
+    SVC = "src/repro/framework/service.py"
+
+    def test_bare_deque_in_framework_is_flagged(self):
+        source = (
+            "from collections import deque\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self.q = deque()\n"
+        )
+        assert "RL008" in rule_ids(source, self.SVC)
+
+    def test_deque_with_maxlen_is_clean(self):
+        source = (
+            "from collections import deque\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self.q = deque(maxlen=4096)\n"
+        )
+        assert "RL008" not in rule_ids(source, self.SVC)
+
+    def test_bare_audit_list_is_flagged(self):
+        source = (
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self.decision_log = []\n"
+        )
+        assert "RL008" in rule_ids(source, self.SVC)
+
+    def test_plain_list_attr_is_clean(self):
+        source = (
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self.samples = []\n"
+        )
+        assert "RL008" not in rule_ids(source, self.SVC)
+
+    def test_out_of_scope_paths_are_clean(self):
+        source = (
+            "from collections import deque\n"
+            "class L:\n"
+            "    def __init__(self):\n"
+            "        self.queue = deque()\n"
+        )
+        assert "RL008" not in rule_ids(source, "src/repro/net/links.py")

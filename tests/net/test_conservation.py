@@ -47,7 +47,7 @@ class TestConservation:
 
     def test_ttl_drops_accounted(self):
         net = random_wan(n_routers=5, extra_edges=3, seed=3)
-        for i in range(10):
+        for _ in range(10):
             net.hosts["h0a"].send_packet(
                 Packet(src="h0a", dst="h0b", size=500, flow_id=1, ttl=1)
             )

@@ -35,7 +35,7 @@ class TestCli:
         assert "PolKA node IDs" in out and "config applied: True" in out
 
     def test_every_registered_experiment_has_description(self):
-        for key, (description, runner) in EXPERIMENTS.items():
+        for _key, (description, runner) in EXPERIMENTS.items():
             assert description
             assert callable(runner)
 

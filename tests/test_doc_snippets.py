@@ -18,6 +18,7 @@ import pytest
 
 from repro.cli import (
     EXPERIMENTS,
+    build_lint_parser,
     build_scenarios_parser,
     build_service_parser,
     main,
@@ -94,6 +95,8 @@ def test_documented_command_is_valid(where, tokens):
             assert name in known, (
                 f"{where} references unknown scenario {name!r}"
             )
+    elif group == "lint":
+        _parse(build_lint_parser(), tokens[1:], where)
     elif group == "service":
         args = _parse(build_service_parser(), tokens[1:], where)
         if hasattr(args, "name"):
@@ -116,7 +119,12 @@ def test_documentation_actually_documents_commands():
 
 @pytest.mark.parametrize(
     "argv",
-    [["list"], ["scenarios", "list"], ["service", "list"]],
+    [
+        ["list"],
+        ["scenarios", "list"],
+        ["service", "list"],
+        ["lint", "--list-rules"],
+    ],
     ids=lambda argv: " ".join(argv),
 )
 def test_cheap_documented_commands_execute(argv, capsys):
