@@ -1,0 +1,137 @@
+"""``des`` backend: packet-level discrete-event emulation.
+
+The full framework conversation — message bus, freeRtr config service,
+telemetry agents, Hecate, scheduler, controller, dashboard — assembled
+by the runner into ``context.sdn``, warmed for ``scenario.warmup``
+seconds, offered every flow through the Dashboard exactly like a user
+would, with the failure plan scheduled on the simulator.
+
+The metric-collection helpers live here as module functions over the
+:class:`~repro.backends.base.RunContext` so the runner's staged API
+(``setup()`` / drive ``runner.sdn`` yourself / ``collect()``) shares
+byte-identical accounting with the backend-driven path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.net.apps import PingApp, TcpFlow, UdpFlow
+from repro.scenarios.result import ScenarioResult
+
+from .base import (
+    BackendCapabilities,
+    ExecutionBackend,
+    RunContext,
+    register_backend,
+)
+
+__all__ = ["DesBackend", "collect_des", "des_flow_metrics", "des_drop_count"]
+
+
+def des_flow_metrics(
+    context: RunContext,
+) -> Tuple[Dict[str, float], List[float]]:
+    """Per-flow Mbps and latency samples from the packet domain."""
+    assert context.network is not None and context.sdn is not None
+    now = context.network.sim.now
+    per_flow: Dict[str, float] = {}
+    latencies: List[float] = []
+    for name, record in context.sdn.controller.flows.items():
+        app = record.app
+        if isinstance(app, TcpFlow):
+            # a flow whose duration outlives the horizon must be
+            # averaged over simulated time only, not its full window
+            end = now if app.stop_at is None else min(app.stop_at, now)
+            per_flow[name] = app.goodput_mbps(t1=end)
+            if app.srtt is not None:
+                latencies.append(app.srtt * 1e3)
+        elif isinstance(app, UdpFlow):
+            per_flow[name] = app.delivered_mbps()
+        elif isinstance(app, PingApp):
+            per_flow[name] = 0.0
+            _, rtts = app.rtt_series()
+            if rtts.size:
+                latencies.append(float(rtts.mean()))
+    return per_flow, latencies
+
+
+def des_drop_count(context: RunContext) -> int:
+    """Tail-dropped packets across every link, both directions."""
+    assert context.network is not None
+    drops = 0
+    for link in context.network.links.values():
+        node_a, node_b = link.endpoints()
+        drops += link.stats_from(node_a).dropped_packets
+        drops += link.stats_from(node_b).dropped_packets
+    return drops
+
+
+def collect_des(context: RunContext) -> ScenarioResult:
+    """Uniform metrics from a DES run (the runner's ``collect()``)."""
+    assert context.network is not None and context.sdn is not None
+    scenario = context.scenario
+    per_flow, latencies = des_flow_metrics(context)
+    drops = des_drop_count(context)
+    migrations = sum(
+        len(record.migrations)
+        for record in context.sdn.controller.flows.values()
+    )
+    reconfigurations = sum(
+        policy.reconfigurations
+        for policy in context.sdn.router_config.policies.values()
+    )
+    return ScenarioResult(
+        scenario=scenario.name,
+        backend="des",
+        seed=context.seed,
+        horizon_s=scenario.horizon,
+        warmup_s=scenario.warmup,
+        tunnels=len(context.tunnels),
+        offered=len(context.requests),
+        placed=context.placed,
+        rejected=context.rejected,
+        per_flow_mbps=per_flow,
+        total_throughput_mbps=float(sum(per_flow.values())),
+        min_flow_mbps=float(min(per_flow.values())) if per_flow else 0.0,
+        mean_latency_ms=float(np.mean(latencies)) if latencies else 0.0,
+        max_latency_ms=float(max(latencies)) if latencies else 0.0,
+        drops=drops,
+        migrations=migrations,
+        reconfigurations=reconfigurations,
+        failure_events=len(context.failure_plan),
+        sim_events=context.network.sim.events_processed,
+        telemetry_samples=context.sdn.telemetry.db.total_samples(),
+    )
+
+
+@register_backend
+class DesBackend(ExecutionBackend):
+    """Packet-level discrete-event emulation through the full framework."""
+
+    name = "des"
+
+    @classmethod
+    def capabilities(cls) -> BackendCapabilities:
+        return BackendCapabilities(
+            name=cls.name,
+            description="packet-level discrete-event emulation through "
+            "the full self-driving framework stack",
+            packet_level=True,
+            reports_sim_events=True,
+            reports_telemetry=True,
+        )
+
+    def execute(self) -> None:
+        context = self._bound_context()
+        assert context.sdn is not None and self.scenario is not None
+        scenario = self.scenario
+        context.sdn.run(until=scenario.warmup)
+        context.inject_traffic()
+        context.arm_failures()
+        context.sdn.run(until=scenario.warmup + scenario.horizon)
+
+    def collect(self) -> ScenarioResult:
+        return collect_des(self._bound_context())

@@ -1,0 +1,518 @@
+"""Emulation bridge: compile a Scenario into an external-driver plan.
+
+The paper evaluated its framework on a real programmable testbed; this
+module is the adapter that closes the simulate-then-deploy loop.  An
+:class:`EmulationBackend` does no simulation itself — it *compiles* the
+prepared scenario into a :class:`CommandPlan` (hosts, links, per-flow
+iperf/ping-style commands with explicit source-routed paths, failure
+cues), hands the plan to an :class:`EmulationDriver`, and parses the
+driver's raw iperf/ping-formatted text back into a
+:class:`~repro.scenarios.result.ScenarioResult`.
+
+The driver contract (see docs/BACKENDS.md) is deliberately narrow —
+``run(plan) -> str`` — so a driver can be a Mininet harness, an SSH
+fan-out to a FABRIC slice, or the in-process
+:class:`MockEmulationDriver` shipped here, which computes deterministic
+max-min-fair rates from the plan's own topology and formats them as
+iperf/ping output.  The mock makes the whole adapter — compilation,
+driver dispatch, output parsing, reconciliation — testable in tier-1
+without a testbed, and doubles as the reference for what output real
+drivers must produce.
+
+Flow placement reuses the fluid backend's assignment
+(:func:`repro.backends.fluid.assign_fluid` — the Controller's own
+candidate rule), so an emulation run exercises the same paths the
+simulation backends would pick.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Tuple
+
+import numpy as np
+
+from repro.net.fluid import link_capacities, max_min_fair_bounded
+from repro.scenarios.result import ScenarioResult
+
+from .base import (
+    BackendCapabilities,
+    ExecutionBackend,
+    RunContext,
+    register_backend,
+)
+from .fluid import assign_fluid
+
+__all__ = [
+    "FlowCommand",
+    "FailureCue",
+    "CommandPlan",
+    "EmulationDriver",
+    "MockEmulationDriver",
+    "EmulationBackend",
+    "compile_plan",
+    "parse_driver_output",
+]
+
+#: assumed UDP datagram payload, bytes (iperf's classic default).
+_UDP_DATAGRAM_BYTES = 1470
+
+
+@dataclass(frozen=True)
+class FlowCommand:
+    """One traffic source the driver must launch on ``src``."""
+
+    flow_name: str
+    src: str
+    dst: str
+    protocol: str  # "tcp" | "udp" | "icmp"
+    start_at: float  # seconds after traffic start
+    duration: float
+    rate_mbps: Optional[float]
+    #: full source-routed node path, src host .. dst host — the PolKA
+    #: path the driver must pin (route header, static routes, ...).
+    path: Tuple[str, ...]
+    #: rendered reference invocation (iperf/ping style).
+    command: str
+
+
+@dataclass(frozen=True)
+class FailureCue:
+    """One link-state change the driver must apply at ``at`` seconds."""
+
+    at: float
+    action: str  # "fail" | "restore"
+    a: str
+    b: str
+    command: str
+
+
+@dataclass(frozen=True)
+class CommandPlan:
+    """Everything an external driver needs to replay one scenario."""
+
+    scenario: str
+    seed: int
+    horizon: float
+    warmup: float
+    hosts: Tuple[str, ...]
+    #: (a, b, rate_mbps, delay_ms) per physical link.
+    links: Tuple[Tuple[str, str, float, float], ...]
+    #: server commands to start first (one per receiving host/port).
+    servers: Tuple[str, ...]
+    flows: Tuple[FlowCommand, ...]
+    probes: Tuple[FlowCommand, ...]
+    failures: Tuple[FailureCue, ...]
+    #: flows the planner could not route (no candidate tunnel).
+    unplaced: int = 0
+    failure_events: int = field(default=0)
+
+
+class EmulationDriver(Protocol):
+    """An external executor: runs a :class:`CommandPlan`, returns the
+    concatenated raw iperf/ping-formatted output (driver contract in
+    docs/BACKENDS.md)."""
+
+    def run(self, plan: CommandPlan) -> str:
+        """Execute the plan and return its raw text output."""
+        ...
+
+
+def compile_plan(context: RunContext) -> CommandPlan:
+    """Compile the prepared run into an external-driver command plan."""
+    assert context.network is not None
+    network = context.network
+    scenario = context.scenario
+    capacities = link_capacities(network)
+    router_paths, _migrations, unplaced = assign_fluid(context, capacities)
+
+    links = tuple(
+        sorted(
+            (*sorted(key), float(link.rate_mbps), float(link.delay_ms))
+            for key, link in network.links.items()
+        )
+    )
+    flows: List[FlowCommand] = []
+    probes: List[FlowCommand] = []
+    server_hosts: List[str] = []
+    for request in context.requests:
+        router_path = router_paths.get(request.flow_name)
+        if router_path is None:
+            continue
+        path = (request.src,) + tuple(router_path) + (request.dst,)
+        if request.protocol == "icmp":
+            count = max(1, int(min(request.duration, scenario.horizon)))
+            command = f"ping -c {count} -i 1 {request.dst}"
+            probes.append(
+                FlowCommand(
+                    flow_name=request.flow_name,
+                    src=request.src,
+                    dst=request.dst,
+                    protocol="icmp",
+                    start_at=request.start_at,
+                    duration=request.duration,
+                    rate_mbps=None,
+                    path=path,
+                    command=command,
+                )
+            )
+            continue
+        if request.dst not in server_hosts:
+            server_hosts.append(request.dst)
+        command = f"iperf -c {request.dst} -p 5001 -t {request.duration:g}"
+        if request.protocol == "udp" and request.rate_mbps:
+            command += f" -u -b {request.rate_mbps:g}M"
+        flows.append(
+            FlowCommand(
+                flow_name=request.flow_name,
+                src=request.src,
+                dst=request.dst,
+                protocol=request.protocol,
+                start_at=request.start_at,
+                duration=request.duration,
+                rate_mbps=request.rate_mbps,
+                path=path,
+                command=command,
+            )
+        )
+    servers = tuple(f"{host}: iperf -s -p 5001" for host in server_hosts)
+    failures = tuple(
+        FailureCue(
+            at=event.at,
+            action=event.action,
+            a=event.a,
+            b=event.b,
+            command=(
+                f"link {'down' if event.action == 'fail' else 'up'} "
+                f"{event.a} {event.b} @ {event.at:g}s"
+            ),
+        )
+        for event in context.failure_plan
+    )
+    return CommandPlan(
+        scenario=scenario.name,
+        seed=context.seed,
+        horizon=scenario.horizon,
+        warmup=scenario.warmup,
+        hosts=tuple(sorted(network.hosts)),
+        links=links,
+        servers=servers,
+        flows=tuple(flows),
+        probes=tuple(probes),
+        failures=failures,
+        unplaced=unplaced,
+        failure_events=len(context.failure_plan),
+    )
+
+
+# --------------------------------------------------------------- the mock
+
+
+def _down_intervals(
+    plan: CommandPlan,
+) -> Dict[Tuple[str, str], List[Tuple[float, float]]]:
+    """Per-link outage windows [fail, restore) from the failure cues."""
+    down: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+    open_at: Dict[Tuple[str, str], float] = {}
+    for cue in sorted(plan.failures, key=lambda c: (c.at, c.a, c.b)):
+        key = (cue.a, cue.b) if cue.a < cue.b else (cue.b, cue.a)
+        if cue.action == "fail":
+            open_at.setdefault(key, cue.at)
+        elif key in open_at:
+            down.setdefault(key, []).append((open_at.pop(key), cue.at))
+    for key, start in open_at.items():
+        down.setdefault(key, []).append((start, plan.horizon))
+    return down
+
+
+def _is_down(
+    path: Tuple[str, ...],
+    at: float,
+    down: Dict[Tuple[str, str], List[Tuple[float, float]]],
+) -> bool:
+    for a, b in zip(path[:-1], path[1:]):
+        key = (a, b) if a < b else (b, a)
+        for start, end in down.get(key, ()):
+            if start <= at < end:
+                return True
+    return False
+
+
+class MockEmulationDriver:
+    """Deterministic in-process stand-in for a real testbed driver.
+
+    Computes each epoch's max-min fair rates
+    (:func:`repro.net.fluid.max_min_fair_bounded`) from the plan's own
+    topology and source-routed paths — no simulator, no wall clock, no
+    randomness — then renders the numbers in the iperf/ping text format
+    real drivers produce.  Flows crossing a failed link receive nothing
+    for the outage window; UDP reports the equivalent datagram loss.
+    """
+
+    def run(self, plan: CommandPlan) -> str:
+        capacities: Dict[Tuple[str, str], float] = {}
+        delays: Dict[Tuple[str, str], float] = {}
+        for a, b, rate_mbps, delay_ms in plan.links:
+            capacities[(a, b)] = rate_mbps
+            capacities[(b, a)] = rate_mbps
+            delays[(a, b)] = delay_ms
+            delays[(b, a)] = delay_ms
+        down = _down_intervals(plan)
+        horizon = plan.horizon
+
+        spans = {
+            f.flow_name: (
+                min(f.start_at, horizon),
+                min(f.start_at + f.duration, horizon),
+            )
+            for f in plan.flows
+        }
+        edges = {0.0, horizon}
+        edges.update(t for span in spans.values() for t in span)
+        edges.update(c.at for c in plan.failures if 0.0 < c.at < horizon)
+        grid = sorted(edges)
+
+        by_name = {f.flow_name: f for f in plan.flows}
+        delivered = {name: 0.0 for name in spans}
+        outage_s = {name: 0.0 for name in spans}
+        for t0, t1 in zip(grid[:-1], grid[1:]):
+            if t1 <= t0:
+                continue
+            active = [
+                name
+                for name, (s0, s1) in spans.items()
+                if s0 < t1 and s1 > t0
+            ]
+            live = {
+                name: by_name[name].path
+                for name in active
+                if not _is_down(by_name[name].path, t0, down)
+            }
+            for name in active:
+                if name not in live:
+                    outage_s[name] += t1 - t0
+            bounds = {
+                name: by_name[name].rate_mbps
+                for name in live
+                if by_name[name].protocol == "udp"
+                and by_name[name].rate_mbps
+            }
+            rates = max_min_fair_bounded(live, capacities, bounds)
+            for name, rate in rates.items():
+                delivered[name] += rate * (t1 - t0)
+
+        lines = [
+            f"=== emulation scenario={plan.scenario} seed={plan.seed} "
+            f"horizon={plan.horizon:g}s flows={len(plan.flows)} "
+            f"probes={len(plan.probes)} ==="
+        ]
+        for cue in plan.failures:
+            lines.append(f"EVENT {cue.command}")
+        for flow in plan.flows:
+            s0, s1 = spans[flow.flow_name]
+            span = s1 - s0
+            mbps = delivered[flow.flow_name] / span if span > 0 else 0.0
+            mbytes = mbps * span / 8.0
+            route = ">".join(flow.path)
+            lines.append(
+                f"--- flow {flow.flow_name} {flow.protocol} "
+                f"{flow.src} > {flow.dst} via {route} ---"
+            )
+            if flow.protocol == "udp" and flow.rate_mbps:
+                sent = max(
+                    1,
+                    int(
+                        flow.rate_mbps * 1e6 * span
+                        / (8 * _UDP_DATAGRAM_BYTES)
+                    ),
+                )
+                lost = int(round(
+                    sent * (outage_s[flow.flow_name] / span)
+                )) if span > 0 else sent
+                pct = 100.0 * lost / sent
+                jitter = sum(
+                    delays[(a, b)]
+                    for a, b in zip(flow.path[:-1], flow.path[1:])
+                ) * 0.01
+                lines.append(
+                    f"[  3]  0.0-{span:.1f} sec  {mbytes:.2f} MBytes  "
+                    f"{mbps:.3f} Mbits/sec   {jitter:.3f} ms  "
+                    f"{lost}/{sent} ({pct:.2f}%)"
+                )
+            else:
+                lines.append(
+                    f"[  3]  0.0-{span:.1f} sec  {mbytes:.2f} MBytes  "
+                    f"{mbps:.3f} Mbits/sec"
+                )
+        for probe in plan.probes:
+            s0 = min(probe.start_at, horizon)
+            s1 = min(probe.start_at + probe.duration, horizon)
+            span = s1 - s0
+            sent = max(1, int(span))
+            outage = 0.0
+            for t0, t1 in zip(grid[:-1], grid[1:]):
+                if t0 >= s1 or t1 <= s0:
+                    continue
+                if _is_down(probe.path, t0, down):
+                    outage += min(t1, s1) - max(t0, s0)
+            lost = int(round(sent * (outage / span))) if span > 0 else sent
+            received = sent - lost
+            loss_pct = int(round(100.0 * lost / sent))
+            rtt = 2.0 * sum(
+                delays[(a, b)]
+                for a, b in zip(probe.path[:-1], probe.path[1:])
+            )
+            lines.append(
+                f"--- probe {probe.flow_name} icmp "
+                f"{probe.src} > {probe.dst} ---"
+            )
+            lines.append(
+                f"{sent} packets transmitted, {received} received, "
+                f"{loss_pct}% packet loss, time {int(span * 1000)}ms"
+            )
+            lines.append(
+                f"rtt min/avg/max/mdev = "
+                f"{rtt:.3f}/{rtt:.3f}/{rtt:.3f}/0.000 ms"
+            )
+        return "\n".join(lines) + "\n"
+
+
+# ------------------------------------------------------------- the parser
+
+_FLOW_HEADER = re.compile(r"^--- (flow|probe) (\S+) (\S+) ")
+#: UDP server-side report: bw, jitter, lost/total (MININET-style iperf).
+_UDP_REPORT = re.compile(
+    r"([\d.]+)\s+Mbits/sec\s+([\d.]+)\s+ms\s+(\d+)/(\d+)"
+)
+_TCP_REPORT = re.compile(r"([\d.]+)\s+Mbits/sec")
+_PING_LOSS = re.compile(
+    r"(\d+) packets transmitted, (\d+) received, (\d+)% packet loss"
+)
+_PING_RTT = re.compile(
+    r"rtt min/avg/max/mdev = ([\d.]+)/([\d.]+)/([\d.]+)/([\d.]+)"
+)
+
+
+def parse_driver_output(
+    plan: CommandPlan, raw: str
+) -> Tuple[Dict[str, float], List[float], int]:
+    """Parse raw driver text into (per-flow Mbps, latency samples, drops).
+
+    Reconciliation is strict: every flow and probe in the plan must have
+    a report section in the output, otherwise the driver lost a flow and
+    the run cannot be trusted — ``ValueError``, not a silent 0.
+    """
+    sections: Dict[str, List[str]] = {}
+    current: Optional[str] = None
+    for line in raw.splitlines():
+        header = _FLOW_HEADER.match(line)
+        if header:
+            current = header.group(2)
+            sections[current] = []
+        elif current is not None:
+            sections[current].append(line)
+
+    per_flow: Dict[str, float] = {}
+    latencies: List[float] = []
+    drops = 0
+    for flow in plan.flows:
+        body = sections.get(flow.flow_name)
+        if body is None:
+            raise ValueError(
+                f"driver output is missing flow {flow.flow_name!r}; "
+                "the run cannot be reconciled"
+            )
+        text = "\n".join(body)
+        udp = _UDP_REPORT.search(text)
+        if udp:
+            per_flow[flow.flow_name] = float(udp.group(1))
+            drops += int(udp.group(3))
+            continue
+        tcp = _TCP_REPORT.search(text)
+        if tcp is None:
+            raise ValueError(
+                f"no iperf bandwidth report for flow {flow.flow_name!r}"
+            )
+        per_flow[flow.flow_name] = float(tcp.group(1))
+    for probe in plan.probes:
+        body = sections.get(probe.flow_name)
+        if body is None:
+            raise ValueError(
+                f"driver output is missing probe {probe.flow_name!r}; "
+                "the run cannot be reconciled"
+            )
+        text = "\n".join(body)
+        per_flow[probe.flow_name] = 0.0
+        loss = _PING_LOSS.search(text)
+        if loss:
+            drops += int(loss.group(1)) - int(loss.group(2))
+        rtt = _PING_RTT.search(text)
+        if rtt:
+            latencies.append(float(rtt.group(2)))
+    return per_flow, latencies, drops
+
+
+@register_backend
+class EmulationBackend(ExecutionBackend):
+    """Adapter from Scenario to an external emulation driver.
+
+    Registered as ``emulation-mock`` with the in-process deterministic
+    driver; a real testbed integration subclasses (or instantiates) this
+    with its own :class:`EmulationDriver` and registers under its own
+    name — compilation, parsing and reconciliation are shared.
+    """
+
+    name = "emulation-mock"
+
+    def __init__(self, driver: Optional[EmulationDriver] = None) -> None:
+        super().__init__()
+        self.driver: EmulationDriver = (
+            driver if driver is not None else MockEmulationDriver()
+        )
+        self.plan: Optional[CommandPlan] = None
+        self.raw_output: Optional[str] = None
+
+    @classmethod
+    def capabilities(cls) -> BackendCapabilities:
+        return BackendCapabilities(
+            name=cls.name,
+            description="external-driver emulation bridge with the "
+            "deterministic in-process mock driver",
+            external=True,
+        )
+
+    def execute(self) -> None:
+        context = self._bound_context()
+        self.plan = compile_plan(context)
+        self.raw_output = self.driver.run(self.plan)
+
+    def collect(self) -> ScenarioResult:
+        context = self._bound_context()
+        if self.plan is None or self.raw_output is None:
+            raise RuntimeError("emulation backend: call execute() first")
+        plan = self.plan
+        per_flow, latencies, drops = parse_driver_output(
+            plan, self.raw_output
+        )
+        placed = len(plan.flows) + len(plan.probes)
+        return ScenarioResult(
+            scenario=plan.scenario,
+            backend=self.name,
+            seed=plan.seed,
+            horizon_s=plan.horizon,
+            warmup_s=plan.warmup,
+            tunnels=len(context.tunnels),
+            offered=len(context.requests),
+            placed=placed,
+            rejected=plan.unplaced,
+            per_flow_mbps=per_flow,
+            total_throughput_mbps=float(sum(per_flow.values())),
+            min_flow_mbps=float(min(per_flow.values())) if per_flow else 0.0,
+            mean_latency_ms=float(np.mean(latencies)) if latencies else 0.0,
+            max_latency_ms=float(max(latencies)) if latencies else 0.0,
+            drops=drops,
+            migrations=0,
+            reconfigurations=0,
+            failure_events=plan.failure_events,
+        )

@@ -1,0 +1,250 @@
+"""``fluid`` backend: closed-form epoch-sliced max-min steady states.
+
+The horizon is sliced into capacity epochs at every flow start/stop and
+failure event, the joint flow->tunnel assignment is solved with the same
+candidate rule the packet-level Controller uses
+(:func:`repro.framework.controller.select_candidates` +
+:func:`repro.hecate.objectives.assign_flows`), and each epoch's max-min
+fair rates come from :func:`repro.net.fluid.max_min_fair` — the
+steady state the packet level should approximate.
+
+``solve_inputs`` and ``delivered_from`` are module functions because the
+hybrid backend shares them for its background class; they take the
+prepared :class:`~repro.backends.base.RunContext` so the numbers are
+byte-identical to the pre-extraction ``ScenarioRunner._run_fluid``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.framework.controller import select_candidates
+from repro.framework.scheduler import FlowRequest
+from repro.hecate.objectives import assign_flows
+from repro.net.fluid import link_capacities
+from repro.scenarios.hybrid import quantize_edges, solve_epochs
+from repro.scenarios.result import ScenarioResult
+
+from .base import (
+    BackendCapabilities,
+    ExecutionBackend,
+    RunContext,
+    register_backend,
+)
+
+__all__ = ["FluidBackend", "assign_fluid", "solve_inputs", "delivered_from"]
+
+
+def assign_fluid(
+    context: RunContext,
+    capacities: Dict[Tuple[str, str], float],
+) -> Tuple[Dict[str, Tuple[str, ...]], int, int]:
+    """Assign flows to tunnels per (ingress, egress) group, honouring
+    the scenario objective: ``min_latency`` puts every flow on its
+    group's lowest-delay tunnel (what Hecate recommends in DES when
+    latency forecasts dominate); the bandwidth-flavoured objectives
+    solve the joint throughput assignment.
+
+    Returns (flow -> router path, migrations off the default tunnel,
+    unplaceable-flow count)."""
+    assert context.network is not None
+    network = context.network
+    by_name = {name: path for name, _, path in context.tunnels}
+    objective = context.scenario.policy.objective
+    groups: Dict[Tuple[str, str], List[FlowRequest]] = {}
+    for request in context.requests:
+        pair = (
+            network.edge_router_of(request.src),
+            network.edge_router_of(request.dst),
+        )
+        groups.setdefault(pair, []).append(request)
+    paths: Dict[str, Tuple[str, ...]] = {}
+    migrations = 0
+    unplaced = 0
+    for (ingress, egress), members in groups.items():
+        # the Controller's own candidate rule, so fluid-vs-DES
+        # differences come from modelling, never placement policy
+        candidates = select_candidates(by_name, ingress, egress)
+        if not candidates:
+            unplaced += len(members)
+            continue
+        if objective == "min_latency":
+            best = min(
+                candidates,
+                key=lambda n: network.path_delay_ms(list(by_name[n])),
+            )
+            for request in members:
+                paths[request.flow_name] = by_name[best]
+            migrations += len(members) if best != candidates[0] else 0
+            continue
+        current = {r.flow_name: candidates[0] for r in members}
+        result = assign_flows(
+            current=current,
+            tunnel_paths={name: by_name[name] for name in candidates},
+            capacities=capacities,
+        )
+        migrations += result.migrations
+        for flow_name, tunnel_name in result.assignment.items():
+            paths[flow_name] = by_name[tunnel_name]
+    return paths, migrations, unplaced
+
+
+def solve_inputs(
+    context: RunContext,
+    paths: Dict[str, Tuple[str, ...]],
+    requests: Optional[Sequence[FlowRequest]] = None,
+) -> Tuple[
+    Dict[str, Tuple[float, float]],
+    Dict[str, float],
+    Set[str],
+    Tuple[float, ...],
+]:
+    """The epoch solver's workload view, shared by the fluid and
+    hybrid backends: per-flow horizon-clamped spans (placed flows
+    only), CBR rate caps, the ICMP probe set, and phase fractions.
+    ``requests`` restricts the view to a subset of the offered
+    flows (aggregate-mice mode passes the foreground only; the
+    background never exists per-flow there).
+
+    ICMP probes send a packet per second — inelastic, negligible
+    load; modelling them as elastic flows would credit them with
+    the whole path capacity (DES reports them at 0 Mbps too).
+    """
+    if requests is None:
+        requests = context.requests
+    horizon = context.scenario.horizon
+    spans = {
+        r.flow_name: (
+            min(r.start_at, horizon),
+            min(r.start_at + r.duration, horizon),
+        )
+        for r in requests
+        if r.flow_name in paths
+    }
+    rate_caps = {
+        r.flow_name: r.rate_mbps
+        for r in requests
+        if r.protocol == "udp" and r.rate_mbps
+    }
+    probes = {r.flow_name for r in requests if r.protocol == "icmp"}
+    phase_fracs = (
+        tuple(p.at_frac for p in context.scenario.phases)
+        if context.scenario.phases is not None
+        else ()
+    )
+    return spans, rate_caps, probes, phase_fracs
+
+
+def delivered_from(
+    solves: Sequence,
+    names: Set[str],
+) -> Tuple[Dict[str, float], int]:
+    """Mbps-seconds delivered per flow in ``names`` across all
+    solved epochs, plus that class's (flow, epoch) outage count.
+
+    ``names`` is a set, so the result dict is built in *sorted* order:
+    downstream ``sum()``s over it must not depend on str-hash ordering
+    (pre-extraction they did, which made ``total_throughput_mbps`` /
+    ``background_mbps`` wobble in the last ulp with PYTHONHASHSEED)."""
+    delivered: Dict[str, float] = {name: 0.0 for name in sorted(names)}
+    outages = 0
+    for solve in solves:
+        outages += sum(1 for n in solve.blacked if n in names)
+        for name, rate in solve.rates.items():
+            if name in names:
+                delivered[name] += rate * solve.overlaps[name]
+    return delivered, outages
+
+
+@register_backend
+class FluidBackend(ExecutionBackend):
+    """Closed-form evaluation: epoch-sliced max-min steady states."""
+
+    name = "fluid"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._result: Optional[ScenarioResult] = None
+
+    @classmethod
+    def capabilities(cls) -> BackendCapabilities:
+        return BackendCapabilities(
+            name=cls.name,
+            description="closed-form fluid model: epoch-sliced max-min "
+            "fair steady states, no packet events",
+            fluid_model=True,
+        )
+
+    def execute(self) -> None:
+        context = self._bound_context()
+        assert context.network is not None and self.scenario is not None
+        scenario = self.scenario
+        horizon = scenario.horizon
+        capacities = link_capacities(context.network)
+        paths, migrations, unplaced = assign_fluid(context, capacities)
+        spans, rate_caps, probes, phase_fracs = solve_inputs(context, paths)
+
+        boundaries = {0.0, horizon}
+        boundaries.update(t for span in spans.values() for t in span)
+        boundaries.update(
+            e.at for e in context.failure_plan if 0.0 < e.at < horizon
+        )
+        # phase transitions are epoch edges even when a phase offers no
+        # flows (the fluid model re-solves at every transition)
+        boundaries.update(f * horizon for f in phase_fracs if 0.0 < f < 1.0)
+        # exact flow edges while they fit the epoch budget; the coalesced
+        # grid beyond it (scale-tier flow counts)
+        edges = quantize_edges(
+            boundaries,
+            horizon,
+            context.failure_plan,
+            phase_fracs,
+            scenario.classes,
+        )
+        solves = solve_epochs(
+            spans,
+            paths,
+            capacities,
+            rate_caps,
+            probes,
+            context.failure_plan,
+            edges,
+        )
+        delivered, outages = delivered_from(solves, set(spans))
+
+        per_flow = {
+            name: delivered[name] / (span[1] - span[0])
+            if span[1] > span[0] else 0.0
+            for name, span in spans.items()
+        }
+        latencies = [
+            context.network.path_delay_ms(list(paths[name]))
+            for name in spans
+        ]
+        self._result = ScenarioResult(
+            scenario=scenario.name,
+            backend="fluid",
+            seed=context.seed,
+            horizon_s=horizon,
+            warmup_s=0.0,
+            tunnels=len(context.tunnels),
+            offered=len(context.requests),
+            placed=len(spans),
+            rejected=unplaced,
+            per_flow_mbps=per_flow,
+            total_throughput_mbps=float(sum(delivered.values()) / horizon),
+            min_flow_mbps=float(min(per_flow.values())) if per_flow else 0.0,
+            mean_latency_ms=float(np.mean(latencies)) if latencies else 0.0,
+            max_latency_ms=float(max(latencies)) if latencies else 0.0,
+            drops=outages,
+            migrations=migrations,
+            reconfigurations=0,
+            failure_events=len(context.failure_plan),
+        )
+
+    def collect(self) -> ScenarioResult:
+        if self._result is None:
+            raise RuntimeError("fluid backend: call execute() first")
+        return self._result

@@ -1,0 +1,340 @@
+"""``hybrid`` backend: packet-level foreground, fluid background.
+
+The workload is split by flow class
+(:func:`repro.scenarios.hybrid.split_requests`): foreground flows run
+packet-level through the full framework exactly as in ``des``, while
+background classes are solved as per-epoch fluid allocations and applied
+to the links as background-utilization terms
+(:mod:`repro.net.background`) that telemetry reports and packet
+serialization honours — orders of magnitude more flows for a fraction of
+the event count.
+
+Two implementations share the registry name ``hybrid``:
+:class:`HybridBackend` keeps every background flow individually in the
+fluid solve, while :class:`HybridAggregateBackend` collapses the
+background into :class:`~repro.scenarios.hybrid.BackgroundAggregate`
+flow classes (cost scales with tunnels x epochs instead of users x
+epochs — the scale tier's 100k–1M flows).  ``for_scenario`` picks the
+sibling from ``scenario.classes.aggregate_background``, so callers only
+ever name ``hybrid``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.net.background import install_background_schedule
+from repro.net.fluid import link_capacities
+from repro.scenarios.hybrid import (
+    aggregate_background,
+    aggregate_background_epochs,
+    assign_class_paths,
+    background_epochs,
+    epoch_edges,
+    solve_epochs,
+    solve_epochs_aggregate,
+)
+from repro.scenarios.result import ScenarioResult
+
+from .base import (
+    BackendCapabilities,
+    ExecutionBackend,
+    RunContext,
+    register_backend,
+)
+from .des import des_drop_count, des_flow_metrics
+from .fluid import delivered_from, solve_inputs
+
+__all__ = ["HybridBackend", "HybridAggregateBackend"]
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scenarios.spec import Scenario
+
+
+@register_backend
+class HybridBackend(ExecutionBackend):
+    """Foreground packet-level, background as per-epoch fluid load.
+
+    The background class is solved *before* the packet run (it is a
+    pure function of the workload and the failure plan), installed
+    on the simulator as one coalesced load-update event per epoch
+    edge, and the foreground then competes for what the mice left:
+    packet serialization slows on loaded links and telemetry reports
+    the aggregate, so Hecate's placement sees the background without
+    ever paying packet-level cost for it.
+    """
+
+    name = "hybrid"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._result: Optional[ScenarioResult] = None
+
+    @classmethod
+    def capabilities(cls) -> BackendCapabilities:
+        return BackendCapabilities(
+            name=cls.name,
+            description="flow-class hybrid: packet-level foreground over "
+            "per-epoch fluid background load",
+            packet_level=True,
+            fluid_model=True,
+            uses_flow_classes=True,
+            reports_sim_events=True,
+            reports_telemetry=True,
+        )
+
+    @classmethod
+    def for_scenario(cls, scenario: "Scenario") -> ExecutionBackend:
+        if scenario.classes.aggregate_background:
+            return HybridAggregateBackend()
+        return cls()
+
+    def execute(self) -> None:
+        context = self._bound_context()
+        assert context.network is not None and context.sdn is not None
+        assert self.scenario is not None
+        scenario = self.scenario
+        horizon = scenario.horizon
+        capacities = link_capacities(context.network)
+
+        bg_paths, bg_unplaced = assign_class_paths(
+            context.network, context.tunnels, context.background, spread=True
+        )
+        # foreground flows join the solve as claimants on their default
+        # tunnels (an estimate of initial placement) so background rates
+        # never hand the mice capacity the elephants are using; their
+        # real throughput comes from the packet domain below
+        fg_paths, _ = assign_class_paths(
+            context.network, context.tunnels, context.foreground, spread=False
+        )
+        paths = {**fg_paths, **bg_paths}
+        spans, rate_caps, probes, phase_fracs = solve_inputs(context, paths)
+        edges = epoch_edges(
+            horizon, context.failure_plan, phase_fracs, scenario.classes
+        )
+        solves = solve_epochs(
+            spans,
+            paths,
+            capacities,
+            rate_caps,
+            probes,
+            context.failure_plan,
+            edges,
+        )
+        bg_names = {r.flow_name for r in context.background}
+        epochs = background_epochs(solves, bg_names, paths)
+
+        # ----- packet domain: warmup, foreground, failures, background
+        context.sdn.run(until=scenario.warmup)
+        context.inject_traffic()
+        context.arm_failures()
+        install_background_schedule(
+            context.network, epochs, offset=context.network.sim.now
+        )
+        context.sdn.run(until=scenario.warmup + scenario.horizon)
+
+        # ----- merge the two domains into one result
+        per_flow, latencies = des_flow_metrics(context)
+        bg_delivered, bg_outages = delivered_from(
+            solves, {name for name in spans if name in bg_names}
+        )
+        for name, total in bg_delivered.items():
+            start, end = spans[name]
+            per_flow[name] = total / (end - start) if end > start else 0.0
+        latencies.extend(
+            context.network.path_delay_ms(list(paths[name]))
+            for name in bg_delivered
+        )
+        migrations = sum(
+            len(record.migrations)
+            for record in context.sdn.controller.flows.values()
+        )
+        reconfigurations = sum(
+            policy.reconfigurations
+            for policy in context.sdn.router_config.policies.values()
+        )
+        self._result = ScenarioResult(
+            scenario=scenario.name,
+            backend="hybrid",
+            seed=context.seed,
+            horizon_s=horizon,
+            warmup_s=scenario.warmup,
+            tunnels=len(context.tunnels),
+            offered=len(context.requests),
+            placed=context.placed + len(bg_delivered),
+            rejected=context.rejected + bg_unplaced,
+            per_flow_mbps=per_flow,
+            total_throughput_mbps=float(sum(per_flow.values())),
+            min_flow_mbps=float(min(per_flow.values())) if per_flow else 0.0,
+            mean_latency_ms=float(np.mean(latencies)) if latencies else 0.0,
+            max_latency_ms=float(max(latencies)) if latencies else 0.0,
+            drops=des_drop_count(context) + bg_outages,
+            migrations=migrations,
+            reconfigurations=reconfigurations,
+            failure_events=len(context.failure_plan),
+            sim_events=context.network.sim.events_processed,
+            telemetry_samples=context.sdn.telemetry.db.total_samples(),
+            background_flows=len(bg_delivered),
+            background_mbps=float(sum(bg_delivered.values()) / horizon),
+        )
+
+    def collect(self) -> ScenarioResult:
+        if self._result is None:
+            raise RuntimeError("hybrid backend: call execute() first")
+        return self._result
+
+
+class HybridAggregateBackend(HybridBackend):
+    """Hybrid run with the background collapsed into flow classes.
+
+    Same shape as :class:`HybridBackend`, but no background flow ever
+    exists individually: placement, the per-epoch fluid solve and
+    the delivered accounting all operate on
+    :class:`~repro.scenarios.hybrid.BackgroundAggregate` columns —
+    cost scales with (tunnels x epochs) instead of (users x
+    epochs), which is what lets the scale tier reach 100k–1M
+    offered flows.  ``per_flow_mbps`` covers the foreground only;
+    the background is reported as ``background_flows`` /
+    ``background_classes`` / ``background_mbps``, and latency means
+    weight each class by its member count so the distribution
+    matches what per-flow mode would report.
+
+    Not separately registered: ``get_backend("hybrid").for_scenario``
+    returns it when ``scenario.classes.aggregate_background`` is set.
+    """
+
+    def execute(self) -> None:
+        context = self._bound_context()
+        assert context.network is not None and context.sdn is not None
+        assert self.scenario is not None
+        scenario = self.scenario
+        horizon = scenario.horizon
+        capacities = link_capacities(context.network)
+
+        aggregate = aggregate_background(
+            context.network, context.tunnels, context.background, horizon
+        )
+        fg_paths, _ = assign_class_paths(
+            context.network, context.tunnels, context.foreground, spread=False
+        )
+        spans, rate_caps, probes, phase_fracs = solve_inputs(
+            context, fg_paths, requests=context.foreground
+        )
+        edges = epoch_edges(
+            horizon, context.failure_plan, phase_fracs, scenario.classes
+        )
+        solves = solve_epochs_aggregate(
+            spans,
+            fg_paths,
+            capacities,
+            rate_caps,
+            probes,
+            context.failure_plan,
+            edges,
+            aggregate,
+        )
+        epochs = aggregate_background_epochs(solves, aggregate)
+
+        # ----- packet domain: warmup, foreground, failures, background
+        context.sdn.run(until=scenario.warmup)
+        context.inject_traffic()
+        context.arm_failures()
+        install_background_schedule(
+            context.network, epochs, offset=context.network.sim.now
+        )
+        context.sdn.run(until=scenario.warmup + scenario.horizon)
+
+        # ----- merge: foreground per-flow, background per-class
+        per_flow, latencies = des_flow_metrics(context)
+        n_classes = len(aggregate.class_paths)
+        delivered_c = np.zeros(n_classes)
+        bg_outages = 0
+        for solve in solves:
+            delivered_c += solve.class_rates * (solve.t1 - solve.t0)
+            bg_outages += solve.blacked_members
+        member_seconds = aggregate.member_seconds()
+        # a class's average per-mouse rate: delivered Mbps-seconds over
+        # summed member-active seconds — enters min_flow_mbps so a
+        # starved class is as visible as a starved flow
+        class_avg_mbps = [
+            float(delivered_c[k] / member_seconds[k])
+            for k in range(n_classes)
+            if member_seconds[k] > 0.0
+        ]
+        background_mbps = float(delivered_c.sum() / horizon)
+        flow_rates = list(per_flow.values()) + class_avg_mbps
+        members_per_class = np.bincount(
+            aggregate.class_of, minlength=n_classes
+        )
+        # total_throughput keeps the per-flow hybrid semantic (sum of
+        # span-averaged per-flow rates): each class contributes its
+        # average member rate times its positive-span member count, so
+        # the two hybrid modes report comparable totals.  The horizon-
+        # averaged background total is background_mbps above.
+        spanned_members = np.bincount(
+            aggregate.class_of,
+            weights=(aggregate.ends > aggregate.starts),
+            minlength=n_classes,
+        )
+        bg_span_avg_total = float(
+            sum(
+                spanned_members[k] * delivered_c[k] / member_seconds[k]
+                for k in range(n_classes)
+                if member_seconds[k] > 0.0
+            )
+        )
+        class_delays = [
+            context.network.path_delay_ms(list(path))
+            for path in aggregate.class_paths
+        ]
+        latency_sum = float(sum(latencies)) + float(
+            sum(
+                delay * int(count)
+                for delay, count in zip(class_delays, members_per_class)
+            )
+        )
+        latency_n = len(latencies) + int(members_per_class.sum())
+        max_latency = max(latencies) if latencies else 0.0
+        populated_delays = [
+            delay
+            for delay, count in zip(class_delays, members_per_class)
+            if count
+        ]
+        if populated_delays:
+            max_latency = max(max_latency, max(populated_delays))
+        migrations = sum(
+            len(record.migrations)
+            for record in context.sdn.controller.flows.values()
+        )
+        reconfigurations = sum(
+            policy.reconfigurations
+            for policy in context.sdn.router_config.policies.values()
+        )
+        self._result = ScenarioResult(
+            scenario=scenario.name,
+            backend="hybrid",
+            seed=context.seed,
+            horizon_s=horizon,
+            warmup_s=scenario.warmup,
+            tunnels=len(context.tunnels),
+            offered=len(context.requests),
+            placed=context.placed + aggregate.members,
+            rejected=context.rejected + aggregate.unplaced,
+            per_flow_mbps=per_flow,
+            total_throughput_mbps=float(sum(per_flow.values()))
+            + bg_span_avg_total,
+            min_flow_mbps=float(min(flow_rates)) if flow_rates else 0.0,
+            mean_latency_ms=(latency_sum / latency_n if latency_n else 0.0),
+            max_latency_ms=float(max_latency),
+            drops=des_drop_count(context) + bg_outages,
+            migrations=migrations,
+            reconfigurations=reconfigurations,
+            failure_events=len(context.failure_plan),
+            sim_events=context.network.sim.events_processed,
+            telemetry_samples=context.sdn.telemetry.db.total_samples(),
+            background_flows=aggregate.members,
+            background_classes=n_classes,
+            background_mbps=background_mbps,
+        )

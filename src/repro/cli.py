@@ -21,6 +21,11 @@ fanned out over worker processes and served from an on-disk cache::
         --seeds 0-4 --backend fluid --jobs 4 --stats --json sweep.json
     repro scenarios compare --all --from-cache
 
+Execution backends (see :mod:`repro.backends`) — the registry behind
+every ``--backend`` axis::
+
+    repro backends list
+
 Service mode (see :mod:`repro.framework.service_mode`) — open-loop
 churn against the framework with steady-state SLO metrics::
 
@@ -161,6 +166,18 @@ class _UserError(Exception):
     """A bad name or override from the command line (not an internal bug)."""
 
 
+def _backend_choices() -> Tuple[str, ...]:
+    """Registered execution-backend names, for ``--backend`` choices.
+
+    Sourced from the registry (not a hard-coded tuple) so plugin
+    backends registered before parser construction show up in
+    ``--help`` and pass argparse validation automatically.
+    """
+    from repro.backends import backend_names
+
+    return backend_names()
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -282,7 +299,9 @@ def _scenarios_sweep(args: argparse.Namespace) -> int:
         ResultCache,
         SweepEngine,
         SweepSpec,
+        SweepStore,
         aggregate,
+        make_executor,
         pairwise_table,
         parse_seeds,
         render_csv,
@@ -301,13 +320,27 @@ def _scenarios_sweep(args: argparse.Namespace) -> int:
         )
         spec.expand()  # surface bad overrides (e.g. --horizon -5) now,
         # as a clean user error rather than a traceback mid-sweep
-    except (ValueError, TypeError) as exc:
+        executor = (
+            make_executor(
+                args.executor, jobs=args.jobs, queue_dir=args.queue_dir
+            )
+            if args.executor is not None
+            else None
+        )
+        store = SweepStore(args.store) if args.store else None
+    except (ValueError, TypeError, RuntimeError) as exc:
         raise _UserError(exc.args[0]) from exc
     cache = None if args.no_cache else _result_cache(args)
     engine = SweepEngine(
-        spec, jobs=args.jobs, cache=cache, refresh=args.refresh
+        spec,
+        jobs=args.jobs,
+        cache=cache,
+        refresh=args.refresh,
+        executor=executor,
     )
     outcome = engine.run()
+    if store is not None:
+        print(f"columnar store written to {store.write(outcome)}")
     aggregates = aggregate(outcome.runs, outcome.results)
     print(render_table(aggregates))
     variants = {(a.backend, a.variant) for a in aggregates}
@@ -449,10 +482,11 @@ def build_scenarios_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one scenario")
     run.add_argument("name", help="scenario name (see 'list')")
-    run.add_argument("--backend", choices=("des", "fluid", "hybrid"),
+    run.add_argument("--backend", choices=_backend_choices(),
                      default=None,
                      help="override the scenario's backend "
-                     "(default: the scenario's registered backend)")
+                     "(default: the scenario's registered backend; "
+                     "see 'repro backends list')")
     run.add_argument("--profile", nargs="?", const="-", default=None,
                      metavar="PATH",
                      help="profile the run under cProfile and print the "
@@ -497,9 +531,10 @@ def build_scenarios_parser() -> argparse.ArgumentParser:
                        help="seed axis: a list like '0,1,2' or an "
                        "inclusive range like '0-4' (default '0')")
     sweep.add_argument("--backend", action="append",
-                       choices=("des", "fluid", "hybrid"),
+                       choices=_backend_choices(),
                        help="backend axis (repeatable; default: each "
-                       "scenario's own registered backend)")
+                       "scenario's own registered backend; "
+                       "see 'repro backends list')")
     sweep.add_argument("--policy", action="append", metavar="K=V[,K=V]",
                        help="policy-override variant, e.g. "
                        "'reoptimize_every=5.0' (units follow the "
@@ -510,6 +545,27 @@ def build_scenarios_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--jobs", type=_positive_int, default=1,
                        help="worker processes (default 1: in-process; "
                        "results are byte-identical at any --jobs)")
+    sweep.add_argument("--executor", choices=("serial", "process",
+                                              "work-queue"),
+                       default=None,
+                       help="how pending cells execute: 'serial' "
+                       "in-process, 'process' via a local pool of "
+                       "--jobs workers, 'work-queue' by draining a "
+                       "shared --queue-dir alongside other "
+                       "invocations (default: serial for --jobs 1, "
+                       "process otherwise; results are byte-identical "
+                       "across executors)")
+    sweep.add_argument("--queue-dir", metavar="DIR", default=None,
+                       help="shared work-queue directory for "
+                       "--executor work-queue; start the same sweep "
+                       "with the same DIR from N shells and they "
+                       "divide the cells (default: none)")
+    sweep.add_argument("--store", metavar="PATH", default=None,
+                       help="also write every (run, result) row to one "
+                       "columnar file: parquet when PATH ends in "
+                       ".parquet and pyarrow is installed, columnar "
+                       "JSON when it ends in .json (default: no "
+                       "store; the per-cell cache is unaffected)")
     sweep.add_argument("--cache-dir", default=None,
                        help="result cache directory "
                        "(default .sweep-cache)")
@@ -547,6 +603,59 @@ def _scenarios_main(argv) -> int:
         # negative --horizon); internal errors still traceback
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+
+
+def _backends_list() -> int:
+    from repro.backends import list_backends
+
+    capabilities = list_backends()
+    width = max(len(c.name) for c in capabilities)
+    flags = (
+        ("packet", "packet_level"),
+        ("fluid", "fluid_model"),
+        ("classes", "uses_flow_classes"),
+        ("external", "external"),
+        ("events", "reports_sim_events"),
+        ("telem", "reports_telemetry"),
+    )
+    header = f"{'name':<{width}}  " + "".join(
+        f"{label:>9}" for label, _ in flags
+    )
+    print(header)
+    print("-" * len(header))
+    for caps in capabilities:
+        cells = "".join(
+            f"{'yes' if getattr(caps, attr) else '-':>9}"
+            for _, attr in flags
+        )
+        print(f"{caps.name:<{width}}  {cells}")
+        print(f"{'':<{width}}    {caps.description}")
+    return 0
+
+
+def build_backends_parser() -> argparse.ArgumentParser:
+    """The ``repro backends`` argument parser, construction only.
+
+    Separate from execution for the same reason as
+    :func:`build_scenarios_parser`: the doc-snippet tests validate
+    documented command lines against the real parser.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro backends",
+        description="Inspect the execution-backend registry behind "
+        "every --backend axis (see repro.backends and "
+        "docs/BACKENDS.md).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser(
+        "list", help="show the registered backends and their capabilities"
+    )
+    return parser
+
+
+def _backends_main(argv) -> int:
+    build_backends_parser().parse_args(argv)
+    return _backends_list()
 
 
 def _service_list() -> int:
@@ -784,6 +893,8 @@ def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "scenarios":
         return _scenarios_main(argv[1:])
+    if argv and argv[0] == "backends":
+        return _backends_main(argv[1:])
     if argv and argv[0] == "service":
         return _service_main(argv[1:])
     if argv and argv[0] == "lint":
@@ -793,13 +904,14 @@ def main(argv=None) -> int:
         description="Reproduce figures from 'Framework for Integrating ML "
         "Methods for Path-Aware Source Routing'.",
         epilog="'repro scenarios --help' documents the scenario suite; "
+        "'repro backends --help' the execution-backend registry; "
         "'repro service --help' the open-loop service mode; "
         "'repro lint --help' the determinism invariant checker.",
     )
     parser.add_argument(
         "experiment",
         help="experiment id (see 'list'), 'list'/'all', 'scenarios', "
-        "'service', or 'lint'",
+        "'backends', 'service', or 'lint'",
     )
     args = parser.parse_args(argv)
 

@@ -5,11 +5,12 @@ package turns that into an *evaluation engine*.  A
 :class:`~repro.scenarios.spec.Scenario` declares topology, traffic,
 failures, policy and flow classes;
 :class:`~repro.scenarios.runner.ScenarioRunner` executes it through the
-packet-level emulator (``des``), the closed-form max-min model
-(``fluid``), or the flow-class ``hybrid`` backend (foreground flows
-packet-level, background classes as per-epoch fluid load — the scale
-tier's engine) and returns a uniform
-:class:`~repro.scenarios.runner.ScenarioResult`:
+registered execution backend (:mod:`repro.backends`): the packet-level
+emulator (``des``), the closed-form max-min model (``fluid``), the
+flow-class ``hybrid`` backend (foreground flows packet-level,
+background classes as per-epoch fluid load — the scale tier's engine)
+or the external-driver emulation bridge (``emulation-mock``) — and
+returns a uniform :class:`~repro.scenarios.result.ScenarioResult`:
 
 >>> from repro.scenarios import get_scenario, ScenarioRunner
 >>> result = ScenarioRunner(get_scenario("ring-uniform").quick()).run()

@@ -1,101 +1,88 @@
-"""ScenarioRunner: execute any Scenario, on either backend, uniformly.
+"""ScenarioRunner: execute any Scenario, on any registered backend.
 
 The runner turns a declarative :class:`~repro.scenarios.spec.Scenario`
-into a :class:`ScenarioResult` through five deterministic stages:
+into a :class:`ScenarioResult` through three phases:
 
-1. **build** the topology (:class:`~repro.scenarios.spec.TopologySpec`);
-2. **derive tunnels** — explicit triples when the scenario pins them,
-   otherwise the ``k_paths`` shortest router paths for every
-   (ingress, egress) pair the traffic will use;
-3. **generate traffic** (:mod:`repro.scenarios.traffic`) and **plan
-   failures** (:mod:`repro.scenarios.failures`) from one seeded rng, in
-   that fixed order, so both backends see the identical workload;
-4. **execute**:
+1. **setup** — build the topology
+   (:class:`~repro.scenarios.spec.TopologySpec`), derive tunnels
+   (explicit triples when the scenario pins them, otherwise the
+   ``k_paths`` shortest router paths for every (ingress, egress) pair
+   the traffic uses), generate traffic
+   (:mod:`repro.scenarios.traffic`) and plan failures
+   (:mod:`repro.scenarios.failures`) from one seeded rng in that fixed
+   order, so every backend sees the identical workload.  What else is
+   assembled is keyed off the backend's declared
+   :class:`~repro.backends.base.BackendCapabilities`: packet-level
+   backends get the full :class:`~repro.framework.SelfDrivingNetwork`
+   stack, flow-class backends get the foreground/background split;
 
-   - ``des`` — assemble a :class:`~repro.framework.SelfDrivingNetwork`
-     (message bus, freeRtr config service, telemetry, Hecate, scheduler,
-     controller, dashboard), warm telemetry, offer every flow through the
-     Dashboard exactly like a user would, schedule the failure plan on
-     the simulator and run the horizon;
-   - ``fluid`` — slice the horizon into capacity epochs at every flow
-     start/stop and failure event, solve the joint flow->tunnel
-     assignment (:func:`repro.hecate.objectives.assign_flows`) and the
-     max-min fair rates per epoch (:func:`repro.net.fluid.max_min_fair`)
-     — the closed-form steady state the packet level should approximate
-     (beyond :attr:`~repro.scenarios.spec.FlowClassSpec.max_epochs`
-     boundaries the flow edges coalesce onto a uniform grid, so
-     scale-tier flow counts stay affordable);
+2. **backend dispatch** — resolve the configured backend in the
+   execution-backend registry (:func:`repro.backends.base.get_backend`),
+   instantiate it for this scenario, and drive the three-stage protocol:
+   ``prepare(scenario, network, tunnels, context)`` → ``execute()`` →
+   ``collect()``.  The backend implementations (DES, fluid, hybrid,
+   hybrid-aggregate, the emulation bridge) live in
+   :mod:`repro.backends`; see docs/BACKENDS.md for each one's model and
+   metric semantics;
 
-   - ``hybrid`` — split the workload by flow class
-     (:func:`repro.scenarios.hybrid.split_requests`): foreground flows
-     run packet-level through the full framework exactly as in ``des``,
-     while background classes are solved as per-epoch fluid allocations
-     and applied to the links as background-utilization terms
-     (:mod:`repro.net.background`) that telemetry reports and packet
-     serialization honours — orders of magnitude more flows for a
-     fraction of the event count;
-
-5. **collect** a uniform :class:`ScenarioResult` (throughput, latency,
-   drops, migrations, reconfigurations) so scenarios and backends are
-   directly comparable.
+3. **uniform result validation** — every backend's
+   :class:`ScenarioResult` is checked against the prepared workload
+   (right scenario/seed/horizon, ``offered`` equals the generated flow
+   count, ``placed + rejected`` accounts for every offered flow) before
+   it is returned, so a buggy backend fails loudly instead of flowing
+   bad rows into sweeps.
 
 Staged use (for experiments that need mid-run control, e.g. the Fig. 11
 and Fig. 12 replays): call :meth:`ScenarioRunner.setup`, drive
 ``runner.sdn`` yourself, then :meth:`ScenarioRunner.inject_traffic` and
-your own phase logic.
+your own phase logic, then :meth:`ScenarioRunner.collect`.
 
 Dynamic scenarios (``Scenario.phases`` set) compile their phase timeline
 into the same flat ``FlowRequest`` list via
-:func:`repro.scenarios.dynamic.compile_phases`, so both backends apply
-phase transitions mid-run through their existing machinery: DES
-schedules each flow at its absolute start offset, and the fluid backend
-re-solves per capacity epoch (phase boundaries are epoch edges) and
-time-weights the epochs into one result.
+:func:`repro.scenarios.dynamic.compile_phases`, so every backend applies
+phase transitions mid-run through its existing machinery: DES schedules
+each flow at its absolute start offset, and the fluid model re-solves
+per capacity epoch (phase boundaries are epoch edges).
 
 Metric semantics differ slightly by backend and are recorded as-is:
 ``drops`` counts tail-dropped packets in DES but (flow, epoch) outages in
 fluid; ``migrations`` counts PBR re-binds in DES but assignment moves off
-the default tunnel in fluid.  ICMP probe flows report 0 Mbps on both
-backends (they are latency instruments, not load).  Link capacities are
+the default tunnel in fluid.  ICMP probe flows report 0 Mbps on every
+backend (they are latency instruments, not load).  Link capacities are
 **directed**: each direction of a full-duplex link has its own budget
 (:func:`repro.net.fluid.link_capacities` emits both directions), so
-bidirectional workloads no longer wrongly compete for one shared entry.
+bidirectional workloads never wrongly compete for one shared entry.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+import warnings
+from dataclasses import asdict
 from itertools import islice
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Type, Union
 
 import networkx as nx
 import numpy as np
 
+from repro.backends.base import ExecutionBackend, get_backend
 from repro.framework import SelfDrivingNetwork
-from repro.framework.controller import select_candidates
 from repro.framework.scheduler import FlowRequest
-from repro.hecate.objectives import assign_flows
 from repro.hecate.service import default_model_factory
 from repro.ml import LinearRegression
-from repro.net.apps import PingApp, TcpFlow, UdpFlow
-from repro.net.background import install_background_schedule
-from repro.net.fluid import link_capacities, max_min_fair_bounded
+
+# Back-compat re-exports: these helpers were importable from this module
+# before the backend extraction (PR 9) and public code may still do so.
+from repro.net.fluid import (  # noqa: F401
+    link_capacities,
+    max_min_fair_bounded,
+)
 from repro.net.topology import Network
 
 from .dynamic import compile_phases
 from .failures import FailureEvent, plan_failures
-from .hybrid import (
-    aggregate_background,
-    aggregate_background_epochs,
-    assign_class_paths,
-    background_epochs,
-    epoch_edges,
-    quantize_edges,
-    solve_epochs,
-    solve_epochs_aggregate,
-    split_requests,
-)
-from .spec import BACKENDS, Scenario
+from .hybrid import split_requests
+from .result import ScenarioResult  # noqa: F401  (historical import path)
+from .spec import Scenario
 from .traffic import generate_traffic
 
 __all__ = [
@@ -112,150 +99,6 @@ MODEL_FACTORIES = {
     "rfr": default_model_factory,
 }
 
-
-@dataclass(frozen=True)
-class ScenarioResult:
-    """Uniform cross-scenario, cross-backend metrics of one run."""
-
-    scenario: str
-    backend: str
-    seed: int
-    horizon_s: float
-    warmup_s: float
-    tunnels: int
-    offered: int
-    placed: int
-    rejected: int
-    per_flow_mbps: Dict[str, float]
-    total_throughput_mbps: float
-    min_flow_mbps: float
-    mean_latency_ms: float
-    max_latency_ms: float
-    drops: int
-    migrations: int
-    reconfigurations: int
-    failure_events: int
-    #: discrete events the simulator processed (0 on the fluid backend);
-    #: wall-clock divided by this is the events/s figure the scale-smoke
-    #: CI gate floors.  Deterministic, unlike wall-clock itself.
-    sim_events: int = 0
-    #: samples the telemetry store recorded across all metrics (0 on the
-    #: fluid backend, which has no telemetry agents).  Deterministic, so
-    #: sweeps can assert the monitoring volume did not silently change.
-    telemetry_samples: int = 0
-    #: hybrid backend: flows carried in the fluid background domain (0
-    #: elsewhere).  In aggregate-mice mode these flows have no per-flow
-    #: entry in ``per_flow_mbps`` — this count plus ``background_mbps``
-    #: is their footprint in the result.
-    background_flows: int = 0
-    #: flow classes the aggregate-mice solver used (0 in per-flow mode).
-    background_classes: int = 0
-    #: total background throughput, Mbps averaged over the horizon.
-    background_mbps: float = 0.0
-
-    #: numeric field -> coercion applied on both to_dict and from_dict, so
-    #: results survive a JSON round-trip (and numpy scalars never leak
-    #: into artifacts or across process boundaries).
-    _FIELD_TYPES = {
-        "scenario": str,
-        "backend": str,
-        "seed": int,
-        "horizon_s": float,
-        "warmup_s": float,
-        "tunnels": int,
-        "offered": int,
-        "placed": int,
-        "rejected": int,
-        "total_throughput_mbps": float,
-        "min_flow_mbps": float,
-        "mean_latency_ms": float,
-        "max_latency_ms": float,
-        "drops": int,
-        "migrations": int,
-        "reconfigurations": int,
-        "failure_events": int,
-        "sim_events": int,
-        "telemetry_samples": int,
-        "background_flows": int,
-        "background_classes": int,
-        "background_mbps": float,
-    }
-
-    def to_dict(self) -> Dict[str, Any]:
-        """JSON-safe dict of plain builtins (inverse of :meth:`from_dict`).
-
-        Workers use this to ship results across process boundaries and
-        the sweep cache stores it verbatim, so every value is coerced to
-        a builtin ``str``/``int``/``float`` here rather than trusting
-        whatever numpy scalar a backend produced."""
-        payload: Dict[str, Any] = {
-            name: coerce(getattr(self, name))
-            for name, coerce in self._FIELD_TYPES.items()
-        }
-        payload["per_flow_mbps"] = {
-            str(name): float(rate) for name, rate in self.per_flow_mbps.items()
-        }
-        return payload
-
-    @classmethod
-    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioResult":
-        """Rebuild a result from :meth:`to_dict` output (or its JSON
-        round-trip); raises ``KeyError`` on missing fields and ignores
-        unknown ones, so cache artifacts from newer minor versions load.
-        ``sim_events`` and ``telemetry_samples`` (added after the first
-        release) default to 0 so older payloads still deserialize."""
-        source = dict(payload)
-        source.setdefault("sim_events", 0)
-        source.setdefault("telemetry_samples", 0)
-        source.setdefault("background_flows", 0)
-        source.setdefault("background_classes", 0)
-        source.setdefault("background_mbps", 0.0)
-        kwargs: Dict[str, Any] = {
-            name: coerce(source[name])
-            for name, coerce in cls._FIELD_TYPES.items()
-        }
-        kwargs["per_flow_mbps"] = {
-            str(name): float(rate)
-            for name, rate in payload["per_flow_mbps"].items()
-        }
-        return cls(**kwargs)
-
-    def summary(self) -> str:
-        lines = [
-            f"scenario {self.scenario} [{self.backend}] "
-            f"seed={self.seed} horizon={self.horizon_s:g}s "
-            f"warmup={self.warmup_s:g}s",
-            f"  flows     : {self.placed}/{self.offered} placed"
-            + (f" ({self.rejected} rejected)" if self.rejected else "")
-            + f", {self.tunnels} candidate tunnels",
-            f"  throughput: {self.total_throughput_mbps:8.2f} Mbps total, "
-            f"{self.min_flow_mbps:.2f} Mbps worst flow",
-            f"  latency   : {self.mean_latency_ms:8.2f} ms mean, "
-            f"{self.max_latency_ms:.2f} ms worst",
-            f"  drops={self.drops}  migrations={self.migrations}  "
-            f"reconfigurations={self.reconfigurations}  "
-            f"failure_events={self.failure_events}  "
-            f"sim_events={self.sim_events}  "
-            f"telemetry_samples={self.telemetry_samples}",
-        ]
-        if self.background_flows:
-            mode = (
-                f"{self.background_classes} classes"
-                if self.background_classes
-                else "per-flow fluid"
-            )
-            lines.append(
-                f"  background: {self.background_flows} flows ({mode}), "
-                f"{self.background_mbps:.2f} Mbps"
-            )
-        if self.per_flow_mbps:
-            worst = sorted(self.per_flow_mbps.items(), key=lambda kv: kv[1])
-            shown = ", ".join(f"{k}:{v:.2f}" for k, v in worst[:8])
-            suffix = " ..." if len(worst) > 8 else ""
-            lines.append(f"  per flow  : {shown}{suffix} (Mbps)")
-        return "\n".join(lines)
-
-
 #: Backwards-compat alias: the bounded water-filling solver grew into a
 #: public fluid-model API (the hybrid epoch solver shares it).
 _max_min_with_bounds = max_min_fair_bounded
@@ -268,7 +111,6 @@ def derive_tunnels(
 ) -> Tuple[Tuple[str, int, Tuple[str, ...]], ...]:
     """Candidate tunnels: ``k_paths`` shortest router paths per
     (ingress, egress) pair used by the traffic, in traffic order."""
-    router_graph = network.graph.subgraph(network.routers)
     pairs: List[Tuple[str, str]] = []
     seen: set = set()  # membership test; scale-tier request lists are long
     for request in requests:
@@ -304,24 +146,52 @@ def derive_tunnels_for_pairs(
 
 
 class ScenarioRunner:
-    """Executes one :class:`Scenario`; see the module docstring."""
+    """Executes one :class:`Scenario`; see the module docstring.
+
+    ``backend`` accepts a registered name (``"des"``, ``"fluid"``, ...,
+    resolved through :func:`repro.backends.base.get_backend`), an
+    :class:`~repro.backends.base.ExecutionBackend` subclass, or a
+    prepared-for-reuse backend *instance* (single-use: one instance, one
+    run).  Defaults to the scenario's own ``backend`` field.
+    """
 
     def __init__(
         self,
         scenario: Scenario,
-        backend: Optional[str] = None,
+        backend: Union[
+            str, Type[ExecutionBackend], ExecutionBackend, None
+        ] = None,
         seed: Optional[int] = None,
     ):
         self.scenario = scenario
-        self.backend = backend or scenario.backend
-        if self.backend not in BACKENDS:
-            raise ValueError(f"unknown backend {self.backend!r}")
+        self._backend_instance: Optional[ExecutionBackend] = None
+        if backend is None:
+            backend = scenario.backend
+        if isinstance(backend, str):
+            try:
+                self._backend_cls: Type[ExecutionBackend] = get_backend(
+                    backend
+                )
+            except KeyError:
+                raise ValueError(f"unknown backend {backend!r}") from None
+        elif isinstance(backend, type) and issubclass(
+            backend, ExecutionBackend
+        ):
+            self._backend_cls = backend
+        elif isinstance(backend, ExecutionBackend):
+            self._backend_instance = backend
+            self._backend_cls = type(backend)
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
+        #: registry name of the configured backend (string API).
+        self.backend: str = self._backend_cls.name
+        self._caps = self._backend_cls.capabilities()
         self.seed = scenario.seed if seed is None else int(seed)
         self.network: Optional[Network] = None
         self.sdn: Optional[SelfDrivingNetwork] = None
         self.tunnels: Tuple[Tuple[str, int, Tuple[str, ...]], ...] = ()
         self.requests: List[FlowRequest] = []
-        #: hybrid backend only: the flow-class partition of ``requests``
+        #: flow-class backends only: the class partition of ``requests``
         self.foreground: List[FlowRequest] = []
         self.background: List[FlowRequest] = []
         self.failure_plan: Tuple[FailureEvent, ...] = ()
@@ -333,8 +203,9 @@ class ScenarioRunner:
     # ----------------------------------------------------------- assembly
 
     def setup(self) -> "ScenarioRunner":
-        """Build network + tunnels + workload (and, for DES, the framework
-        stack).  Idempotent; returns self for chaining."""
+        """Build network + tunnels + workload (and, for packet-level
+        backends, the framework stack).  Idempotent; returns self for
+        chaining."""
         if self.network is not None:
             return self
         scenario = self.scenario
@@ -367,11 +238,11 @@ class ScenarioRunner:
                 f"scenario {scenario.name!r} derives no tunnels; "
                 "check its topology and traffic"
             )
-        if self.backend == "hybrid":
+        if self._caps.uses_flow_classes:
             self.foreground, self.background = split_requests(
                 self.requests, scenario.classes
             )
-        if self.backend in ("des", "hybrid"):
+        if self._caps.packet_level:
             try:
                 model_factory = MODEL_FACTORIES[scenario.policy.model]
             except KeyError:
@@ -391,22 +262,25 @@ class ScenarioRunner:
         return self
 
     def inject_traffic(self) -> Tuple[int, int]:
-        """Offer every packet-level flow through the Dashboard (DES and
-        hybrid backends).
+        """Offer every packet-level flow through the Dashboard
+        (packet-level backends).
 
-        Returns ``(placed, rejected)``.  On the hybrid backend only the
+        Returns ``(placed, rejected)``.  On flow-class backends only the
         foreground class is offered — background flows never reach the
         framework; they are fluid load.  Flow ``start_at`` offsets are
         relative to this call (normally the end of warmup).  The
         scenario-wide policy objective applies to every flow that did
         not set its own; an explicit per-flow objective wins."""
         if self.sdn is None:
-            raise RuntimeError("call setup() first (DES/hybrid backends only)")
+            raise RuntimeError(
+                "call setup() first (packet-level backends only)"
+            )
         if self._injected:
             return self.placed, self.rejected
         self._injected = True
         offered = (
-            self.foreground if self.backend == "hybrid" else self.requests
+            self.foreground if self._caps.uses_flow_classes
+            else self.requests
         )
         default_objective = FlowRequest.__dataclass_fields__[
             "objective"
@@ -427,16 +301,21 @@ class ScenarioRunner:
 
     def arm_failures(self) -> None:
         """Schedule the failure plan on the simulator, offset so event
-        times are relative to the start of traffic (DES/hybrid)."""
+        times are relative to the start of traffic (packet-level
+        backends)."""
         if self.sdn is None:
-            raise RuntimeError("call setup() first (DES/hybrid backends only)")
+            raise RuntimeError(
+                "call setup() first (packet-level backends only)"
+            )
         if self._armed:
             return
         self._armed = True
+        assert self.network is not None
         sim = self.network.sim
         base = sim.now
 
         def apply(event: FailureEvent) -> None:
+            assert self.network is not None
             if event.action == "fail":
                 self.network.fail_link(event.a, event.b)
             else:
@@ -448,506 +327,91 @@ class ScenarioRunner:
     # ---------------------------------------------------------- execution
 
     def run(self) -> ScenarioResult:
-        """Execute the scenario end-to-end on the configured backend."""
+        """Execute the scenario end-to-end on the configured backend:
+        setup → backend dispatch → uniform result validation."""
         self.setup()
-        if self.backend == "fluid":
-            return self._run_fluid()
-        if self.backend == "hybrid":
-            return self._run_hybrid()
+        backend = self._backend_instance
+        if backend is None:
+            backend = self._backend_cls.for_scenario(self.scenario)
+        assert self.network is not None
+        backend.prepare(self.scenario, self.network, self.tunnels, self)
+        backend.execute()
+        result = backend.collect()
+        self._validate(result)
+        return result
+
+    def _validate(self, result: ScenarioResult) -> ScenarioResult:
+        """Uniform cross-backend result validation: the result must
+        describe the run this runner prepared, and account for every
+        offered flow.  A backend that drops flows on the floor fails
+        here instead of feeding bad rows into sweeps."""
         scenario = self.scenario
-        self.sdn.run(until=scenario.warmup)
-        self.inject_traffic()
-        self.arm_failures()
-        self.sdn.run(until=scenario.warmup + scenario.horizon)
-        return self.collect()
+        problems = []
+        if result.scenario != scenario.name:
+            problems.append(
+                f"scenario {result.scenario!r} != {scenario.name!r}"
+            )
+        if result.seed != self.seed:
+            problems.append(f"seed {result.seed} != {self.seed}")
+        if result.horizon_s != scenario.horizon:
+            problems.append(
+                f"horizon {result.horizon_s!r} != {scenario.horizon!r}"
+            )
+        if result.offered != len(self.requests):
+            problems.append(
+                f"offered {result.offered} != {len(self.requests)} requests"
+            )
+        if result.placed + result.rejected != result.offered:
+            problems.append(
+                f"placed {result.placed} + rejected {result.rejected} "
+                f"!= offered {result.offered}"
+            )
+        if problems:
+            raise ValueError(
+                f"backend {result.backend!r} returned an inconsistent "
+                "result: " + "; ".join(problems)
+            )
+        return result
 
     # --------------------------------------------------------- collection
-
-    def _des_flow_metrics(self) -> Tuple[Dict[str, float], List[float]]:
-        """Per-flow Mbps and latency samples from the packet domain."""
-        now = self.network.sim.now
-        per_flow: Dict[str, float] = {}
-        latencies: List[float] = []
-        for name, record in self.sdn.controller.flows.items():
-            app = record.app
-            if isinstance(app, TcpFlow):
-                # a flow whose duration outlives the horizon must be
-                # averaged over simulated time only, not its full window
-                end = now if app.stop_at is None else min(app.stop_at, now)
-                per_flow[name] = app.goodput_mbps(t1=end)
-                if app.srtt is not None:
-                    latencies.append(app.srtt * 1e3)
-            elif isinstance(app, UdpFlow):
-                per_flow[name] = app.delivered_mbps()
-            elif isinstance(app, PingApp):
-                per_flow[name] = 0.0
-                _, rtts = app.rtt_series()
-                if rtts.size:
-                    latencies.append(float(rtts.mean()))
-        return per_flow, latencies
-
-    def _des_drop_count(self) -> int:
-        drops = 0
-        for link in self.network.links.values():
-            node_a, node_b = link.endpoints()
-            drops += link.stats_from(node_a).dropped_packets
-            drops += link.stats_from(node_b).dropped_packets
-        return drops
 
     def collect(self) -> ScenarioResult:
         """Uniform metrics from a DES run (callable after staged use)."""
         if self.sdn is None:
             raise RuntimeError("collect() needs a DES run; see setup()")
-        scenario = self.scenario
-        per_flow, latencies = self._des_flow_metrics()
-        drops = self._des_drop_count()
-        migrations = sum(
-            len(record.migrations)
-            for record in self.sdn.controller.flows.values()
+        from repro.backends.des import collect_des
+
+        return collect_des(self)
+
+    # ----------------------------------------------- deprecated internals
+
+    def _deprecated_backend_run(
+        self, name: str, method: str
+    ) -> ScenarioResult:
+        warnings.warn(
+            f"ScenarioRunner.{method}() is "
+            "deprecated; resolve the backend through "
+            "repro.backends.get_backend() and drive "
+            "prepare()/execute()/collect(), or just call run()",
+            DeprecationWarning,
+            stacklevel=3,
         )
-        reconfigurations = sum(
-            policy.reconfigurations
-            for policy in self.sdn.router_config.policies.values()
-        )
-        return ScenarioResult(
-            scenario=scenario.name,
-            backend="des",
-            seed=self.seed,
-            horizon_s=scenario.horizon,
-            warmup_s=scenario.warmup,
-            tunnels=len(self.tunnels),
-            offered=len(self.requests),
-            placed=self.placed,
-            rejected=self.rejected,
-            per_flow_mbps=per_flow,
-            total_throughput_mbps=float(sum(per_flow.values())),
-            min_flow_mbps=float(min(per_flow.values())) if per_flow else 0.0,
-            mean_latency_ms=float(np.mean(latencies)) if latencies else 0.0,
-            max_latency_ms=float(max(latencies)) if latencies else 0.0,
-            drops=drops,
-            migrations=migrations,
-            reconfigurations=reconfigurations,
-            failure_events=len(self.failure_plan),
-            sim_events=self.network.sim.events_processed,
-            telemetry_samples=self.sdn.telemetry.db.total_samples(),
-        )
-
-    # ------------------------------------------------------ fluid backend
-
-    def _assign_fluid(
-        self, capacities: Dict[Tuple[str, str], float]
-    ) -> Tuple[Dict[str, Tuple[str, ...]], int, int]:
-        """Assign flows to tunnels per (ingress, egress) group, honouring
-        the scenario objective: ``min_latency`` puts every flow on its
-        group's lowest-delay tunnel (what Hecate recommends in DES when
-        latency forecasts dominate); the bandwidth-flavoured objectives
-        solve the joint throughput assignment.
-
-        Returns (flow -> router path, migrations off the default tunnel,
-        unplaceable-flow count)."""
-        by_name = {name: path for name, _, path in self.tunnels}
-        objective = self.scenario.policy.objective
-        groups: Dict[Tuple[str, str], List[FlowRequest]] = {}
-        for request in self.requests:
-            pair = (
-                self.network.edge_router_of(request.src),
-                self.network.edge_router_of(request.dst),
-            )
-            groups.setdefault(pair, []).append(request)
-        paths: Dict[str, Tuple[str, ...]] = {}
-        migrations = 0
-        unplaced = 0
-        for (ingress, egress), members in groups.items():
-            # the Controller's own candidate rule, so fluid-vs-DES
-            # differences come from modelling, never placement policy
-            candidates = select_candidates(by_name, ingress, egress)
-            if not candidates:
-                unplaced += len(members)
-                continue
-            if objective == "min_latency":
-                best = min(
-                    candidates,
-                    key=lambda n: self.network.path_delay_ms(list(by_name[n])),
-                )
-                for request in members:
-                    paths[request.flow_name] = by_name[best]
-                migrations += len(members) if best != candidates[0] else 0
-                continue
-            current = {r.flow_name: candidates[0] for r in members}
-            result = assign_flows(
-                current=current,
-                tunnel_paths={name: by_name[name] for name in candidates},
-                capacities=capacities,
-            )
-            migrations += result.migrations
-            for flow_name, tunnel_name in result.assignment.items():
-                paths[flow_name] = by_name[tunnel_name]
-        return paths, migrations, unplaced
-
-    def _solve_inputs(
-        self,
-        paths: Dict[str, Tuple[str, ...]],
-        requests: Optional[Sequence[FlowRequest]] = None,
-    ) -> Tuple[
-        Dict[str, Tuple[float, float]],
-        Dict[str, float],
-        set,
-        Tuple[float, ...],
-    ]:
-        """The epoch solver's workload view, shared by the fluid and
-        hybrid backends: per-flow horizon-clamped spans (placed flows
-        only), CBR rate caps, the ICMP probe set, and phase fractions.
-        ``requests`` restricts the view to a subset of the offered
-        flows (aggregate-mice mode passes the foreground only; the
-        background never exists per-flow there).
-
-        ICMP probes send a packet per second — inelastic, negligible
-        load; modelling them as elastic flows would credit them with
-        the whole path capacity (DES reports them at 0 Mbps too).
-        """
-        if requests is None:
-            requests = self.requests
-        horizon = self.scenario.horizon
-        spans = {
-            r.flow_name: (
-                min(r.start_at, horizon),
-                min(r.start_at + r.duration, horizon),
-            )
-            for r in requests
-            if r.flow_name in paths
-        }
-        rate_caps = {
-            r.flow_name: r.rate_mbps
-            for r in requests
-            if r.protocol == "udp" and r.rate_mbps
-        }
-        probes = {r.flow_name for r in requests if r.protocol == "icmp"}
-        phase_fracs = (
-            tuple(p.at_frac for p in self.scenario.phases)
-            if self.scenario.phases is not None
-            else ()
-        )
-        return spans, rate_caps, probes, phase_fracs
-
-    @staticmethod
-    def _delivered_from(solves, names) -> Tuple[Dict[str, float], int]:
-        """Mbps-seconds delivered per flow in ``names`` across all
-        solved epochs, plus that class's (flow, epoch) outage count."""
-        delivered: Dict[str, float] = {name: 0.0 for name in names}
-        outages = 0
-        for solve in solves:
-            outages += sum(1 for n in solve.blacked if n in names)
-            for name, rate in solve.rates.items():
-                if name in names:
-                    delivered[name] += rate * solve.overlaps[name]
-        return delivered, outages
+        self.setup()
+        backend = get_backend(name).for_scenario(self.scenario)
+        assert self.network is not None
+        backend.prepare(self.scenario, self.network, self.tunnels, self)
+        backend.execute()
+        return self._validate(backend.collect())
 
     def _run_fluid(self) -> ScenarioResult:
-        """Closed-form evaluation: epoch-sliced max-min steady states."""
-        scenario = self.scenario
-        horizon = scenario.horizon
-        capacities = link_capacities(self.network)
-        paths, migrations, unplaced = self._assign_fluid(capacities)
-        spans, rate_caps, probes, phase_fracs = self._solve_inputs(paths)
-
-        boundaries = {0.0, horizon}
-        boundaries.update(t for span in spans.values() for t in span)
-        boundaries.update(
-            e.at for e in self.failure_plan if 0.0 < e.at < horizon
-        )
-        # phase transitions are epoch edges even when a phase offers no
-        # flows (the fluid model re-solves at every transition)
-        boundaries.update(f * horizon for f in phase_fracs if 0.0 < f < 1.0)
-        # exact flow edges while they fit the epoch budget; the coalesced
-        # grid beyond it (scale-tier flow counts)
-        edges = quantize_edges(
-            boundaries,
-            horizon,
-            self.failure_plan,
-            phase_fracs,
-            scenario.classes,
-        )
-        solves = solve_epochs(
-            spans,
-            paths,
-            capacities,
-            rate_caps,
-            probes,
-            self.failure_plan,
-            edges,
-        )
-        delivered, outages = self._delivered_from(solves, set(spans))
-
-        per_flow = {
-            name: delivered[name] / (span[1] - span[0])
-            if span[1] > span[0] else 0.0
-            for name, span in spans.items()
-        }
-        latencies = [
-            self.network.path_delay_ms(list(paths[name])) for name in spans
-        ]
-        return ScenarioResult(
-            scenario=scenario.name,
-            backend="fluid",
-            seed=self.seed,
-            horizon_s=horizon,
-            warmup_s=0.0,
-            tunnels=len(self.tunnels),
-            offered=len(self.requests),
-            placed=len(spans),
-            rejected=unplaced,
-            per_flow_mbps=per_flow,
-            total_throughput_mbps=float(sum(delivered.values()) / horizon),
-            min_flow_mbps=float(min(per_flow.values())) if per_flow else 0.0,
-            mean_latency_ms=float(np.mean(latencies)) if latencies else 0.0,
-            max_latency_ms=float(max(latencies)) if latencies else 0.0,
-            drops=outages,
-            migrations=migrations,
-            reconfigurations=0,
-            failure_events=len(self.failure_plan),
-        )
-
-    # ----------------------------------------------------- hybrid backend
+        """Deprecated shim; use ``get_backend("fluid")``."""
+        return self._deprecated_backend_run("fluid", "_run_fluid")
 
     def _run_hybrid(self) -> ScenarioResult:
-        """Foreground packet-level, background as per-epoch fluid load.
-
-        The background class is solved *before* the packet run (it is a
-        pure function of the workload and the failure plan), installed
-        on the simulator as one coalesced load-update event per epoch
-        edge, and the foreground then competes for what the mice left:
-        packet serialization slows on loaded links and telemetry reports
-        the aggregate, so Hecate's placement sees the background without
-        ever paying packet-level cost for it.
-        """
-        if self.scenario.classes.aggregate_background:
-            return self._run_hybrid_aggregate()
-        scenario = self.scenario
-        horizon = scenario.horizon
-        capacities = link_capacities(self.network)
-
-        bg_paths, bg_unplaced = assign_class_paths(
-            self.network, self.tunnels, self.background, spread=True
-        )
-        # foreground flows join the solve as claimants on their default
-        # tunnels (an estimate of initial placement) so background rates
-        # never hand the mice capacity the elephants are using; their
-        # real throughput comes from the packet domain below
-        fg_paths, _ = assign_class_paths(
-            self.network, self.tunnels, self.foreground, spread=False
-        )
-        paths = {**fg_paths, **bg_paths}
-        spans, rate_caps, probes, phase_fracs = self._solve_inputs(paths)
-        edges = epoch_edges(
-            horizon, self.failure_plan, phase_fracs, scenario.classes
-        )
-        solves = solve_epochs(
-            spans,
-            paths,
-            capacities,
-            rate_caps,
-            probes,
-            self.failure_plan,
-            edges,
-        )
-        bg_names = {r.flow_name for r in self.background}
-        epochs = background_epochs(solves, bg_names, paths)
-
-        # ----- packet domain: warmup, foreground, failures, background
-        self.sdn.run(until=scenario.warmup)
-        self.inject_traffic()
-        self.arm_failures()
-        install_background_schedule(
-            self.network, epochs, offset=self.network.sim.now
-        )
-        self.sdn.run(until=scenario.warmup + scenario.horizon)
-
-        # ----- merge the two domains into one result
-        per_flow, latencies = self._des_flow_metrics()
-        bg_delivered, bg_outages = self._delivered_from(
-            solves, {name for name in spans if name in bg_names}
-        )
-        for name, total in bg_delivered.items():
-            start, end = spans[name]
-            per_flow[name] = total / (end - start) if end > start else 0.0
-        latencies.extend(
-            self.network.path_delay_ms(list(paths[name]))
-            for name in bg_delivered
-        )
-        migrations = sum(
-            len(record.migrations)
-            for record in self.sdn.controller.flows.values()
-        )
-        reconfigurations = sum(
-            policy.reconfigurations
-            for policy in self.sdn.router_config.policies.values()
-        )
-        return ScenarioResult(
-            scenario=scenario.name,
-            backend="hybrid",
-            seed=self.seed,
-            horizon_s=horizon,
-            warmup_s=scenario.warmup,
-            tunnels=len(self.tunnels),
-            offered=len(self.requests),
-            placed=self.placed + len(bg_delivered),
-            rejected=self.rejected + bg_unplaced,
-            per_flow_mbps=per_flow,
-            total_throughput_mbps=float(sum(per_flow.values())),
-            min_flow_mbps=float(min(per_flow.values())) if per_flow else 0.0,
-            mean_latency_ms=float(np.mean(latencies)) if latencies else 0.0,
-            max_latency_ms=float(max(latencies)) if latencies else 0.0,
-            drops=self._des_drop_count() + bg_outages,
-            migrations=migrations,
-            reconfigurations=reconfigurations,
-            failure_events=len(self.failure_plan),
-            sim_events=self.network.sim.events_processed,
-            telemetry_samples=self.sdn.telemetry.db.total_samples(),
-            background_flows=len(bg_delivered),
-            background_mbps=float(sum(bg_delivered.values()) / horizon),
-        )
+        """Deprecated shim; use ``get_backend("hybrid")``."""
+        return self._deprecated_backend_run("hybrid", "_run_hybrid")
 
     def _run_hybrid_aggregate(self) -> ScenarioResult:
-        """Hybrid run with the background collapsed into flow classes.
-
-        Same shape as :meth:`_run_hybrid`, but no background flow ever
-        exists individually: placement, the per-epoch fluid solve and
-        the delivered accounting all operate on
-        :class:`~repro.scenarios.hybrid.BackgroundAggregate` columns —
-        cost scales with (tunnels x epochs) instead of (users x
-        epochs), which is what lets the scale tier reach 100k–1M
-        offered flows.  ``per_flow_mbps`` covers the foreground only;
-        the background is reported as ``background_flows`` /
-        ``background_classes`` / ``background_mbps``, and latency means
-        weight each class by its member count so the distribution
-        matches what per-flow mode would report.
-        """
-        scenario = self.scenario
-        horizon = scenario.horizon
-        capacities = link_capacities(self.network)
-
-        aggregate = aggregate_background(
-            self.network, self.tunnels, self.background, horizon
-        )
-        fg_paths, _ = assign_class_paths(
-            self.network, self.tunnels, self.foreground, spread=False
-        )
-        spans, rate_caps, probes, phase_fracs = self._solve_inputs(
-            fg_paths, requests=self.foreground
-        )
-        edges = epoch_edges(
-            horizon, self.failure_plan, phase_fracs, scenario.classes
-        )
-        solves = solve_epochs_aggregate(
-            spans,
-            fg_paths,
-            capacities,
-            rate_caps,
-            probes,
-            self.failure_plan,
-            edges,
-            aggregate,
-        )
-        epochs = aggregate_background_epochs(solves, aggregate)
-
-        # ----- packet domain: warmup, foreground, failures, background
-        self.sdn.run(until=scenario.warmup)
-        self.inject_traffic()
-        self.arm_failures()
-        install_background_schedule(
-            self.network, epochs, offset=self.network.sim.now
-        )
-        self.sdn.run(until=scenario.warmup + scenario.horizon)
-
-        # ----- merge: foreground per-flow, background per-class
-        per_flow, latencies = self._des_flow_metrics()
-        n_classes = len(aggregate.class_paths)
-        delivered_c = np.zeros(n_classes)
-        bg_outages = 0
-        for solve in solves:
-            delivered_c += solve.class_rates * (solve.t1 - solve.t0)
-            bg_outages += solve.blacked_members
-        member_seconds = aggregate.member_seconds()
-        # a class's average per-mouse rate: delivered Mbps-seconds over
-        # summed member-active seconds — enters min_flow_mbps so a
-        # starved class is as visible as a starved flow
-        class_avg_mbps = [
-            float(delivered_c[k] / member_seconds[k])
-            for k in range(n_classes)
-            if member_seconds[k] > 0.0
-        ]
-        background_mbps = float(delivered_c.sum() / horizon)
-        flow_rates = list(per_flow.values()) + class_avg_mbps
-        members_per_class = np.bincount(
-            aggregate.class_of, minlength=n_classes
-        )
-        # total_throughput keeps the per-flow hybrid semantic (sum of
-        # span-averaged per-flow rates): each class contributes its
-        # average member rate times its positive-span member count, so
-        # the two hybrid modes report comparable totals.  The horizon-
-        # averaged background total is background_mbps above.
-        spanned_members = np.bincount(
-            aggregate.class_of,
-            weights=(aggregate.ends > aggregate.starts),
-            minlength=n_classes,
-        )
-        bg_span_avg_total = float(
-            sum(
-                spanned_members[k] * delivered_c[k] / member_seconds[k]
-                for k in range(n_classes)
-                if member_seconds[k] > 0.0
-            )
-        )
-        class_delays = [
-            self.network.path_delay_ms(list(path))
-            for path in aggregate.class_paths
-        ]
-        latency_sum = float(sum(latencies)) + float(
-            sum(
-                delay * int(count)
-                for delay, count in zip(class_delays, members_per_class)
-            )
-        )
-        latency_n = len(latencies) + int(members_per_class.sum())
-        max_latency = max(latencies) if latencies else 0.0
-        populated_delays = [
-            delay
-            for delay, count in zip(class_delays, members_per_class)
-            if count
-        ]
-        if populated_delays:
-            max_latency = max(max_latency, max(populated_delays))
-        migrations = sum(
-            len(record.migrations)
-            for record in self.sdn.controller.flows.values()
-        )
-        reconfigurations = sum(
-            policy.reconfigurations
-            for policy in self.sdn.router_config.policies.values()
-        )
-        return ScenarioResult(
-            scenario=scenario.name,
-            backend="hybrid",
-            seed=self.seed,
-            horizon_s=horizon,
-            warmup_s=scenario.warmup,
-            tunnels=len(self.tunnels),
-            offered=len(self.requests),
-            placed=self.placed + aggregate.members,
-            rejected=self.rejected + aggregate.unplaced,
-            per_flow_mbps=per_flow,
-            total_throughput_mbps=float(sum(per_flow.values()))
-            + bg_span_avg_total,
-            min_flow_mbps=float(min(flow_rates)) if flow_rates else 0.0,
-            mean_latency_ms=(latency_sum / latency_n if latency_n else 0.0),
-            max_latency_ms=float(max_latency),
-            drops=self._des_drop_count() + bg_outages,
-            migrations=migrations,
-            reconfigurations=reconfigurations,
-            failure_events=len(self.failure_plan),
-            sim_events=self.network.sim.events_processed,
-            telemetry_samples=self.sdn.telemetry.db.total_samples(),
-            background_flows=aggregate.members,
-            background_classes=n_classes,
-            background_mbps=background_mbps,
-        )
+        """Deprecated shim; use ``get_backend("hybrid")`` (its
+        ``for_scenario`` picks aggregate mode from the scenario)."""
+        return self._deprecated_backend_run("hybrid", "_run_hybrid_aggregate")

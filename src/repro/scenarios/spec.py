@@ -63,8 +63,23 @@ __all__ = [
     "TOPOLOGY_BUILDERS",
 ]
 
-#: Execution backends a scenario (or an override) may name.
-BACKENDS = ("des", "fluid", "hybrid")
+#: Built-in execution backends a scenario (or an override) may name.
+#: Static so spec validation never triggers registry loading mid-import;
+#: third-party names registered via ``repro.backends.register_backend``
+#: are accepted through the registry fallback in ``Scenario``.
+BACKENDS = ("des", "fluid", "hybrid", "emulation-mock")
+
+
+def _plugin_backend(name: str) -> bool:
+    """Whether ``name`` is a registered non-builtin execution backend.
+
+    Late import: builtin names short-circuit on the static ``BACKENDS``
+    tuple above, so this is only consulted for plugin names — and the
+    registry's own re-entrancy guard makes it safe even while the
+    builtin backends are still importing this module."""
+    from repro.backends.base import is_registered
+
+    return is_registered(name)
 
 
 def _p4lab_fig12(**overrides: Any) -> Network:
@@ -421,9 +436,12 @@ class Scenario:
     tags: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
-        if self.backend not in BACKENDS:
+        if self.backend not in BACKENDS and not _plugin_backend(
+            self.backend
+        ):
             raise ValueError(
-                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+                f"backend must be one of {BACKENDS} or a registered "
+                f"execution backend, got {self.backend!r}"
             )
         if self.horizon <= 0:
             raise ValueError("horizon must be positive")

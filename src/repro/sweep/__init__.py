@@ -38,7 +38,16 @@ from .cache import (
     scenario_fingerprint,
 )
 from .engine import SweepEngine, SweepOutcome, execute_run
+from .executors import (
+    EXECUTOR_NAMES,
+    ProcessExecutor,
+    SerialExecutor,
+    SweepExecutor,
+    WorkQueueExecutor,
+    make_executor,
+)
 from .spec import RunSpec, SweepSpec, parse_seeds
+from .store import SweepStore, outcome_columns, parquet_available
 
 __all__ = [
     "SweepSpec",
@@ -47,6 +56,15 @@ __all__ = [
     "SweepEngine",
     "SweepOutcome",
     "execute_run",
+    "SweepExecutor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "WorkQueueExecutor",
+    "EXECUTOR_NAMES",
+    "make_executor",
+    "SweepStore",
+    "outcome_columns",
+    "parquet_available",
     "ResultCache",
     "CacheStats",
     "CACHE_VERSION",

@@ -50,7 +50,12 @@ __all__ = [
 #: v5: aggregate-mice hybrid mode — Scenario grew
 #: classes.aggregate_background, results carry background_flows /
 #: background_classes / background_mbps.
-CACHE_VERSION = 5
+#: v6: pluggable execution backends — the backend axis accepts any
+#: registered name (spec.BACKENDS grew "emulation-mock"), and the fluid
+#: / hybrid delivered-rate summation became hash-seed independent
+#: (sorted flow order), moving total_throughput_mbps/background_mbps by
+#: one ulp on some scenarios.
+CACHE_VERSION = 6
 
 #: Where sweeps cache by default (relative to the working directory).
 DEFAULT_CACHE_DIR = Path(".sweep-cache")

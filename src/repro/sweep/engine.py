@@ -1,10 +1,12 @@
 """SweepEngine: fan a resolved sweep grid out over worker processes.
 
 The engine expands a :class:`~repro.sweep.spec.SweepSpec`, serves every
-cell it can from the :class:`~repro.sweep.cache.ResultCache`, and
-executes the remainder — serially in-process for ``jobs=1``, or over a
-``ProcessPoolExecutor`` otherwise.  Three properties make parallel
-sweeps interchangeable with serial ones:
+cell it can from the :class:`~repro.sweep.cache.ResultCache`, and hands
+the remainder to a pluggable :class:`~repro.sweep.executors.
+SweepExecutor` — in-process serial, a local process pool, or the
+file-based shared work queue (N independent invocations draining one
+sweep directory).  Three properties make every executor interchangeable
+with serial execution:
 
 - **deterministic per-run seeding** — each cell carries its own explicit
   seed into :class:`~repro.scenarios.runner.ScenarioRunner`, so a run's
@@ -24,13 +26,13 @@ Executed cells are written back to the cache, making a repeated sweep
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.scenarios import ScenarioResult, ScenarioRunner
 
 from .cache import ResultCache
+from .executors import ProcessExecutor, SerialExecutor, SweepExecutor
 from .spec import RunSpec, SweepSpec
 
 __all__ = ["SweepEngine", "SweepOutcome", "execute_run"]
@@ -76,12 +78,16 @@ class SweepEngine:
     jobs:
         Worker processes; ``1`` executes serially in-process (no pool,
         no pickling) and any higher value fans pending cells out while
-        preserving result order.
+        preserving result order.  Ignored when ``executor`` is given.
     cache:
         Result cache, or ``None`` to neither read nor write artifacts.
     refresh:
         Skip cache reads but still write back — the ``--refresh`` escape
         hatch for artifacts invalidated by something outside the key.
+    executor:
+        Explicit :class:`~repro.sweep.executors.SweepExecutor`; ``None``
+        keeps the historical ``jobs`` behaviour (serial for 1, process
+        pool above).
     """
 
     def __init__(
@@ -90,6 +96,7 @@ class SweepEngine:
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
         refresh: bool = False,
+        executor: Optional[SweepExecutor] = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -97,6 +104,11 @@ class SweepEngine:
         self.jobs = jobs
         self.cache = cache
         self.refresh = refresh
+        if executor is None:
+            executor = (
+                SerialExecutor() if jobs == 1 else ProcessExecutor(jobs)
+            )
+        self.executor = executor
 
     def run(
         self, log: Optional[Callable[[str], None]] = None
@@ -137,14 +149,9 @@ class SweepEngine:
             jobs=self.jobs,
         )
 
-    def _execute_pending(self, runs, pending):
+    def _execute_pending(
+        self, runs: Tuple[RunSpec, ...], pending: Sequence[int]
+    ) -> List[Dict[str, object]]:
         """Payloads for the pending cells, in ``pending`` order."""
         cells = [runs[index] for index in pending]
-        if self.jobs == 1 or len(cells) == 1:
-            return [execute_run(cell) for cell in cells]
-        with ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(cells))
-        ) as pool:
-            # Executor.map preserves submission order, so collection is
-            # deterministic even though completion order is not.
-            return list(pool.map(execute_run, cells))
+        return self.executor.execute(cells)

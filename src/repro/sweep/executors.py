@@ -1,0 +1,305 @@
+"""Pluggable sweep executors: how pending cells actually get run.
+
+The :class:`~repro.sweep.engine.SweepEngine` decides *what* to execute
+(grid expansion, cache lookups, ordered collection); a
+:class:`SweepExecutor` decides *how*: in-process (``serial``), over a
+local process pool (``process``), or through a shared file-based work
+queue (``work-queue``) that any number of independent worker
+invocations — other terminals, other machines on a shared filesystem —
+can drain cooperatively.
+
+All executors receive the same fully-resolved
+:class:`~repro.sweep.spec.RunSpec` cells and return
+``ScenarioResult.to_dict()`` payloads in cell order, so sweep output is
+byte-identical across executors (the determinism the ``--jobs 2`` vs
+work-queue test pins).
+
+The work-queue protocol (one shared directory)::
+
+    <queue>/tasks/<run_key>.task     pending cells (pickled RunSpec)
+    <queue>/claimed/<run_key>.task   cells some worker owns
+    <queue>/results/<run_key>.json   finished payloads
+
+Claiming is a single atomic ``os.rename`` from ``tasks/`` to
+``claimed/`` — exactly one worker wins a cell, with no locks and no
+coordinator.  Results are written write-then-rename, so a reader never
+sees a torn payload.  Every invocation both enqueues what is missing
+and drains what it can, then waits (bounded polling) for cells claimed
+by *other* workers; a cell stranded in ``claimed/`` by a killed worker
+is re-enqueued by the next invocation once the queue is otherwise
+quiet.  Keys are :func:`~repro.sweep.cache.run_key`, so two sweeps
+sharing cells share queue entries too.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .spec import RunSpec
+
+__all__ = [
+    "SweepExecutor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "WorkQueueExecutor",
+    "EXECUTOR_NAMES",
+    "make_executor",
+]
+
+Payload = Dict[str, Any]
+
+
+def _execute_cell(run: RunSpec) -> Payload:
+    """One cell -> payload; the single execution path every executor
+    funnels through (import deferred so unpickling workers stay cheap)."""
+    from .engine import execute_run
+
+    return execute_run(run)
+
+
+class SweepExecutor(abc.ABC):
+    """Strategy for executing resolved sweep cells.
+
+    ``execute`` MUST return one payload per cell, in cell order —
+    the engine zips them back onto grid indices.
+    """
+
+    #: registry name (``repro scenarios sweep --executor <name>``).
+    name: str = ""
+
+    @abc.abstractmethod
+    def execute(self, cells: Sequence[RunSpec]) -> List[Payload]:
+        """Run every cell, returning ``to_dict()`` payloads in order."""
+
+
+class SerialExecutor(SweepExecutor):
+    """In-process, one cell at a time — no pool, no pickling."""
+
+    name = "serial"
+
+    def execute(self, cells: Sequence[RunSpec]) -> List[Payload]:
+        return [_execute_cell(cell) for cell in cells]
+
+
+class ProcessExecutor(SweepExecutor):
+    """Local ``ProcessPoolExecutor`` fan-out (the former built-in path)."""
+
+    name = "process"
+
+    def __init__(self, jobs: int = 2):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def execute(self, cells: Sequence[RunSpec]) -> List[Payload]:
+        if self.jobs == 1 or len(cells) == 1:
+            return [_execute_cell(cell) for cell in cells]
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(cells))
+        ) as pool:
+            # Executor.map preserves submission order, so collection is
+            # deterministic even though completion order is not.
+            return list(pool.map(_execute_cell, cells))
+
+
+class WorkQueueExecutor(SweepExecutor):
+    """File-based shared work queue; see the module docstring.
+
+    Parameters
+    ----------
+    queue_dir:
+        The shared directory.  Created if missing; all invocations
+        draining one sweep must point at the same path.
+    poll_interval:
+        Seconds slept between polls while waiting for cells owned by
+        other workers.
+    max_polls:
+        Bound on waiting: after this many empty polls the executor
+        raises ``TimeoutError`` naming the unfinished cells.  Iteration
+        counting, not wall-clock — the budget is
+        ``max_polls * poll_interval`` seconds of pure waiting.
+    """
+
+    name = "work-queue"
+
+    def __init__(
+        self,
+        queue_dir: Union[str, Path],
+        poll_interval: float = 0.2,
+        max_polls: int = 9000,
+    ):
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        if max_polls < 1:
+            raise ValueError("max_polls must be >= 1")
+        self.queue_dir = Path(queue_dir)
+        self.poll_interval = float(poll_interval)
+        self.max_polls = int(max_polls)
+
+    # ------------------------------------------------------------- layout
+
+    @property
+    def tasks_dir(self) -> Path:
+        return self.queue_dir / "tasks"
+
+    @property
+    def claimed_dir(self) -> Path:
+        return self.queue_dir / "claimed"
+
+    @property
+    def results_dir(self) -> Path:
+        return self.queue_dir / "results"
+
+    def _result_path(self, key: str) -> Path:
+        return self.results_dir / f"{key}.json"
+
+    # ----------------------------------------------------------- protocol
+
+    def enqueue(self, cells: Sequence[RunSpec]) -> int:
+        """Add tasks for every cell without a result yet; returns the
+        number enqueued.  Idempotent across invocations: a key already
+        pending, claimed, or finished is not re-added."""
+        from .cache import run_key
+
+        for directory in (self.tasks_dir, self.claimed_dir, self.results_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+        added = 0
+        for cell in cells:
+            key = run_key(cell)
+            task = self.tasks_dir / f"{key}.task"
+            if (
+                self._result_path(key).exists()
+                or task.exists()
+                or (self.claimed_dir / f"{key}.task").exists()
+            ):
+                continue
+            tmp = task.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_bytes(pickle.dumps(cell))
+            os.replace(tmp, task)
+            added += 1
+        return added
+
+    def drain(self) -> int:
+        """Claim and execute tasks until the queue is empty; returns the
+        number of cells this invocation executed.  Safe to call from any
+        number of workers concurrently."""
+        executed = 0
+        while True:
+            claimed = self._claim_one()
+            if claimed is None:
+                return executed
+            key, cell = claimed
+            payload = _execute_cell(cell)
+            tmp = self._result_path(key).with_suffix(
+                f".tmp.{os.getpid()}"
+            )
+            tmp.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            os.replace(tmp, self._result_path(key))
+            (self.claimed_dir / f"{key}.task").unlink(missing_ok=True)
+            executed += 1
+
+    def _claim_one(self) -> Optional[Tuple[str, RunSpec]]:
+        """Atomically claim one pending task, or ``None`` if none left.
+
+        ``os.rename`` into ``claimed/`` is the mutual exclusion: the
+        loser of a race gets ``FileNotFoundError`` and tries the next."""
+        for task in sorted(self.tasks_dir.glob("*.task")):
+            target = self.claimed_dir / task.name
+            try:
+                os.rename(task, target)
+            except OSError:
+                continue  # another worker won this cell
+            cell = pickle.loads(target.read_bytes())
+            return task.stem, cell
+        return None
+
+    def _recover_stranded(self) -> int:
+        """Re-enqueue cells stranded in ``claimed/`` (a worker died
+        mid-cell).  Only called when ``tasks/`` is empty and results are
+        still missing, so a *live* worker's claim is only disturbed
+        after the full polling budget of quiet."""
+        recovered = 0
+        for stale in sorted(self.claimed_dir.glob("*.task")):
+            if self._result_path(stale.stem).exists():
+                stale.unlink(missing_ok=True)
+                continue
+            try:
+                os.rename(stale, self.tasks_dir / stale.name)
+            except OSError:
+                continue
+            recovered += 1
+        return recovered
+
+    def execute(self, cells: Sequence[RunSpec]) -> List[Payload]:
+        """Enqueue missing cells, drain what this worker can claim, then
+        wait for cells other workers own; payloads in cell order."""
+        from .cache import run_key
+
+        keys = [run_key(cell) for cell in cells]
+        self.enqueue(cells)
+        self.drain()
+        # cells claimed by other invocations: bounded polling, counted in
+        # iterations (wall-clock reads are banned in deterministic code)
+        polls = 0
+        recovery_attempted = False
+        while True:
+            missing = [
+                key for key in keys if not self._result_path(key).exists()
+            ]
+            if not missing:
+                break
+            polls += 1
+            if polls > self.max_polls:
+                if not recovery_attempted and self._recover_stranded():
+                    recovery_attempted = True
+                    polls = 0
+                    self.drain()
+                    continue
+                raise TimeoutError(
+                    f"work queue {self.queue_dir}: {len(missing)} cells "
+                    "never finished (dead worker?); pending keys: "
+                    + ", ".join(sorted(missing)[:4])
+                )
+            time.sleep(self.poll_interval)
+            self.drain()  # pick up anything re-enqueued meanwhile
+        payloads: List[Payload] = []
+        for key in keys:
+            text = self._result_path(key).read_text(encoding="utf-8")
+            payloads.append(json.loads(text))
+        return payloads
+
+
+#: executor names accepted by ``--executor`` (work-queue needs a dir).
+EXECUTOR_NAMES = ("serial", "process", "work-queue")
+
+
+def make_executor(
+    name: str,
+    jobs: int = 1,
+    queue_dir: Optional[Union[str, Path]] = None,
+) -> SweepExecutor:
+    """Build the named executor from CLI-level knobs."""
+    if name == "serial":
+        return SerialExecutor()
+    if name == "process":
+        return ProcessExecutor(jobs=max(jobs, 1))
+    if name == "work-queue":
+        if queue_dir is None:
+            raise ValueError(
+                "the work-queue executor needs --queue-dir (the shared "
+                "sweep directory workers drain together)"
+            )
+        return WorkQueueExecutor(queue_dir)
+    raise ValueError(
+        f"unknown executor {name!r}; choose from {', '.join(EXECUTOR_NAMES)}"
+    )

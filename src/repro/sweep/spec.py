@@ -19,6 +19,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, List, Mapping, Tuple
 
+from repro.backends.base import is_registered
 from repro.scenarios import BACKENDS, Scenario, get_scenario
 
 __all__ = ["RunSpec", "SweepSpec", "parse_seeds"]
@@ -89,8 +90,9 @@ class SweepSpec:
     seeds:
         RNG seeds; every grid cell runs once per seed.
     backends:
-        Backend overrides (``"des"``/``"fluid"``/``"hybrid"``); empty
-        means "each scenario's own backend".
+        Backend overrides — any name in the execution-backend registry
+        (``repro backends list``); empty means "each scenario's own
+        backend".
     overrides:
         ``Scenario`` field overrides (``horizon``, ``warmup``, ...)
         applied to every scenario before expansion.
@@ -113,9 +115,10 @@ class SweepSpec:
         if not self.seeds:
             raise ValueError("sweep needs at least one seed")
         for backend in self.backends:
-            if backend not in BACKENDS:
+            if backend not in BACKENDS and not is_registered(backend):
                 raise ValueError(
-                    f"backend must be one of {BACKENDS}, got {backend!r}"
+                    f"backend must be one of {BACKENDS} or a registered "
+                    f"execution backend, got {backend!r}"
                 )
 
     def expand(self) -> Tuple[RunSpec, ...]:

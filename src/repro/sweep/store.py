@@ -1,0 +1,163 @@
+"""Columnar sweep result store: one file per sweep, not per cell.
+
+The per-cell JSON :class:`~repro.sweep.cache.ResultCache` is the right
+shape for incremental caching, but a 100k-cell grid read back for
+analysis wants a *columnar* layout.  :class:`SweepStore` flattens a
+:class:`~repro.sweep.engine.SweepOutcome` into named columns — the run
+axes (scenario, backend, seed, variant) plus every scalar
+:class:`~repro.scenarios.result.ScenarioResult` field — and writes one
+file:
+
+- **parquet** via pyarrow when it is importable (the columnar format
+  pandas/duckdb/polars read directly), or
+- **columnar JSON** (``{"columns": {name: [values...]}}``) as the
+  dependency-free fallback — same shape, greppable, loadable anywhere.
+
+``format="auto"`` (the default) picks parquet when pyarrow is present,
+JSON otherwise, so sweep tooling works identically on machines with and
+without the optional dependency.  ``per_flow_mbps`` is intentionally not
+a column (it is ragged); per-flow data stays in the cache artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Union
+
+from repro.scenarios.result import ScenarioResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import SweepOutcome
+
+__all__ = ["SweepStore", "outcome_columns", "parquet_available"]
+
+#: result fields that become columns: everything scalar except the run
+#: axes (scenario/backend/seed), which come from the RunSpec — the
+#: runner validates the result echoes them, so storing both is noise.
+_RESULT_COLUMNS = tuple(
+    name
+    for name in ScenarioResult._FIELD_TYPES
+    if name not in ("scenario", "backend", "seed")
+)
+
+
+def parquet_available() -> bool:
+    """Whether the optional pyarrow dependency is importable."""
+    try:
+        import pyarrow  # noqa: F401
+        import pyarrow.parquet  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def outcome_columns(outcome: "SweepOutcome") -> Dict[str, List[Any]]:
+    """Flatten one sweep outcome into ordered, same-length columns."""
+    columns: Dict[str, List[Any]] = {
+        "scenario": [],
+        "backend": [],
+        "seed": [],
+        "variant": [],
+    }
+    for name in _RESULT_COLUMNS:
+        columns[name] = []
+    for run, result in zip(outcome.runs, outcome.results):
+        columns["scenario"].append(run.scenario.name)
+        columns["backend"].append(run.backend)
+        columns["seed"].append(int(run.seed))
+        columns["variant"].append(run.variant)
+        for name in _RESULT_COLUMNS:
+            columns[name].append(getattr(result, name))
+    return columns
+
+
+class SweepStore:
+    """Write/read one sweep's results as a columnar file.
+
+    Parameters
+    ----------
+    path:
+        Target file.  ``.parquet`` and ``.json`` suffixes force a
+        format; any other suffix follows ``format``.
+    format:
+        ``"parquet"``, ``"json"``, or ``"auto"`` (parquet when pyarrow
+        is importable, else JSON).  Asking for parquet without pyarrow
+        raises ``RuntimeError`` up front rather than failing mid-sweep.
+    """
+
+    def __init__(
+        self, path: Union[str, Path], format: str = "auto"
+    ) -> None:
+        if format not in ("auto", "parquet", "json"):
+            raise ValueError(
+                f"format must be 'auto', 'parquet' or 'json', "
+                f"got {format!r}"
+            )
+        self.path = Path(path)
+        suffix = self.path.suffix.lower()
+        if suffix == ".parquet":
+            format = "parquet"
+        elif suffix == ".json":
+            format = "json"
+        if format == "auto":
+            format = "parquet" if parquet_available() else "json"
+        if format == "parquet" and not parquet_available():
+            raise RuntimeError(
+                f"cannot write {self.path}: pyarrow is not installed; "
+                "use a .json path (columnar JSON fallback) instead"
+            )
+        self.format = format
+
+    def write(self, outcome: "SweepOutcome") -> Path:
+        """Persist the outcome; returns the path written."""
+        columns = outcome_columns(outcome)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.format == "parquet":
+            import pyarrow as pa
+            import pyarrow.parquet as pq
+
+            table = pa.table(
+                {name: pa.array(values) for name, values in columns.items()}
+            )
+            pq.write_table(table, self.path)
+        else:
+            payload = {
+                "format": "repro-sweep-columnar",
+                "rows": len(columns["scenario"]),
+                "columns": columns,
+            }
+            self.path.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        return self.path
+
+    def read(self) -> Dict[str, List[Any]]:
+        """Load the columns back (either format)."""
+        if self.format == "parquet":
+            import pyarrow.parquet as pq
+
+            table = pq.read_table(self.path)
+            return {
+                name: table.column(name).to_pylist()
+                for name in table.column_names
+            }
+        payload = json.loads(self.path.read_text(encoding="utf-8"))
+        columns = payload.get("columns")
+        if not isinstance(columns, dict):
+            raise ValueError(
+                f"{self.path} is not a columnar sweep store "
+                "(missing 'columns')"
+            )
+        return columns
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Row-oriented view of :meth:`read` for simple consumers."""
+        columns = self.read()
+        names = list(columns)
+        count = len(columns[names[0]]) if names else 0
+        return [
+            {name: columns[name][i] for name in names}
+            for i in range(count)
+        ]

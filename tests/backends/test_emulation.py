@@ -1,0 +1,225 @@
+"""Emulation bridge: plan compilation, mock driver, strict parsing."""
+
+import pytest
+
+from repro.backends.emulation import (
+    CommandPlan,
+    EmulationBackend,
+    FailureCue,
+    FlowCommand,
+    MockEmulationDriver,
+    compile_plan,
+    parse_driver_output,
+)
+from repro.scenarios import ScenarioRunner, get_scenario
+
+
+def _prepared(name, **quick):
+    scenario = get_scenario(name).quick(**quick)
+    runner = ScenarioRunner(scenario, backend="emulation-mock").setup()
+    return scenario, runner
+
+
+def _tiny_plan(protocol="udp", rate_mbps=8.0, failures=()):
+    """A hand-built one-flow plan over h0-r0-r1-h1 for driver/parser
+    tests that need exact control over the inputs."""
+    flow = FlowCommand(
+        flow_name="u0",
+        src="h0",
+        dst="h1",
+        protocol=protocol,
+        start_at=0.0,
+        duration=10.0,
+        rate_mbps=rate_mbps if protocol == "udp" else None,
+        path=("h0", "r0", "r1", "h1"),
+        command="iperf -c h1 -p 5001 -t 10"
+        + (f" -u -b {rate_mbps:g}M" if protocol == "udp" else ""),
+    )
+    return CommandPlan(
+        scenario="tiny",
+        seed=0,
+        horizon=10.0,
+        warmup=0.0,
+        hosts=("h0", "h1"),
+        links=(
+            ("h0", "r0", 100.0, 0.1),
+            ("r0", "r1", 20.0, 1.0),
+            ("h1", "r1", 100.0, 0.1),
+        ),
+        servers=("h1: iperf -s -p 5001",),
+        flows=(flow,),
+        probes=(),
+        failures=tuple(failures),
+        failure_events=len(failures),
+    )
+
+
+class TestCompilePlan:
+    def test_plan_echoes_the_prepared_run(self):
+        scenario, runner = _prepared("ring-uniform", horizon=6.0, warmup=2.0)
+        plan = compile_plan(runner)
+        assert plan.scenario == scenario.name
+        assert plan.seed == runner.seed
+        assert plan.horizon == scenario.horizon
+        assert plan.hosts == tuple(sorted(runner.network.hosts))
+        assert len(plan.flows) + len(plan.probes) + plan.unplaced == len(
+            runner.requests
+        )
+
+    def test_flow_commands_are_iperf_shaped(self):
+        _, runner = _prepared("ring-uniform", horizon=6.0, warmup=2.0)
+        plan = compile_plan(runner)
+        for flow in plan.flows:
+            assert flow.command.startswith(f"iperf -c {flow.dst} -p 5001")
+            if flow.protocol == "udp" and flow.rate_mbps:
+                assert " -u -b " in flow.command
+            # source-routed: the path runs host-to-host
+            assert flow.path[0] == flow.src
+            assert flow.path[-1] == flow.dst
+        assert all(": iperf -s -p 5001" in s for s in plan.servers)
+
+    def test_icmp_requests_become_ping_probes(self):
+        _, runner = _prepared(
+            "fig11-latency-migration", horizon=10.0, warmup=2.0
+        )
+        plan = compile_plan(runner)
+        assert len(plan.probes) == 1
+        probe = plan.probes[0]
+        assert probe.protocol == "icmp"
+        assert probe.command.startswith("ping -c ")
+        assert not plan.flows
+
+    def test_failure_cues_are_rendered(self):
+        _, runner = _prepared("line-link-flap", horizon=6.0, warmup=2.0)
+        plan = compile_plan(runner)
+        assert plan.failure_events == 2
+        actions = [cue.command for cue in plan.failures]
+        assert any(c.startswith("link down r0 r1 @") for c in actions)
+        assert any(c.startswith("link up r0 r1 @") for c in actions)
+
+    def test_links_are_sorted_and_directionless(self):
+        _, runner = _prepared("ring-uniform", horizon=6.0, warmup=2.0)
+        plan = compile_plan(runner)
+        assert list(plan.links) == sorted(plan.links)
+        for a, b, rate, delay in plan.links:
+            assert a < b
+            assert rate > 0 and delay >= 0
+
+
+class TestMockDriver:
+    def test_output_is_deterministic(self):
+        _, runner = _prepared("ring-uniform", horizon=6.0, warmup=2.0)
+        plan = compile_plan(runner)
+        driver = MockEmulationDriver()
+        assert driver.run(plan) == driver.run(plan)
+
+    def test_udp_outage_shows_up_as_datagram_loss(self):
+        cues = (
+            FailureCue(at=2.0, action="fail", a="r0", b="r1",
+                       command="link down r0 r1 @ 2s"),
+            FailureCue(at=4.0, action="restore", a="r0", b="r1",
+                       command="link up r0 r1 @ 4s"),
+        )
+        plan = _tiny_plan(protocol="udp", rate_mbps=8.0, failures=cues)
+        raw = MockEmulationDriver().run(plan)
+        per_flow, latencies, drops = parse_driver_output(plan, raw)
+        # 2 of 10 seconds dark: ~20% of the datagrams, rate scaled down
+        assert drops > 0
+        assert per_flow["u0"] == pytest.approx(8.0 * 0.8, rel=0.05)
+        assert latencies == []
+
+    def test_tcp_flow_reports_no_loss_line(self):
+        plan = _tiny_plan(protocol="tcp")
+        raw = MockEmulationDriver().run(plan)
+        per_flow, _, drops = parse_driver_output(plan, raw)
+        assert drops == 0  # TCP iperf reports bandwidth only
+        assert per_flow["u0"] > 0.0
+
+    def test_rates_respect_the_bottleneck(self):
+        plan = _tiny_plan(protocol="tcp")
+        per_flow, _, _ = parse_driver_output(
+            plan, MockEmulationDriver().run(plan)
+        )
+        assert per_flow["u0"] <= 20.0 + 1e-6  # the r0-r1 link
+
+
+class TestParserReconciliation:
+    def test_missing_flow_section_raises(self):
+        plan = _tiny_plan()
+        with pytest.raises(ValueError, match="missing flow 'u0'"):
+            parse_driver_output(plan, "=== emulation ===\n")
+
+    def test_missing_bandwidth_report_raises(self):
+        plan = _tiny_plan()
+        raw = "--- flow u0 udp h0 > h1 via h0>r0>r1>h1 ---\ngarbage\n"
+        with pytest.raises(ValueError, match="no iperf bandwidth report"):
+            parse_driver_output(plan, raw)
+
+    def test_missing_probe_section_raises(self):
+        _, runner = _prepared(
+            "fig11-latency-migration", horizon=10.0, warmup=2.0
+        )
+        plan = compile_plan(runner)
+        with pytest.raises(ValueError, match="missing probe"):
+            parse_driver_output(plan, "=== emulation ===\n")
+
+    def test_udp_report_numbers_are_parsed_exactly(self):
+        plan = _tiny_plan(protocol="udp")
+        raw = (
+            "--- flow u0 udp h0 > h1 via h0>r0>r1>h1 ---\n"
+            "[  3]  0.0-10.0 sec  7.50 MBytes  6.000 Mbits/sec   "
+            "0.012 ms  17/680 (2.50%)\n"
+        )
+        per_flow, latencies, drops = parse_driver_output(plan, raw)
+        assert per_flow == {"u0": 6.0}
+        assert drops == 17
+        assert latencies == []
+
+
+class TestEndToEnd:
+    def test_run_is_deterministic_and_reconciles(self):
+        scenario = get_scenario("ring-uniform").quick(horizon=6.0, warmup=2.0)
+        first = ScenarioRunner(scenario, backend="emulation-mock").run()
+        second = ScenarioRunner(scenario, backend="emulation-mock").run()
+        assert first == second
+        assert first.backend == "emulation-mock"
+        assert first.placed + first.rejected == first.offered
+        assert first.total_throughput_mbps > 0.0
+        assert first.sim_events == 0  # nothing ran in-process
+
+    def test_probe_latency_comes_from_ping_rtt(self):
+        scenario = get_scenario("fig11-latency-migration").quick(
+            horizon=10.0, warmup=2.0
+        )
+        result = ScenarioRunner(scenario, backend="emulation-mock").run()
+        assert result.per_flow_mbps["ping1"] == 0.0
+        assert result.mean_latency_ms > 0.0
+
+    def test_rates_track_the_fluid_model(self):
+        """Same placement + same max-min solver: the mock emulation's
+        per-flow rates must land within rounding of the fluid backend
+        (iperf text carries 3 decimals)."""
+        scenario = get_scenario("line-link-flap").quick(
+            horizon=6.0, warmup=2.0
+        )
+        fluid = ScenarioRunner(scenario, backend="fluid").run()
+        emu = ScenarioRunner(scenario, backend="emulation-mock").run()
+        for name, rate in fluid.per_flow_mbps.items():
+            assert emu.per_flow_mbps[name] == pytest.approx(rate, abs=1e-3)
+
+    def test_custom_driver_instance_is_honoured(self):
+        class BrokenDriver:
+            def run(self, plan):
+                return "=== emulation: nothing to see ===\n"
+
+        scenario = get_scenario("ring-uniform").quick(horizon=6.0, warmup=2.0)
+        backend = EmulationBackend(driver=BrokenDriver())
+        with pytest.raises(ValueError, match="missing flow"):
+            ScenarioRunner(scenario, backend=backend).run()
+
+    def test_backend_keeps_the_plan_and_raw_output(self):
+        scenario = get_scenario("ring-uniform").quick(horizon=6.0, warmup=2.0)
+        backend = EmulationBackend()
+        ScenarioRunner(scenario, backend=backend).run()
+        assert backend.plan is not None
+        assert backend.raw_output.startswith("=== emulation scenario=")

@@ -232,6 +232,25 @@ class TestResultSerialization:
         payload["introduced_in_a_future_version"] = 1
         assert ScenarioResult.from_dict(payload) == self._result("fluid")
 
+    def test_from_dict_rejects_unknown_backend_name(self):
+        """A result claiming a backend nobody registered is a corrupt or
+        foreign artifact — refuse it loudly instead of tabulating it."""
+        from repro.scenarios import ScenarioResult
+
+        payload = self._result("fluid").to_dict()
+        payload["backend"] = "ns3"
+        with pytest.raises(ValueError, match="unknown backend 'ns3'"):
+            ScenarioResult.from_dict(payload)
+        with pytest.raises(ValueError, match="registered backends"):
+            ScenarioResult.from_dict(payload)
+
+    def test_from_dict_accepts_any_registered_backend(self):
+        from repro.scenarios import ScenarioResult
+
+        payload = self._result("fluid").to_dict()
+        payload["backend"] = "emulation-mock"
+        assert ScenarioResult.from_dict(payload).backend == "emulation-mock"
+
 
 class TestZeroTraffic:
     """A scenario offering no flows must produce an empty result, not a

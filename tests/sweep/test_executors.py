@@ -1,0 +1,160 @@
+"""Sweep executors: byte-identity across strategies, queue protocol."""
+
+import pytest
+
+from repro.sweep import (
+    ProcessExecutor,
+    ResultCache,
+    SerialExecutor,
+    SweepEngine,
+    SweepSpec,
+    WorkQueueExecutor,
+    aggregate,
+    make_executor,
+    render_json,
+    run_key,
+)
+
+#: A cheap fluid grid shared by the identity tests.
+GRID = SweepSpec(
+    scenarios=("line-baseline", "ring-uniform"),
+    seeds=(0, 1),
+    backends=("fluid",),
+    overrides={"horizon": 6.0, "warmup": 2.0},
+)
+
+
+def _blob(outcome):
+    return render_json(
+        outcome.runs, outcome.results, aggregate(outcome.runs, outcome.results)
+    )
+
+
+class TestByteIdentity:
+    def test_process_pool_matches_work_queue_exactly(self, tmp_path):
+        """The acceptance pin: a --jobs 2 process-pool sweep and a
+        work-queue sweep draining a shared dir produce byte-identical
+        output and byte-identical cache artifacts."""
+        pool_cache = ResultCache(tmp_path / "pool-cache")
+        queue_cache = ResultCache(tmp_path / "queue-cache")
+        pool = SweepEngine(GRID, jobs=2, cache=pool_cache).run()
+        queued = SweepEngine(
+            GRID,
+            cache=queue_cache,
+            executor=WorkQueueExecutor(tmp_path / "queue"),
+        ).run()
+        assert pool.results == queued.results
+        assert _blob(pool) == _blob(queued)
+        pool_files = sorted(
+            p.name for p in (tmp_path / "pool-cache").glob("*.json")
+        )
+        queue_files = sorted(
+            p.name for p in (tmp_path / "queue-cache").glob("*.json")
+        )
+        assert pool_files == queue_files
+        for name in pool_files:
+            assert (tmp_path / "pool-cache" / name).read_bytes() == (
+                tmp_path / "queue-cache" / name
+            ).read_bytes()
+
+    def test_serial_executor_matches_default_path(self):
+        default = SweepEngine(GRID).run()
+        explicit = SweepEngine(GRID, executor=SerialExecutor()).run()
+        assert default.results == explicit.results
+
+    def test_explicit_executor_wins_over_jobs(self, tmp_path):
+        """engine(jobs=4, executor=serial) must not spawn a pool."""
+        outcome = SweepEngine(GRID, jobs=4, executor=SerialExecutor()).run()
+        assert outcome.results == SweepEngine(GRID).run().results
+
+
+class TestWorkQueueProtocol:
+    def test_results_land_keyed_by_run_key(self, tmp_path):
+        executor = WorkQueueExecutor(tmp_path / "q")
+        cells = GRID.expand()
+        payloads = executor.execute(cells)
+        assert len(payloads) == len(cells)
+        for cell in cells:
+            assert (tmp_path / "q" / "results" / f"{run_key(cell)}.json").exists()
+        # queue drained clean: nothing pending, nothing claimed
+        assert not list((tmp_path / "q" / "tasks").glob("*.task"))
+        assert not list((tmp_path / "q" / "claimed").glob("*.task"))
+
+    def test_enqueue_is_idempotent(self, tmp_path):
+        executor = WorkQueueExecutor(tmp_path / "q")
+        cells = GRID.expand()
+        assert executor.enqueue(cells) == len(cells)
+        assert executor.enqueue(cells) == 0  # already pending
+        executor.drain()
+        assert executor.enqueue(cells) == 0  # already finished
+
+    def test_second_invocation_reuses_results(self, tmp_path):
+        """A re-run against a drained queue executes nothing — it reads
+        the results other invocations left behind."""
+        first = WorkQueueExecutor(tmp_path / "q")
+        first.execute(GRID.expand())
+        second = WorkQueueExecutor(tmp_path / "q")
+        assert second.enqueue(GRID.expand()) == 0
+        assert second.drain() == 0
+        assert second.execute(GRID.expand()) == first.execute(GRID.expand())
+
+    def test_stranded_claim_is_recovered(self, tmp_path):
+        """A cell left in claimed/ by a dead worker is re-enqueued and
+        executed once the queue is otherwise quiet."""
+        executor = WorkQueueExecutor(
+            tmp_path / "q", poll_interval=0.01, max_polls=3
+        )
+        cells = GRID.expand()
+        executor.enqueue(cells)
+        claimed = executor._claim_one()  # simulate a worker dying mid-cell
+        assert claimed is not None
+        assert len(list(executor.claimed_dir.glob("*.task"))) == 1
+        payloads = executor.execute(cells)
+        assert len(payloads) == len(cells)
+        assert not list(executor.claimed_dir.glob("*.task"))
+
+    def test_timeout_when_another_worker_never_finishes(
+        self, tmp_path, monkeypatch
+    ):
+        """A cell held by a (live but stuck) worker elsewhere: recovery
+        must not steal it, so the bounded wait ends in TimeoutError."""
+        holder = WorkQueueExecutor(tmp_path / "q")
+        cells = GRID.expand()
+        holder.enqueue(cells)
+        assert holder._claim_one() is not None  # the stuck worker's cell
+        waiter = WorkQueueExecutor(
+            tmp_path / "q", poll_interval=0.01, max_polls=2
+        )
+        # the claim belongs to a live worker: recovery finds nothing
+        monkeypatch.setattr(waiter, "_recover_stranded", lambda: 0)
+        with pytest.raises(TimeoutError, match="never finished"):
+            waiter.execute(cells)
+
+    def test_rejects_bad_knobs(self, tmp_path):
+        with pytest.raises(ValueError, match="poll_interval"):
+            WorkQueueExecutor(tmp_path, poll_interval=0.0)
+        with pytest.raises(ValueError, match="max_polls"):
+            WorkQueueExecutor(tmp_path, max_polls=0)
+
+
+class TestMakeExecutor:
+    def test_builds_each_named_executor(self, tmp_path):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        process = make_executor("process", jobs=3)
+        assert isinstance(process, ProcessExecutor)
+        assert process.jobs == 3
+        queue = make_executor("work-queue", queue_dir=tmp_path / "q")
+        assert isinstance(queue, WorkQueueExecutor)
+        assert queue.queue_dir == tmp_path / "q"
+
+    def test_work_queue_requires_queue_dir(self):
+        with pytest.raises(ValueError, match="--queue-dir"):
+            make_executor("work-queue")
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ValueError, match="serial, process, work-queue"):
+            make_executor("gpu")
+
+    def test_process_executor_rejects_bad_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            ProcessExecutor(jobs=0)

@@ -1,0 +1,117 @@
+"""Columnar sweep store: flattening, both formats, round-trips."""
+
+import json
+
+import pytest
+
+from repro.sweep import (
+    SweepEngine,
+    SweepSpec,
+    SweepStore,
+    outcome_columns,
+    parquet_available,
+)
+
+GRID = SweepSpec(
+    scenarios=("line-baseline", "ring-uniform"),
+    seeds=(0, 1),
+    backends=("fluid",),
+    overrides={"horizon": 6.0, "warmup": 2.0},
+)
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return SweepEngine(GRID).run()
+
+
+class TestColumns:
+    def test_columns_are_rectangular(self, outcome):
+        columns = outcome_columns(outcome)
+        rows = len(outcome.runs)
+        assert rows == 4
+        assert all(len(values) == rows for values in columns.values())
+
+    def test_axis_columns_lead_and_are_not_duplicated(self, outcome):
+        names = list(outcome_columns(outcome))
+        assert names[:4] == ["scenario", "backend", "seed", "variant"]
+        assert len(names) == len(set(names))
+
+    def test_ragged_per_flow_data_is_excluded(self, outcome):
+        assert "per_flow_mbps" not in outcome_columns(outcome)
+
+    def test_rows_follow_grid_order(self, outcome):
+        columns = outcome_columns(outcome)
+        expected = [(r.name, r.backend, r.seed) for r in outcome.runs]
+        got = list(
+            zip(columns["scenario"], columns["backend"], columns["seed"])
+        )
+        assert got == expected
+
+
+class TestJsonFormat:
+    def test_round_trip(self, outcome, tmp_path):
+        store = SweepStore(tmp_path / "sweep.json")
+        path = store.write(outcome)
+        assert path.exists()
+        assert store.read() == outcome_columns(outcome)
+
+    def test_rows_view(self, outcome, tmp_path):
+        store = SweepStore(tmp_path / "sweep.json")
+        store.write(outcome)
+        rows = store.rows()
+        assert len(rows) == 4
+        first = rows[0]
+        assert first["scenario"] == outcome.runs[0].name
+        assert first["total_throughput_mbps"] == pytest.approx(
+            outcome.results[0].total_throughput_mbps
+        )
+
+    def test_payload_is_tagged_and_sorted(self, outcome, tmp_path):
+        store = SweepStore(tmp_path / "sweep.json")
+        payload = json.loads(store.write(outcome).read_text())
+        assert payload["format"] == "repro-sweep-columnar"
+        assert payload["rows"] == 4
+
+    def test_read_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"rows": 3}))
+        with pytest.raises(ValueError, match="columnar sweep store"):
+            SweepStore(path).read()
+
+
+class TestFormatSelection:
+    def test_json_suffix_forces_json(self, tmp_path):
+        assert SweepStore(tmp_path / "x.json", format="auto").format == "json"
+
+    def test_bad_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="format"):
+            SweepStore(tmp_path / "x", format="csv")
+
+    def test_parquet_without_pyarrow_raises_up_front(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.sweep.store as store_mod
+
+        monkeypatch.setattr(store_mod, "parquet_available", lambda: False)
+        with pytest.raises(RuntimeError, match="pyarrow"):
+            SweepStore(tmp_path / "x.parquet")
+
+    def test_auto_without_pyarrow_falls_back_to_json(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.sweep.store as store_mod
+
+        monkeypatch.setattr(store_mod, "parquet_available", lambda: False)
+        assert SweepStore(tmp_path / "x.dat").format == "json"
+
+
+@pytest.mark.skipif(
+    not parquet_available(), reason="pyarrow not installed"
+)
+class TestParquetFormat:
+    def test_round_trip(self, outcome, tmp_path):
+        store = SweepStore(tmp_path / "sweep.parquet")
+        assert store.format == "parquet"
+        store.write(outcome)
+        assert store.read() == outcome_columns(outcome)

@@ -302,6 +302,94 @@ class TestSweepCli:
         assert "line-baseline[des] seed=0" in captured.err  # the note
 
 
+class TestBackendsCli:
+    def test_backends_list_shows_the_registry(self, capsys):
+        from repro.backends import list_backends
+
+        assert main(["backends", "list"]) == 0
+        out = capsys.readouterr().out
+        for caps in list_backends():
+            assert caps.name in out
+            assert caps.description in out
+        assert "packet" in out and "external" in out
+
+    def test_run_accepts_every_registered_backend_name(self):
+        """--backend choices come from the registry, not a frozen tuple."""
+        from repro.backends import backend_names
+        from repro.cli import build_scenarios_parser
+
+        parser = build_scenarios_parser()
+        for name in backend_names():
+            args = parser.parse_args(["run", "ring-uniform",
+                                      "--backend", name])
+            assert args.backend == name
+
+    def test_run_emulation_mock_end_to_end(self, capsys):
+        assert main([
+            "scenarios", "run", "ring-uniform",
+            "--backend", "emulation-mock",
+            "--horizon", "6", "--warmup", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[emulation-mock]" in out
+        assert "throughput" in out
+
+    def test_run_rejects_unregistered_backend_as_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["scenarios", "run", "ring-uniform", "--backend", "ns3"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestSweepExecutorCli:
+    GRID = [
+        "scenarios", "sweep", "line-baseline",
+        "--backend", "fluid", "--seeds", "0-1",
+        "--horizon", "6", "--warmup", "2",
+    ]
+
+    def test_work_queue_executor_runs_a_sweep(self, capsys, tmp_path):
+        assert main(self.GRID + [
+            "--cache-dir", str(tmp_path / "cache"),
+            "--executor", "work-queue",
+            "--queue-dir", str(tmp_path / "queue"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "line-baseline" in out
+        assert (tmp_path / "queue" / "results").is_dir()
+
+    def test_work_queue_without_queue_dir_is_a_user_error(
+        self, capsys, tmp_path
+    ):
+        assert main(self.GRID + [
+            "--cache-dir", str(tmp_path),
+            "--executor", "work-queue",
+        ]) == 2
+        assert "--queue-dir" in capsys.readouterr().err
+
+    def test_store_flag_writes_columnar_json(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "sweep-store.json"
+        assert main(self.GRID + [
+            "--cache-dir", str(tmp_path / "cache"),
+            "--store", str(target),
+        ]) == 0
+        assert "columnar store written to" in capsys.readouterr().out
+        payload = json.loads(target.read_text())
+        assert payload["format"] == "repro-sweep-columnar"
+        assert payload["rows"] == 2
+        assert payload["columns"]["scenario"] == ["line-baseline"] * 2
+
+    def test_serial_executor_matches_default_output(self, capsys, tmp_path):
+        args = self.GRID + ["--no-cache", "--json", "-"]
+        assert main(args) == 0
+        default = capsys.readouterr().out
+        assert main(args + ["--executor", "serial"]) == 0
+        explicit = capsys.readouterr().out
+        assert default == explicit
+
+
 class TestServiceCli:
     RUN = [
         "service", "run", "ring-steady",

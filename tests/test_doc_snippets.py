@@ -18,6 +18,7 @@ import pytest
 
 from repro.cli import (
     EXPERIMENTS,
+    build_backends_parser,
     build_lint_parser,
     build_scenarios_parser,
     build_service_parser,
@@ -95,6 +96,8 @@ def test_documented_command_is_valid(where, tokens):
             assert name in known, (
                 f"{where} references unknown scenario {name!r}"
             )
+    elif group == "backends":
+        _parse(build_backends_parser(), tokens[1:], where)
     elif group == "lint":
         _parse(build_lint_parser(), tokens[1:], where)
     elif group == "service":
@@ -122,6 +125,7 @@ def test_documentation_actually_documents_commands():
     [
         ["list"],
         ["scenarios", "list"],
+        ["backends", "list"],
         ["service", "list"],
         ["lint", "--list-rules"],
     ],
