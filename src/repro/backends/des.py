@@ -19,6 +19,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.net.apps import PingApp, TcpFlow, UdpFlow
+from repro.net.qoe import FlowQoSSample, aggregate_qoe
 from repro.scenarios.result import ScenarioResult
 
 from .base import (
@@ -28,7 +29,62 @@ from .base import (
     register_backend,
 )
 
-__all__ = ["DesBackend", "collect_des", "des_flow_metrics", "des_drop_count"]
+__all__ = [
+    "DesBackend",
+    "collect_des",
+    "des_flow_metrics",
+    "des_drop_count",
+    "des_qoe_samples",
+]
+
+
+def des_qoe_samples(
+    context: RunContext,
+) -> List[Tuple[str, FlowQoSSample]]:
+    """Per-flow ``(app_class, QoS sample)`` pairs from the app objects.
+
+    The measurements come from what each app actually experienced —
+    TCP's smoothed RTT and retransmit ratio, UDP's RFC 3550 jitter and
+    one-way transit, loss counters — not from path telemetry, so the
+    QoE aggregate is grounded in per-flow reality.  Generic flows are
+    included here (``aggregate_qoe`` filters them) so callers can reuse
+    the pairs for other per-class accounting.
+    """
+    assert context.network is not None and context.sdn is not None
+    now = context.network.sim.now
+    classes = {r.flow_name: r.app_class for r in context.requests}
+    samples: List[Tuple[str, FlowQoSSample]] = []
+    for name, record in context.sdn.controller.flows.items():
+        app = record.app
+        app_class = classes.get(name, "generic")
+        if isinstance(app, TcpFlow):
+            end = now if app.stop_at is None else min(app.stop_at, now)
+            sent = app.bytes_acked // app.MSS + app.retransmits
+            samples.append(
+                (
+                    app_class,
+                    FlowQoSSample(
+                        rate_mbps=app.goodput_mbps(t1=end),
+                        # one-way ~ srtt/2 (the model wants mouth-to-ear)
+                        latency_ms=(app.srtt or 0.0) * 1e3 / 2.0,
+                        jitter_ms=app.rttvar * 1e3 / 2.0,
+                        loss_rate=app.retransmits / sent if sent else 0.0,
+                    ),
+                )
+            )
+        elif isinstance(app, UdpFlow):
+            samples.append(
+                (
+                    app_class,
+                    FlowQoSSample(
+                        rate_mbps=app.delivered_mbps(),
+                        latency_ms=app.mean_latency_ms,
+                        jitter_ms=app.jitter_ms,
+                        loss_rate=app.loss_rate,
+                    ),
+                )
+            )
+    return samples
 
 
 def des_flow_metrics(
@@ -83,6 +139,9 @@ def collect_des(context: RunContext) -> ScenarioResult:
         policy.reconfigurations
         for policy in context.sdn.router_config.policies.values()
     )
+    qoe_per_class, mean_qoe, qoe_flows = aggregate_qoe(
+        des_qoe_samples(context)
+    )
     return ScenarioResult(
         scenario=scenario.name,
         backend="des",
@@ -104,6 +163,9 @@ def collect_des(context: RunContext) -> ScenarioResult:
         failure_events=len(context.failure_plan),
         sim_events=context.network.sim.events_processed,
         telemetry_samples=context.sdn.telemetry.db.total_samples(),
+        mean_qoe=mean_qoe,
+        qoe_flows=qoe_flows,
+        qoe_per_class=qoe_per_class,
     )
 
 

@@ -24,6 +24,7 @@ from repro.framework.controller import select_candidates
 from repro.framework.scheduler import FlowRequest
 from repro.hecate.objectives import assign_flows
 from repro.net.fluid import link_capacities
+from repro.net.qoe import FlowQoSSample, aggregate_qoe, predicted_mos
 from repro.scenarios.hybrid import quantize_edges, solve_epochs
 from repro.scenarios.result import ScenarioResult
 
@@ -34,7 +35,26 @@ from .base import (
     register_backend,
 )
 
-__all__ = ["FluidBackend", "assign_fluid", "solve_inputs", "delivered_from"]
+__all__ = [
+    "FluidBackend",
+    "assign_fluid",
+    "solve_inputs",
+    "delivered_from",
+    "fluid_qoe",
+]
+
+
+def _bottleneck_mbps(
+    path: Tuple[str, ...],
+    capacities: Dict[Tuple[str, str], float],
+) -> float:
+    """Min configured capacity along a router path (directed lookup
+    with the reversed-key fallback max_min_fair uses)."""
+    caps = [
+        capacities.get((a, b), capacities.get((b, a), 0.0))
+        for a, b in zip(path[:-1], path[1:])
+    ]
+    return min(caps) if caps else 0.0
 
 
 def assign_fluid(
@@ -44,8 +64,12 @@ def assign_fluid(
     """Assign flows to tunnels per (ingress, egress) group, honouring
     the scenario objective: ``min_latency`` puts every flow on its
     group's lowest-delay tunnel (what Hecate recommends in DES when
-    latency forecasts dominate); the bandwidth-flavoured objectives
-    solve the joint throughput assignment.
+    latency forecasts dominate); ``max_qoe`` scores each candidate
+    with the flow's own app model (rate estimate = tunnel bottleneck
+    shared across the group, latency = the path's propagation delay)
+    and places every flow on its best-MOS tunnel; the
+    bandwidth-flavoured objectives solve the joint throughput
+    assignment.
 
     Returns (flow -> router path, migrations off the default tunnel,
     unplaceable-flow count)."""
@@ -78,6 +102,29 @@ def assign_fluid(
             for request in members:
                 paths[request.flow_name] = by_name[best]
             migrations += len(members) if best != candidates[0] else 0
+            continue
+        if objective == "max_qoe":
+            # per-flow independent choice: each app class ranks the
+            # same candidates differently (VoIP by delay, video/bulk
+            # by rate), which is the whole point of the objective
+            share = float(len(members))
+            for request in members:
+                best = max(
+                    candidates,
+                    key=lambda n: (
+                        predicted_mos(
+                            request.app_class,
+                            _bottleneck_mbps(by_name[n], capacities)
+                            / share,
+                            latency_ms=network.path_delay_ms(
+                                list(by_name[n])
+                            ),
+                        ),
+                        _bottleneck_mbps(by_name[n], capacities),
+                    ),
+                )
+                paths[request.flow_name] = by_name[best]
+                migrations += 1 if best != candidates[0] else 0
             continue
         current = {r.flow_name: candidates[0] for r in members}
         result = assign_flows(
@@ -158,6 +205,37 @@ def delivered_from(
     return delivered, outages
 
 
+def fluid_qoe(
+    context: RunContext,
+    per_flow: Dict[str, float],
+    paths: Dict[str, Tuple[str, ...]],
+) -> Tuple[Dict[str, float], float, int]:
+    """Per-class QoE from fluid rates and propagation delays.
+
+    The fluid model has no queues, so each flow's sample is its epoch-
+    average rate plus the path's propagation delay with zero jitter and
+    loss — an *optimistic* bound relative to DES (documented agreement
+    bounds live in tests/scenarios/test_qoe_scenarios.py and
+    docs/QOE.md).
+    """
+    assert context.network is not None
+    classes = {r.flow_name: r.app_class for r in context.requests}
+    samples = [
+        (
+            classes.get(name, "generic"),
+            FlowQoSSample(
+                rate_mbps=rate,
+                latency_ms=context.network.path_delay_ms(
+                    list(paths[name])
+                ),
+            ),
+        )
+        for name, rate in per_flow.items()
+        if name in paths
+    ]
+    return aggregate_qoe(samples)
+
+
 @register_backend
 class FluidBackend(ExecutionBackend):
     """Closed-form evaluation: epoch-sliced max-min steady states."""
@@ -223,6 +301,9 @@ class FluidBackend(ExecutionBackend):
             context.network.path_delay_ms(list(paths[name]))
             for name in spans
         ]
+        qoe_per_class, mean_qoe, qoe_flows = fluid_qoe(
+            context, per_flow, paths
+        )
         self._result = ScenarioResult(
             scenario=scenario.name,
             backend="fluid",
@@ -242,6 +323,9 @@ class FluidBackend(ExecutionBackend):
             migrations=migrations,
             reconfigurations=0,
             failure_events=len(context.failure_plan),
+            mean_qoe=mean_qoe,
+            qoe_flows=qoe_flows,
+            qoe_per_class=qoe_per_class,
         )
 
     def collect(self) -> ScenarioResult:

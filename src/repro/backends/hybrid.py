@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.net.background import install_background_schedule
 from repro.net.fluid import link_capacities
+from repro.net.qoe import FlowQoSSample, aggregate_qoe
 from repro.scenarios.hybrid import (
     aggregate_background,
     aggregate_background_epochs,
@@ -44,7 +45,7 @@ from .base import (
     RunContext,
     register_backend,
 )
-from .des import des_drop_count, des_flow_metrics
+from .des import des_drop_count, des_flow_metrics, des_qoe_samples
 from .fluid import delivered_from, solve_inputs
 
 __all__ = ["HybridBackend", "HybridAggregateBackend"]
@@ -155,6 +156,25 @@ class HybridBackend(ExecutionBackend):
             policy.reconfigurations
             for policy in context.sdn.router_config.policies.values()
         )
+        # QoE: foreground flows score from what their apps measured
+        # (same extraction as the des backend), background flows from
+        # their fluid rate plus propagation delay (zero jitter/loss —
+        # the optimistic fluid bound)
+        classes = {r.flow_name: r.app_class for r in context.requests}
+        qoe_samples = des_qoe_samples(context)
+        qoe_samples.extend(
+            (
+                classes.get(name, "generic"),
+                FlowQoSSample(
+                    rate_mbps=per_flow[name],
+                    latency_ms=context.network.path_delay_ms(
+                        list(paths[name])
+                    ),
+                ),
+            )
+            for name in bg_delivered
+        )
+        qoe_per_class, mean_qoe, qoe_flows = aggregate_qoe(qoe_samples)
         self._result = ScenarioResult(
             scenario=scenario.name,
             backend="hybrid",
@@ -178,6 +198,9 @@ class HybridBackend(ExecutionBackend):
             telemetry_samples=context.sdn.telemetry.db.total_samples(),
             background_flows=len(bg_delivered),
             background_mbps=float(sum(bg_delivered.values()) / horizon),
+            mean_qoe=mean_qoe,
+            qoe_flows=qoe_flows,
+            qoe_per_class=qoe_per_class,
         )
 
     def collect(self) -> ScenarioResult:
@@ -312,6 +335,13 @@ class HybridAggregateBackend(HybridBackend):
             policy.reconfigurations
             for policy in context.sdn.router_config.policies.values()
         )
+        # aggregate-mice mode: only the packet-level foreground has
+        # per-flow identity, so only it is QoE-scored — design scale
+        # scenarios so classified (video/voip/bulk) flows match the
+        # foreground globs and generic mice form the background
+        qoe_per_class, mean_qoe, qoe_flows = aggregate_qoe(
+            des_qoe_samples(context)
+        )
         self._result = ScenarioResult(
             scenario=scenario.name,
             backend="hybrid",
@@ -337,4 +367,7 @@ class HybridAggregateBackend(HybridBackend):
             background_flows=aggregate.members,
             background_classes=n_classes,
             background_mbps=background_mbps,
+            mean_qoe=mean_qoe,
+            qoe_flows=qoe_flows,
+            qoe_per_class=qoe_per_class,
         )

@@ -33,6 +33,12 @@ churn against the framework with steady-state SLO metrics::
     repro service run fat-tree-churn --rate 500 --duration 60 --seed 1
     repro service run ring-steady --json -
 
+Objectives (see :mod:`repro.hecate.objectives`) — the pluggable
+registry behind every ``--objective`` flag::
+
+    repro objectives list
+    repro scenarios run qoe-mixed-steady --objective max_qoe
+
 Static analysis (see :mod:`repro.analysis`) — the determinism &
 hot-path invariant checker, rule ids RL001-RL008
 (``docs/DETERMINISM.md`` is the catalog)::
@@ -48,6 +54,7 @@ repro`` is equivalent.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Callable, Dict, Tuple
 
@@ -137,6 +144,10 @@ def _scenario_with_overrides(name: str, args: argparse.Namespace):
         overrides["horizon"] = args.horizon
     if args.warmup is not None:
         overrides["warmup"] = args.warmup
+    if getattr(args, "objective", None) is not None:
+        overrides["policy"] = dataclasses.replace(
+            scenario.policy, objective=args.objective
+        )
     return scenario.with_overrides(**overrides) if overrides else scenario
 
 
@@ -176,6 +187,19 @@ def _backend_choices() -> Tuple[str, ...]:
     from repro.backends import backend_names
 
     return backend_names()
+
+
+def _objective_choices() -> Tuple[str, ...]:
+    """Registered objective names, for ``--objective`` choices.
+
+    Sourced from the objective registry (see
+    :mod:`repro.hecate.objectives`) for the same reason as
+    :func:`_backend_choices`: plugin objectives registered before parser
+    construction show up in ``--help`` and validate automatically.
+    """
+    from repro.hecate.objectives import objective_names
+
+    return objective_names()
 
 
 def _positive_int(text: str) -> int:
@@ -247,7 +271,18 @@ def _parse_policy(text: str):
         if not eq or not key:
             raise _UserError(
                 f"bad policy override {item!r}; use e.g. "
-                "'reoptimize_every=5.0' or 'objective=min_latency'"
+                "'reoptimize_every=5.0' or 'objective=<name>' "
+                f"(objectives: {', '.join(_objective_choices())}; "
+                "see 'repro objectives list')"
+            )
+        if key == "objective" and raw not in _objective_choices():
+            # fail fast at parse time, exactly like the --objective
+            # flag's choices= — not deep inside a sweep cell where the
+            # run would just fail every placement
+            raise _UserError(
+                f"unknown objective {raw!r}; choose from "
+                f"{', '.join(_objective_choices())} "
+                "(see 'repro objectives list')"
             )
         value: object = raw
         if raw.lower() == "none":
@@ -311,12 +346,20 @@ def _scenarios_sweep(args: argparse.Namespace) -> int:
 
     try:
         seeds = parse_seeds(args.seeds)
+        policies = [dict(_parse_policy(p)) for p in args.policy or ()]
+        if args.objective is not None:
+            # --objective is the base for every cell; an explicit
+            # objective= in a --policy axis value still wins
+            policies = [
+                {"objective": args.objective, **patch}
+                for patch in (policies or [{}])
+            ]
         spec = SweepSpec(
             scenarios=tuple(_sweep_names(args)),
             seeds=seeds,
             backends=tuple(args.backend or ()),
             overrides=_sweep_overrides(args),
-            policies=tuple(_parse_policy(p) for p in args.policy or ()),
+            policies=tuple(policies),
         )
         spec.expand()  # surface bad overrides (e.g. --horizon -5) now,
         # as a clean user error rather than a traceback mid-sweep
@@ -479,6 +522,11 @@ def build_scenarios_parser() -> argparse.ArgumentParser:
                        help="override the telemetry warmup, in seconds "
                        "of virtual time before traffic starts "
                        "(default: the scenario's registered warmup)")
+        p.add_argument("--objective", choices=_objective_choices(),
+                       default=None,
+                       help="override the scenario's Hecate objective "
+                       "(default: the scenario's registered policy "
+                       "objective; see 'repro objectives list')")
 
     run = sub.add_parser("run", help="run one scenario")
     run.add_argument("name", help="scenario name (see 'list')")
@@ -693,6 +741,7 @@ def _service_run(args: argparse.Namespace) -> int:
             duration=args.duration,
             warmup=args.warmup,
             seed=args.seed,
+            objective=args.objective,
         )
     except (KeyError, ValueError) as exc:
         raise _UserError(exc.args[0]) from exc
@@ -749,6 +798,11 @@ def build_service_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=None,
                      help="override the workload's seed "
                      "(default: the workload's registered seed)")
+    run.add_argument("--objective", choices=_objective_choices(),
+                     default=None,
+                     help="override the workload's Hecate objective "
+                     "(default: the workload's registered policy "
+                     "objective; see 'repro objectives list')")
     run.add_argument("--json", metavar="PATH",
                      help="write the result as JSON ('-' for stdout, "
                      "replacing the summary; default: summary only)")
@@ -764,6 +818,43 @@ def _service_main(argv) -> int:
     except _UserError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+
+
+def build_objectives_parser() -> argparse.ArgumentParser:
+    """The ``repro objectives`` argument parser, construction only.
+
+    Separate from execution for the same reason as
+    :func:`build_scenarios_parser`: the doc-snippet tests validate
+    documented command lines against the real parser.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro objectives",
+        description="The pluggable Hecate objective registry behind "
+        "every --objective flag and 'policy=objective=...' sweep axis "
+        "(see repro.hecate.objectives and docs/QOE.md).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="show the registered objectives")
+    return parser
+
+
+def _objectives_list() -> int:
+    from repro.hecate.objectives import list_objectives
+
+    specs = list_objectives()
+    width = max(len(s.name) for s in specs)
+    header = f"{'name':<{width}}  {'app-aware':<10}description"
+    print(header)
+    print("-" * len(header))
+    for spec in specs:
+        aware = "yes" if spec.app_aware else "-"
+        print(f"{spec.name:<{width}}  {aware:<10}{spec.description}")
+    return 0
+
+
+def _objectives_main(argv) -> int:
+    build_objectives_parser().parse_args(argv)
+    return _objectives_list()
 
 
 def build_lint_parser() -> argparse.ArgumentParser:
@@ -897,6 +988,8 @@ def main(argv=None) -> int:
         return _backends_main(argv[1:])
     if argv and argv[0] == "service":
         return _service_main(argv[1:])
+    if argv and argv[0] == "objectives":
+        return _objectives_main(argv[1:])
     if argv and argv[0] == "lint":
         return _lint_main(argv[1:])
     parser = argparse.ArgumentParser(
@@ -906,12 +999,13 @@ def main(argv=None) -> int:
         epilog="'repro scenarios --help' documents the scenario suite; "
         "'repro backends --help' the execution-backend registry; "
         "'repro service --help' the open-loop service mode; "
+        "'repro objectives --help' the Hecate objective registry; "
         "'repro lint --help' the determinism invariant checker.",
     )
     parser.add_argument(
         "experiment",
         help="experiment id (see 'list'), 'list'/'all', 'scenarios', "
-        "'backends', 'service', or 'lint'",
+        "'backends', 'service', 'objectives', or 'lint'",
     )
     args = parser.parse_args(argv)
 

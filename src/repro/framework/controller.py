@@ -233,7 +233,12 @@ class Controller:
         if replies and replies[0].get("ok"):
             self._telemetry_cursors[tunnel_name] = replies[0]["cursor"]
 
-    def _ask_hecate(self, candidates: List[TunnelInfo], objective: str) -> Dict:
+    def _ask_hecate(
+        self,
+        candidates: List[TunnelInfo],
+        objective: str,
+        app_class: str = "generic",
+    ) -> Dict:
         # Fig. 4 getTelemetry: the Controller retrieves stored history
         for tunnel in candidates:
             self._get_telemetry(tunnel.name)
@@ -241,6 +246,7 @@ class Controller:
             ASK_PATH_TOPIC,
             paths=[t.name for t in candidates],
             objective=objective,
+            app_class=app_class,
         )
         if not replies or not replies[0].get("ok"):
             raise RuntimeError(f"Hecate request failed: {replies}")
@@ -299,7 +305,9 @@ class Controller:
         candidates = self._candidates_for(ingress, egress)
         if not candidates:
             raise RuntimeError(f"no tunnels registered at ingress {ingress!r}")
-        recommendation = self._ask_hecate(candidates, request.objective)
+        recommendation = self._ask_hecate(
+            candidates, request.objective, request.app_class
+        )
         self.decisions.append(recommendation)
         chosen = self.tunnels[recommendation["path"]]
         acl_name = f"acl_{request.flow_name}"
@@ -477,13 +485,18 @@ class Controller:
                 return True
         return False
 
-    def _ask_hecate_batch(self, groups: List[List[TunnelInfo]]) -> None:
+    def _ask_hecate_batch(
+        self, groups: List[Tuple[List[TunnelInfo], str, str]]
+    ) -> None:
         """The Fig. 4 getTelemetry + askHecatePath sequence for every
         stale group in one batched request: telemetry is retrieved once
         per unique tunnel and Hecate fits each tunnel's regressor once
-        no matter how many groups share it."""
+        no matter how many groups share it.  Each group is
+        ``(candidates, objective, app_class)`` — the flows' own
+        objective and class, not a hard-coded default, so the audit
+        trail records the recommendation the group actually asked for."""
         seen = set()
-        for candidates in groups:
+        for candidates, _, _ in groups:
             for tunnel in candidates:
                 if tunnel.name not in seen:
                     seen.add(tunnel.name)
@@ -493,9 +506,10 @@ class Controller:
             groups=[
                 {
                     "paths": [t.name for t in candidates],
-                    "objective": "max_bandwidth",
+                    "objective": objective,
+                    "app_class": app_class,
                 }
-                for candidates in groups
+                for candidates, objective, app_class in groups
             ],
         )
         if replies and replies[0].get("ok"):
@@ -508,6 +522,18 @@ class Controller:
                 if entry.get("ok")
             )
         # forecasting failure must not stall reallocation
+
+    def _group_intent(self, flows: Dict[str, str]) -> Tuple[str, str]:
+        """One group's (objective, app_class) for the batched ask: the
+        members' unanimous value, or the neutral default when a mixed
+        group can't be represented by a single recommendation."""
+        requests = [self.flows[name].request for name in flows]
+        objectives = {r.objective for r in requests}
+        classes = {r.app_class for r in requests}
+        return (
+            objectives.pop() if len(objectives) == 1 else "max_bandwidth",
+            classes.pop() if len(classes) == 1 else "generic",
+        )
 
     def reoptimize_now(self) -> None:
         """One incremental re-optimization pass over all active flows.
@@ -558,7 +584,12 @@ class Controller:
             stale.append((key, flows, candidates, tunnel_paths, signature))
         if not stale:
             return
-        self._ask_hecate_batch([candidates for _, _, candidates, _, _ in stale])
+        self._ask_hecate_batch(
+            [
+                (candidates, *self._group_intent(flows))
+                for _, flows, candidates, _, _ in stale
+            ]
+        )
         for key, flows, _candidates, tunnel_paths, signature in stale:
             result = assign_flows(
                 current=flows,

@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from typing import Dict, List, MutableSequence, Optional
 
 from repro.bus import Message, MessageBus
+from repro.net.qoe import APP_CLASSES as _VALID_APP_CLASSES
 
 __all__ = ["FlowRequest", "Scheduler", "INSERT_FLOW_TOPIC", "NEW_FLOW_TOPIC"]
 
@@ -69,6 +70,10 @@ class FlowRequest:
     #: (see repro.net.apps.UdpFlow), trading pacing granularity for a
     #: proportionally smaller simulator event count at scale.
     train_packets: int = 1
+    #: application class (see repro.net.qoe.APP_CLASSES): which QoE
+    #: model scores this flow; "generic" flows have none and are
+    #: excluded from QoE aggregates.
+    app_class: str = "generic"
 
     def validate(self) -> None:
         if self.protocol not in _VALID_PROTOCOLS:
@@ -85,6 +90,11 @@ class FlowRequest:
             raise ValueError("udp flows need a positive rate_mbps")
         if self.train_packets < 1:
             raise ValueError("train_packets must be >= 1")
+        if self.app_class not in _VALID_APP_CLASSES:
+            raise ValueError(
+                f"app_class must be one of {_VALID_APP_CLASSES}, "
+                f"got {self.app_class!r}"
+            )
 
 
 class Scheduler:

@@ -433,6 +433,7 @@ class ServiceDriver:
         duration: Optional[float] = None,
         warmup: Optional[float] = None,
         seed: Optional[int] = None,
+        objective: Optional[str] = None,
     ):
         overrides: Dict[str, Any] = {}
         if duration is not None:
@@ -443,6 +444,10 @@ class ServiceDriver:
             overrides["seed"] = seed
         if rate is not None:
             overrides["churn"] = dataclasses.replace(workload.churn, rate=rate)
+        if objective is not None:
+            overrides["policy"] = dataclasses.replace(
+                workload.policy, objective=objective
+            )
         self.workload = workload.with_overrides(**overrides) if overrides else workload
         churn = self.workload.churn
         policy = self.workload.policy
@@ -646,9 +651,16 @@ def run_service(
     duration: Optional[float] = None,
     warmup: Optional[float] = None,
     seed: Optional[int] = None,
+    objective: Optional[str] = None,
 ) -> ServiceResult:
     """Build a :class:`ServiceDriver` for ``workload`` (with optional
-    rate/duration/warmup/seed overrides) and run it to completion."""
+    rate/duration/warmup/seed/objective overrides) and run it to
+    completion."""
     return ServiceDriver(
-        workload, rate=rate, duration=duration, warmup=warmup, seed=seed
+        workload,
+        rate=rate,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        objective=objective,
     ).run()

@@ -65,8 +65,9 @@ class HecateService:
     Request payload::
 
         {"paths": ["T1", "T2", ...],      # telemetry path names
-         "objective": "max_bandwidth",    # or min_latency / min_max_utilization
-         "horizon": 10}                   # forecast steps (default 10)
+         "objective": "max_bandwidth",    # any registered objective
+         "horizon": 10,                   # forecast steps (default 10)
+         "app_class": "voip"}             # scored by app-aware objectives
 
     Replies with ``Recommendation.as_payload()``.
     """
@@ -156,6 +157,8 @@ class HecateService:
             available_mbps=forecast,
             latency_ms=self.db.latest(f"path:{path}:latency_ms", 0.0),
             bottleneck_utilization=self.db.latest(f"path:{path}:util", 0.0),
+            jitter_ms=self.db.latest(f"path:{path}:jitter_ms", 0.0),
+            loss_rate=self.db.latest(f"path:{path}:loss", 0.0),
         )
         self._forecast_cache[(path, horizon)] = (cursor, result)
         return result
@@ -165,8 +168,11 @@ class HecateService:
         paths: Sequence[str],
         objective: str = "max_bandwidth",
         horizon: int = 10,
+        app_class: str = "generic",
     ) -> Recommendation:
-        return self._recommend(paths, objective, horizon, memo={})
+        return self._recommend(
+            paths, objective, horizon, memo={}, app_class=app_class
+        )
 
     def recommend_batch(
         self,
@@ -190,6 +196,7 @@ class HecateService:
                 group.get("objective", "max_bandwidth"),
                 horizon,
                 memo,
+                app_class=group.get("app_class", "generic"),
             )
             for group in groups
         ]
@@ -200,6 +207,7 @@ class HecateService:
         objective: str,
         horizon: int,
         memo: Dict[str, PathForecast],
+        app_class: str = "generic",
     ) -> Recommendation:
         if objective not in OBJECTIVES:
             raise ValueError(
@@ -212,7 +220,7 @@ class HecateService:
             if path not in memo:
                 memo[path] = self.forecast_path(path, horizon=horizon)
             forecasts.append(memo[path])
-        chosen = OBJECTIVES[objective](forecasts)
+        chosen = OBJECTIVES[objective](forecasts, app_class)
         trained = self.db.count(f"path:{chosen.name}:available_mbps") >= max(
             self.MIN_TRAIN_SAMPLES, self.n_lags + 2
         )
@@ -233,6 +241,7 @@ class HecateService:
                 paths=payload["paths"],
                 objective=payload.get("objective", "max_bandwidth"),
                 horizon=int(payload.get("horizon", 10)),
+                app_class=payload.get("app_class", "generic"),
             )
         except (KeyError, ValueError) as exc:
             return {"ok": False, "error": str(exc)}
@@ -263,6 +272,7 @@ class HecateService:
                     group.get("objective", "max_bandwidth"),
                     horizon,
                     memo,
+                    app_class=group.get("app_class", "generic"),
                 )
             except (KeyError, ValueError) as exc:
                 entries.append({"ok": False, "error": str(exc)})

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.datasets import WirelessDataset
 from repro.ml.registry import REGRESSOR_SPECS, roster
+from repro.net.qoe import rate_to_mos
 
 from .predictor import evaluate_pipeline
 
@@ -95,6 +96,30 @@ class TournamentResult:
         ]
 
 
+def _target_series(
+    series: np.ndarray, target: str, app_class: str
+) -> np.ndarray:
+    """The series an entrant must predict for this target.
+
+    ``bandwidth`` is the paper's raw Mbps trace, returned untouched so
+    the default tournament stays byte-identical; ``mos`` maps every
+    sample through the ``app_class`` rate-to-QoE curve (see
+    :mod:`repro.net.qoe`), turning the tournament into a predicted-MOS
+    contest on the same wireless data.
+    """
+    if target == "bandwidth":
+        return series
+    if target == "mos":
+        rates = np.asarray(series, dtype=np.float64).ravel()
+        return np.asarray(
+            rate_to_mos(app_class, rates.tolist()), dtype=np.float64
+        )
+    raise ValueError(
+        f"unknown tournament target {target!r} "
+        "(expected 'bandwidth' or 'mos')"
+    )
+
+
 def run_tournament(
     dataset: WirelessDataset,
     n_lags: int = 10,
@@ -102,6 +127,8 @@ def run_tournament(
     entrants: Optional[Sequence[str]] = None,
     gpr_paper_mode: bool = True,
     exclusion_factor: float = 2.2,
+    target: str = "bandwidth",
+    app_class: str = "video",
 ) -> TournamentResult:
     """Evaluate the roster on both paths and apply the Fig. 6 exclusion.
 
@@ -117,6 +144,15 @@ def run_tournament(
         An entrant is excluded from the scatter when its RMSE on either
         path exceeds ``exclusion_factor`` x the median of that path's
         RMSEs (the paper excludes GPR "due to the high RMSE values").
+    target:
+        ``"bandwidth"`` (the paper's Fig. 6 contest, the default) or
+        ``"mos"`` — predict the per-second MOS the ``app_class`` QoE
+        model assigns to each bandwidth sample instead of the bandwidth
+        itself.  MOS RMSEs live on the 1-5 scale, so they are not
+        comparable with :data:`PAPER_FIG6_RMSE`.
+    app_class:
+        QoE model used when ``target="mos"`` (default ``"video"``, the
+        most rate-sensitive ladder).
     """
     ids = list(entrants) if entrants is not None else [s.paper_id for s in roster()]
     entries: List[TournamentEntry] = []
@@ -124,11 +160,13 @@ def run_tournament(
         spec = REGRESSOR_SPECS[paper_id]
         scale = not (gpr_paper_mode and paper_id == "R7")
         wifi = evaluate_pipeline(
-            dataset.path(1), spec.factory(), n_lags=n_lags,
+            _target_series(dataset.path(1), target, app_class),
+            spec.factory(), n_lags=n_lags,
             test_size=test_size, scale=scale,
         )
         lte = evaluate_pipeline(
-            dataset.path(2), spec.factory(), n_lags=n_lags,
+            _target_series(dataset.path(2), target, app_class),
+            spec.factory(), n_lags=n_lags,
             test_size=test_size, scale=scale,
         )
         entries.append(

@@ -128,6 +128,12 @@ class FlowReport:
     mean_mbps: float
     retransmits: int
     interval_mbps: List[float] = field(default_factory=list)
+    #: RFC 3550 smoothed inter-arrival jitter (UDP) — what the VoIP
+    #: MOS model consumes; 0.0 where the app doesn't measure it
+    jitter_ms: float = 0.0
+    #: mean one-way transit time of delivered packets (UDP)
+    mean_latency_ms: float = 0.0
+    loss_rate: float = 0.0
 
 
 class TcpFlow:
@@ -388,6 +394,12 @@ class UdpFlow:
         self.sent_packets = 0
         self.received_bytes = 0
         self.rx_log: List[Tuple[float, int]] = []
+        # RFC 3550 jitter: smoothed |delta transit| between consecutive
+        # arrivals, J += (|D| - J) / 16 (seconds internally)
+        self._jitter_s = 0.0
+        self._last_transit_s: Optional[float] = None
+        self._transit_sum_s = 0.0
+        self._transit_n = 0
         self._start_time: Optional[float] = None
         self._stop_time: Optional[float] = None
         self._packet_budget = 0
@@ -451,6 +463,14 @@ class UdpFlow:
     def _on_data(self, packet: Packet) -> None:
         self.received_bytes += packet.size
         self.rx_log.append((self.dst.sim.now, packet.size))
+        if packet.created_at is not None:
+            transit = self.dst.sim.now - packet.created_at
+            self._transit_sum_s += transit
+            self._transit_n += 1
+            if self._last_transit_s is not None:
+                d = abs(transit - self._last_transit_s)
+                self._jitter_s += (d - self._jitter_s) / 16.0
+            self._last_transit_s = transit
 
     def delivered_mbps(self) -> float:
         """Mean delivered rate over the flow's *active window* — from
@@ -477,3 +497,30 @@ class UdpFlow:
         if self.sent_packets == 0:
             return 0.0
         return 1.0 - (self.received_bytes / self.packet_size) / self.sent_packets
+
+    @property
+    def jitter_ms(self) -> float:
+        """RFC 3550 smoothed inter-arrival jitter in milliseconds."""
+        return self._jitter_s * 1e3
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Mean one-way transit time of delivered packets (ms)."""
+        if self._transit_n == 0:
+            return 0.0
+        return self._transit_sum_s / self._transit_n * 1e3
+
+    def report(self) -> FlowReport:
+        """iperf3/RTCP-style summary: rate, jitter, latency and loss."""
+        return FlowReport(
+            flow_id=self.flow_id,
+            src=self.host.name,
+            dst=self.dst.name,
+            duration_s=self.duration,
+            bytes_delivered=self.received_bytes,
+            mean_mbps=self.delivered_mbps(),
+            retransmits=0,
+            jitter_ms=self.jitter_ms,
+            mean_latency_ms=self.mean_latency_ms,
+            loss_rate=self.loss_rate,
+        )

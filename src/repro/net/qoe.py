@@ -1,0 +1,282 @@
+"""Application QoE models: the rate/latency/jitter/loss -> MOS layer.
+
+Every scenario used to optimize generic flows for mbps and latency;
+this module gives flows an *application class* and a model that maps
+the network-level metrics onto a 1-5 mean-opinion-score (MOS), so the
+thing the controller optimizes is the thing the application
+experiences (the AMPF premise: per-app classification and per-app
+objectives end to end).
+
+Three concrete models ship:
+
+``video``
+    A bitrate-ladder model: the sustainable rate picks the highest
+    ladder rung, the rung's perceptual quality sets the base MOS, and
+    a rebuffer term (rate shortfall vs the lowest rung) plus a
+    startup-latency term subtract from it — the classic
+    ladder-plus-rebuffering shape of DASH QoE models.
+
+``voip``
+    The ITU-T G.107 E-model, simplified: an R-factor starting at 93.2
+    is reduced by a one-way-delay impairment ``Id`` and an effective
+    equipment/loss impairment ``Ie_eff`` driven by packet loss and
+    jitter (jitter beyond the de-jitter buffer converts to loss), then
+    mapped to MOS via the standard cubic.  Capped at 4.5 like real
+    narrowband MOS.
+
+``bulk``
+    Throughput-utility: a concave (logarithmic) utility of achieved
+    rate against a reference rate — latency/jitter-insensitive, which
+    is exactly why a QoE-aware objective routes bulk *around* the
+    delay-sensitive classes.
+
+The ``generic`` class has no model and is *excluded* from QoE
+aggregates: pre-existing scenarios keep empty ``qoe_per_class``.
+
+This module is a leaf: it imports nothing from the framework and is
+fully typed (mypy runs over it in CI).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = [
+    "APP_CLASSES",
+    "APP_MODELS",
+    "AppQoEModel",
+    "VideoModel",
+    "VoipModel",
+    "BulkModel",
+    "FlowQoSSample",
+    "predicted_mos",
+    "aggregate_qoe",
+    "rate_to_mos",
+]
+
+MOS_MIN = 1.0
+MOS_MAX = 5.0
+
+
+def _clamp(value: float, lo: float = MOS_MIN, hi: float = MOS_MAX) -> float:
+    return max(lo, min(hi, value))
+
+
+@dataclass(frozen=True)
+class FlowQoSSample:
+    """One flow's network-level QoS as the backends measured it."""
+
+    rate_mbps: float
+    latency_ms: float = 0.0
+    jitter_ms: float = 0.0
+    loss_rate: float = 0.0
+
+
+class AppQoEModel:
+    """Base class: a named rate/latency/jitter/loss -> MOS mapping."""
+
+    name = "generic"
+    description = "no model; excluded from QoE aggregates"
+
+    def mos(self, sample: FlowQoSSample) -> float:
+        raise NotImplementedError
+
+
+class VideoModel(AppQoEModel):
+    """Bitrate ladder + rebuffer model for adaptive streaming video.
+
+    ``ladder`` maps sustainable Mbps rungs to perceptual quality MOS
+    (240p ... 4K-ish).  Below the lowest rung the player rebuffers:
+    quality degrades linearly with the shortfall.  Startup/interaction
+    latency subtracts mildly (video is buffered, not conversational).
+    """
+
+    name = "video"
+    description = "bitrate ladder + rebuffer model (DASH-style)"
+
+    #: (sustainable Mbps, quality MOS) rungs, ascending
+    ladder: Tuple[Tuple[float, float], ...] = (
+        (0.5, 2.0),
+        (1.2, 3.0),
+        (2.5, 3.8),
+        (5.0, 4.4),
+        (8.0, 4.8),
+    )
+    #: ms of one-way delay per MOS point lost to startup sluggishness
+    latency_penalty_per_ms: float = 1.0 / 400.0
+
+    def mos(self, sample: FlowQoSSample) -> float:
+        rate = max(0.0, sample.rate_mbps)
+        base_rate, base_q = self.ladder[0]
+        if rate < base_rate:
+            # rebuffering regime: quality collapses toward MOS 1 with
+            # the shortfall fraction
+            quality = MOS_MIN + (base_q - MOS_MIN) * (rate / base_rate)
+        else:
+            quality = base_q
+            for rung_rate, rung_q in self.ladder:
+                if rate >= rung_rate:
+                    quality = rung_q
+            # smooth interpolation toward the next rung keeps the
+            # objective's score strictly rate-monotone between rungs
+            for (lo_r, lo_q), (hi_r, hi_q) in zip(
+                self.ladder, self.ladder[1:]
+            ):
+                if lo_r <= rate < hi_r:
+                    frac = (rate - lo_r) / (hi_r - lo_r)
+                    quality = lo_q + (hi_q - lo_q) * frac
+        quality -= sample.latency_ms * self.latency_penalty_per_ms
+        # loss forces retransmits/skips even with buffering
+        quality -= 8.0 * max(0.0, sample.loss_rate)
+        return _clamp(quality)
+
+
+class VoipModel(AppQoEModel):
+    """ITU-T E-model (G.107), simplified to the terms telemetry feeds.
+
+    ``R = 93.2 - Id(delay) - Ie_eff(loss, jitter)`` with the standard
+    cubic R -> MOS mapping, clamped to the narrowband ceiling 4.5.
+    Jitter beyond the de-jitter buffer budget converts to effective
+    loss; a rate below the codec's requirement starves frames and
+    converts to loss too.
+    """
+
+    name = "voip"
+    description = "E-model MOS from delay, jitter and loss (G.107)"
+
+    codec_rate_mbps: float = 0.064  # G.711-ish with overheads
+    jitter_budget_ms: float = 20.0  # de-jitter buffer absorbs this
+    bpl: float = 25.1  # packet-loss robustness (G.113 App. I)
+
+    def mos(self, sample: FlowQoSSample) -> float:
+        d = max(0.0, sample.latency_ms)
+        # delay impairment Id: gentle slope, knee at 177.3 ms
+        delay_impairment = 0.024 * d
+        if d > 177.3:
+            delay_impairment += 0.11 * (d - 177.3)
+        # effective loss: wire loss + jitter overflow + codec starvation
+        loss = max(0.0, sample.loss_rate)
+        jitter_over = max(0.0, sample.jitter_ms - self.jitter_budget_ms)
+        loss += min(0.5, jitter_over / 100.0)
+        if 0.0 < sample.rate_mbps < self.codec_rate_mbps:
+            loss += min(
+                0.5, 1.0 - sample.rate_mbps / self.codec_rate_mbps
+            )
+        loss_pct = 100.0 * min(1.0, loss)
+        loss_impairment = 95.0 * loss_pct / (loss_pct + self.bpl)
+        r = 93.2 - delay_impairment - loss_impairment
+        if r <= 0.0:
+            return MOS_MIN
+        mos = 1.0 + 0.035 * r + 7e-6 * r * (r - 60.0) * (100.0 - r)
+        return _clamp(mos, MOS_MIN, 4.5)
+
+
+class BulkModel(AppQoEModel):
+    """Concave throughput utility for bulk transfer / backup traffic.
+
+    ``MOS = 1 + 3.8 * log(1 + rate/ref) / log(1 + max/ref)`` — strictly
+    rate-monotone, saturating, insensitive to delay and jitter.
+    """
+
+    name = "bulk"
+    description = "completion-time utility: concave in achieved rate"
+
+    reference_mbps: float = 5.0  # rate at which bulk feels "fine"
+    saturation_mbps: float = 100.0
+
+    def mos(self, sample: FlowQoSSample) -> float:
+        rate = max(0.0, sample.rate_mbps)
+        span = math.log1p(self.saturation_mbps / self.reference_mbps)
+        utility = math.log1p(rate / self.reference_mbps) / span
+        # heavy loss stalls the transfer regardless of nominal rate
+        utility *= max(0.0, 1.0 - 2.0 * sample.loss_rate)
+        return _clamp(MOS_MIN + (MOS_MAX - 1.2 - MOS_MIN) * utility)
+
+
+#: every class a FlowRequest may carry; "generic" has no model
+APP_CLASSES: Tuple[str, ...] = ("generic", "video", "voip", "bulk")
+
+APP_MODELS: Dict[str, AppQoEModel] = {
+    model.name: model
+    for model in (VideoModel(), VoipModel(), BulkModel())
+}
+
+
+def predicted_mos(
+    app_class: str,
+    rate_mbps: float,
+    latency_ms: float = 0.0,
+    jitter_ms: float = 0.0,
+    loss_rate: float = 0.0,
+) -> float:
+    """MOS the given app class would experience under these metrics.
+
+    ``generic`` (and unknown classes) score a neutral 3.0 so an
+    app-aware objective never prefers a path *because* the flow is
+    unclassified.
+    """
+    model = APP_MODELS.get(app_class)
+    if model is None:
+        return 3.0
+    return model.mos(
+        FlowQoSSample(
+            rate_mbps=rate_mbps,
+            latency_ms=latency_ms,
+            jitter_ms=jitter_ms,
+            loss_rate=loss_rate,
+        )
+    )
+
+
+def aggregate_qoe(
+    samples: Iterable[Tuple[str, FlowQoSSample]],
+) -> Tuple[Dict[str, float], float, int]:
+    """Fold per-flow ``(app_class, sample)`` pairs into result fields.
+
+    Returns ``(qoe_per_class, mean_qoe, qoe_flows)`` — per-class mean
+    MOS (name-sorted dict), the mean over every *classified* flow, and
+    how many flows that is.  ``generic`` flows are skipped, so
+    scenarios without app classes aggregate to ``({}, 0.0, 0)``.
+    """
+    per_class: Dict[str, List[float]] = {}
+    for app_class, sample in samples:
+        model = APP_MODELS.get(app_class)
+        if model is None:
+            continue
+        per_class.setdefault(app_class, []).append(model.mos(sample))
+    qoe_per_class = {
+        name: float(sum(scores) / len(scores))
+        for name, scores in sorted(per_class.items())
+    }
+    all_scores = [s for scores in per_class.values() for s in scores]
+    mean_qoe = (
+        float(sum(all_scores) / len(all_scores)) if all_scores else 0.0
+    )
+    return qoe_per_class, mean_qoe, len(all_scores)
+
+
+def rate_to_mos(
+    app_class: str,
+    rates_mbps: Iterable[float],
+    latency_ms: float = 0.0,
+    jitter_ms: float = 0.0,
+    loss_rate: float = 0.0,
+) -> List[float]:
+    """Map a rate series through one class's rate->MOS curve.
+
+    The ML tournament uses this to turn a bandwidth telemetry series
+    into a predicted-MOS target series (same series length, same lag
+    features — only the regressand changes).
+    """
+    return [
+        predicted_mos(
+            app_class,
+            float(rate),
+            latency_ms=latency_ms,
+            jitter_ms=jitter_ms,
+            loss_rate=loss_rate,
+        )
+        for rate in rates_mbps
+    ]

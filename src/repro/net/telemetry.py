@@ -441,6 +441,8 @@ class PathObservation:
     available_mbps: float
     latency_ms: float
     bottleneck_util: float
+    jitter_ms: float = 0.0
+    loss_rate: float = 0.0
 
 
 class PathTelemetryProbe:
@@ -452,10 +454,15 @@ class PathTelemetryProbe:
       ``capacity - carried traffic`` (the headroom Hecate forecasts),
     - ``path:NAME:latency_ms`` — propagation plus a queueing estimate from
       current queue depths,
-    - ``path:NAME:util`` — utilization of the bottleneck link.
+    - ``path:NAME:util`` — utilization of the bottleneck link,
+    - ``path:NAME:jitter_ms`` — RFC 3550-style smoothed latency
+      variation (``J += (|dLatency| - J) / 16`` per sample), the jitter
+      the VoIP MOS model scores,
+    - ``path:NAME:loss`` — this interval's dropped-packet fraction
+      along the path (drops / transmitted, both as deltas).
 
     Like the link collector, one sample is a single vectorised pass over
-    the path's hops and one 3-column row append (the three series share
+    the path's hops and one 5-column row append (the five series share
     their time axis).  The same rate guard applies: hops with no usable
     configured rate contribute 0 utilization and headroom.
     """
@@ -502,13 +509,19 @@ class PathTelemetryProbe:
         self._dirs = tuple(dirs)
         self._links = tuple(links)
         self._prev_bytes = np.zeros(len(dirs), dtype=np.float64)
-        self._row = np.empty(3, dtype=np.float64)
+        self._prev_drops = np.zeros(len(dirs), dtype=np.float64)
+        self._prev_pkts = np.zeros(len(dirs), dtype=np.float64)
+        self._prev_latency_ms: Optional[float] = None
+        self._jitter_ms = 0.0
+        self._row = np.empty(5, dtype=np.float64)
         self._scale = 8.0 / self.interval / 1e6
         self._group = self.db.column_group(
             [
                 f"path:{self.name}:available_mbps",
                 f"path:{self.name}:latency_ms",
                 f"path:{self.name}:util",
+                f"path:{self.name}:jitter_ms",
+                f"path:{self.name}:loss",
             ]
         )
 
@@ -519,6 +532,12 @@ class PathTelemetryProbe:
         dirs = self._dirs
         k = len(dirs)
         tx = np.fromiter((d.stats.tx_bytes for d in dirs), np.float64, count=k)
+        drops = np.fromiter(
+            (d.stats.dropped_packets for d in dirs), np.float64, count=k
+        )
+        pkts = np.fromiter(
+            (d.stats.tx_packets for d in dirs), np.float64, count=k
+        )
         depth = np.fromiter(
             (len(d.queue) for d in dirs), np.float64, count=k
         )
@@ -538,16 +557,32 @@ class PathTelemetryProbe:
         carried += bg
         self._prev_bytes = tx
         headroom = np.maximum(rates - carried, 0.0)
+        latency_ms = prop_ms + float(np.dot(depth, queue_ms_per_pkt))
+        # jitter: smoothed latency variation between consecutive samples
+        if self._prev_latency_ms is not None:
+            d_lat = abs(latency_ms - self._prev_latency_ms)
+            self._jitter_ms += (d_lat - self._jitter_ms) / 16.0
+        self._prev_latency_ms = latency_ms
+        # loss: this interval's dropped fraction of attempted packets
+        dropped = float(np.sum(drops - self._prev_drops))
+        attempted = float(np.sum(pkts - self._prev_pkts)) + dropped
+        self._prev_drops = drops
+        self._prev_pkts = pkts
+        loss_rate = dropped / attempted if attempted > 0 else 0.0
         obs = PathObservation(
             t=now,
             available_mbps=float(headroom.min()),
-            latency_ms=prop_ms + float(np.dot(depth, queue_ms_per_pkt)),
+            latency_ms=latency_ms,
             bottleneck_util=float(np.max(carried * _guarded_inverse(rates))),
+            jitter_ms=self._jitter_ms,
+            loss_rate=loss_rate,
         )
         self.observations.append(obs)
         row = self._row
         row[0] = obs.available_mbps
         row[1] = obs.latency_ms
         row[2] = obs.bottleneck_util
+        row[3] = obs.jitter_ms
+        row[4] = obs.loss_rate
         self._group.append(now, row)
         self.network.sim.schedule(self.interval, self._sample)

@@ -347,6 +347,83 @@ register(
 
 register(
     Scenario(
+        name="qoe-mixed-steady",
+        description=(
+            "The QoE acceptance case: video/VoIP/bulk between host1 "
+            "and host2 over a fat far path (12 Mbps, 300 ms) and a "
+            "thin near path (1 Mbps, 2 ms); max_bandwidth herds "
+            "everything onto the fat pipe, max_qoe sends VoIP to the "
+            "low-latency tunnel and keeps the rate-hungry classes on "
+            "the fat one"
+        ),
+        topology=TopologySpec(
+            "global_p4_lab",
+            {
+                "rates": {
+                    ("MIA", "SAO"): 12.0,
+                    ("SAO", "AMS"): 12.0,
+                    ("MIA", "CHI"): 1.0,
+                    ("CHI", "AMS"): 1.0,
+                },
+                "delays": {
+                    ("MIA", "SAO"): 150.0,
+                    ("SAO", "AMS"): 150.0,
+                },
+            },
+        ),
+        traffic=TrafficSpec(
+            "app_mix",
+            n_flows=5,
+            params={"pairs": [("host1", "host2")]},
+        ),
+        policy=PolicySpec(objective="max_qoe"),
+        tunnels=(
+            ("T1", 1, ("MIA", "SAO", "AMS")),
+            ("T2", 2, ("MIA", "CHI", "AMS")),
+        ),
+        horizon=20.0,
+        warmup=5.0,
+    )
+)
+
+register(
+    Scenario(
+        name="qoe-mixed-flash",
+        description=(
+            "Mixed app classes on a six-router ring riding out a "
+            "video flash crowd: steady video/VoIP/bulk, then a surge "
+            "of video sessions for the middle fifth of the run, then "
+            "recovery — QoE-aware placement under changing congestion"
+        ),
+        topology=TopologySpec(
+            "ring",
+            {
+                "n_routers": 6,
+                "n_host_pairs": 2,
+                "rate_mbps": 50.0,
+                "host_rate_mbps": 100.0,
+            },
+        ),
+        phases=(
+            TrafficPhase(0.0, TrafficSpec("app_mix", n_flows=5), "steady"),
+            TrafficPhase(
+                0.4,
+                TrafficSpec(
+                    "app_mix",
+                    n_flows=8,
+                    params={"mix": {"video": 6, "voip": 1, "bulk": 1}},
+                ),
+                "video-surge",
+            ),
+            TrafficPhase(0.6, TrafficSpec("app_mix", n_flows=5), "recover"),
+        ),
+        policy=PolicySpec(objective="max_qoe", reoptimize_every=5.0),
+        horizon=45.0,
+    )
+)
+
+register(
+    Scenario(
         name="line-link-flap",
         description=(
             "Worst case for the optimizer: the only path flaps, so "
@@ -692,6 +769,42 @@ register(
         policy=PolicySpec(reoptimize_every=5.0),
         backend="hybrid",
         horizon=40.0,
+        tags=("scale",),
+    )
+)
+
+register(
+    Scenario(
+        name="scale-qoe-mix-2k",
+        description=(
+            "Application-aware scale tier: 24 classified video/VoIP/"
+            "bulk flows (packet-level foreground, per-flow QoE) over "
+            "~2 000 generic CBR mice (fluid background) on a k=4 fat "
+            "tree — the weekly mixed-app scale-smoke gate"
+        ),
+        topology=TopologySpec(
+            "fat_tree",
+            {
+                "k": 4,
+                "n_hosts": 16,
+                "rate_mbps": 25.0,
+                "host_rate_mbps": 50.0,
+            },
+        ),
+        traffic=TrafficSpec(
+            "app_mix",
+            n_flows=2000,
+            params={
+                "mix": {"video": 10, "voip": 8, "bulk": 6},
+                "n_mice": 1976,
+                "mice_rate_mbps": 0.5,
+                "video_rate_mbps": 3.0,
+            },
+        ),
+        classes=FlowClassSpec(foreground=("video*", "voip*", "bulk*")),
+        policy=PolicySpec(objective="max_qoe"),
+        backend="hybrid",
+        horizon=30.0,
         tags=("scale",),
     )
 )

@@ -19,7 +19,7 @@ error at load time, not a silent row in a sweep comparison table.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping
 
 __all__ = ["ScenarioResult"]
@@ -75,6 +75,14 @@ class ScenarioResult:
     background_classes: int = 0
     #: total background throughput, Mbps averaged over the horizon.
     background_mbps: float = 0.0
+    #: mean predicted MOS over every *classified* flow (see
+    #: repro.net.qoe); 0.0 when the scenario offers only generic flows.
+    mean_qoe: float = 0.0
+    #: how many flows carried an app class and were scored.
+    qoe_flows: int = 0
+    #: per-app-class mean predicted MOS (name-sorted; empty without
+    #: classified flows).
+    qoe_per_class: Dict[str, float] = field(default_factory=dict)
 
     #: numeric field -> coercion applied on both to_dict and from_dict, so
     #: results survive a JSON round-trip (and numpy scalars never leak
@@ -102,6 +110,8 @@ class ScenarioResult:
         "background_flows": int,
         "background_classes": int,
         "background_mbps": float,
+        "mean_qoe": float,
+        "qoe_flows": int,
     }
 
     def to_dict(self) -> Dict[str, Any]:
@@ -117,6 +127,10 @@ class ScenarioResult:
         }
         payload["per_flow_mbps"] = {
             str(name): float(rate) for name, rate in self.per_flow_mbps.items()
+        }
+        payload["qoe_per_class"] = {
+            str(name): float(mos)
+            for name, mos in self.qoe_per_class.items()
         }
         return payload
 
@@ -138,6 +152,9 @@ class ScenarioResult:
         source.setdefault("background_flows", 0)
         source.setdefault("background_classes", 0)
         source.setdefault("background_mbps", 0.0)
+        source.setdefault("mean_qoe", 0.0)
+        source.setdefault("qoe_flows", 0)
+        source.setdefault("qoe_per_class", {})
         backend = str(source["backend"])
         known = _known_backend_names()
         if backend not in known:
@@ -152,6 +169,10 @@ class ScenarioResult:
         kwargs["per_flow_mbps"] = {
             str(name): float(rate)
             for name, rate in payload["per_flow_mbps"].items()
+        }
+        kwargs["qoe_per_class"] = {
+            str(name): float(mos)
+            for name, mos in source["qoe_per_class"].items()
         }
         return cls(**kwargs)
 
@@ -182,6 +203,15 @@ class ScenarioResult:
             lines.append(
                 f"  background: {self.background_flows} flows ({mode}), "
                 f"{self.background_mbps:.2f} Mbps"
+            )
+        if self.qoe_flows:
+            per_class = ", ".join(
+                f"{name}:{mos:.2f}"
+                for name, mos in self.qoe_per_class.items()
+            )
+            lines.append(
+                f"  qoe       : {self.mean_qoe:.2f} mean MOS over "
+                f"{self.qoe_flows} flows ({per_class})"
             )
         if self.per_flow_mbps:
             worst = sorted(self.per_flow_mbps.items(), key=lambda kv: kv[1])

@@ -164,8 +164,10 @@ class PolicySpec:
     Parameters
     ----------
     objective:
-        Hecate objective forwarded with every flow request
-        (``max_bandwidth`` / ``min_latency`` / ``min_max_utilization``).
+        Hecate objective forwarded with every flow request — any name in
+        the pluggable registry (``repro objectives list``; built-ins are
+        ``max_bandwidth`` / ``min_latency`` / ``min_max_utilization`` /
+        ``max_qoe``, see :mod:`repro.hecate.objectives`).
     model:
         Regressor behind Hecate's forecaster: ``"linear"`` (fast,
         deterministic — the default for scenario sweeps) or ``"rfr"``

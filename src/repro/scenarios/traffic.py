@@ -36,6 +36,12 @@ Patterns
     arrive throughout the horizon with batched packet trains
     (``params["train_packets"]``) so even a pure-DES reference run
     stays affordable.
+``app_mix``
+    Mixed application classes — CBR video and VoIP plus elastic bulk
+    TCP, each carrying its ``app_class`` (see :mod:`repro.net.qoe`)
+    and a distinct ToS, optionally over a generic UDP mice background
+    (``params["n_mice"]``).  The workload the ``max_qoe`` objective
+    and the QoE result aggregates are evaluated on.
 
 Flows that PBR must steer independently get a distinct ToS byte: the
 ingress access-lists match on (src ip, dst ip, tos), so the ToS is what
@@ -276,6 +282,140 @@ def _scale_mix(
     return requests
 
 
+def _app_mix(
+    network: Network,
+    spec: TrafficSpec,
+    horizon: float,
+    rng: np.random.Generator,
+) -> List[FlowRequest]:
+    """Mixed application-class workload: video + VoIP + bulk.
+
+    ``params``:
+
+    - ``mix`` — per-class flow-count weights (default
+      ``{"video": 2, "voip": 2, "bulk": 1}``); the budget is split
+      proportionally, every class gets at least one flow when the
+      budget allows.
+    - ``pairs`` — optional explicit ``[(src, dst), ...]`` list; by
+      default flows draw random host pairs (the acceptance scenario
+      pins one congested pair so path choice is the only variable).
+    - ``video_rate_mbps`` / ``voip_rate_mbps`` — CBR rates for the
+      UDP classes (defaults 4.0 / 0.1); bulk is elastic TCP.
+    - ``n_mice`` / ``mice_rate_mbps`` / ``train_packets`` — optional
+      generic UDP mice riding along (ToS 0, never steered), for
+      scale-tier variants where classified flows are the hybrid
+      foreground over a mice background.
+
+    Every classified flow gets a distinct ToS so PBR steers it
+    individually, and its name is prefixed with its class
+    (``video0``, ``voip1``, ``bulk2`` ...) so hybrid foreground globs
+    like ``video*`` select them.
+    """
+    pairs = host_pairs(network)
+    chosen = spec.params.get("pairs")
+    if chosen:
+        pairs = [tuple(p) for p in chosen]
+    mix = dict(spec.params.get("mix", {"video": 2, "voip": 2, "bulk": 1}))
+    n_mice = int(spec.params.get("n_mice", 0))
+    budget = spec.n_flows - n_mice
+    if budget < 1:
+        raise ValueError("app_mix needs n_flows > n_mice")
+    if budget > MAX_FLOWS:
+        raise ValueError(
+            f"app_mix offers {budget} classified flows, beyond the "
+            f"{MAX_FLOWS} distinct ToS bytes available for per-flow "
+            "PBR steering; move the excess into n_mice"
+        )
+    total_w = sum(mix.values())
+    counts = {
+        cls: max(1, int(round(budget * w / total_w)))
+        for cls, w in mix.items()
+        if w > 0
+    }
+    # trim overshoot deterministically (largest class first)
+    while sum(counts.values()) > budget:
+        biggest = max(sorted(counts), key=lambda c: counts[c])
+        counts[biggest] -= 1
+    video_rate = float(spec.params.get("video_rate_mbps", 4.0))
+    voip_rate = float(spec.params.get("voip_rate_mbps", 0.1))
+    requests = []
+    i = 0
+    for cls in sorted(counts):
+        for _ in range(counts[cls]):
+            src, dst = pairs[int(rng.integers(len(pairs)))]
+            start = round(float(rng.uniform(0.0, 0.1 * horizon)), 3)
+            duration = max(1.0, horizon - start)
+            if cls == "video":
+                requests.append(
+                    FlowRequest(
+                        flow_name=f"video{i}",
+                        src=src,
+                        dst=dst,
+                        protocol="udp",
+                        tos=_tos(i),
+                        duration=duration,
+                        start_at=start,
+                        rate_mbps=video_rate,
+                        app_class="video",
+                    )
+                )
+            elif cls == "voip":
+                requests.append(
+                    FlowRequest(
+                        flow_name=f"voip{i}",
+                        src=src,
+                        dst=dst,
+                        protocol="udp",
+                        tos=_tos(i),
+                        duration=duration,
+                        start_at=start,
+                        rate_mbps=voip_rate,
+                        app_class="voip",
+                    )
+                )
+            elif cls == "bulk":
+                requests.append(
+                    FlowRequest(
+                        flow_name=f"bulk{i}",
+                        src=src,
+                        dst=dst,
+                        protocol="tcp",
+                        tos=_tos(i),
+                        duration=duration,
+                        start_at=start,
+                        app_class="bulk",
+                    )
+                )
+            else:
+                raise ValueError(
+                    f"app_mix mix names unknown class {cls!r}"
+                )
+            i += 1
+    mice_rate = float(spec.params.get("mice_rate_mbps", 0.5))
+    train = int(spec.params.get("train_packets", 8))
+    all_pairs = host_pairs(network)
+    for j in range(n_mice):
+        src, dst = all_pairs[int(rng.integers(len(all_pairs)))]
+        duration = max(1.0, round(float(rng.uniform(0.03, 0.1)) * horizon, 3))
+        start = round(
+            float(rng.uniform(0.0, max(0.001, horizon - duration))), 3
+        )
+        requests.append(
+            FlowRequest(
+                flow_name=f"mouse{j}",
+                src=src,
+                dst=dst,
+                protocol="udp",
+                tos=0,  # mice share ToS 0: background class, never steered
+                duration=duration,
+                start_at=start,
+                rate_mbps=mice_rate,
+                train_packets=train,
+            )
+        )
+    return requests
+
+
 TRAFFIC_PATTERNS: Dict[
     str,
     Callable[
@@ -289,6 +429,7 @@ TRAFFIC_PATTERNS: Dict[
     "elephant_mice": _elephant_mice,
     "explicit": _explicit,
     "scale_mix": _scale_mix,
+    "app_mix": _app_mix,
 }
 
 #: Patterns that stamp a distinct non-zero ToS on every flow (and are

@@ -55,7 +55,11 @@ __all__ = [
 #: / hybrid delivered-rate summation became hash-seed independent
 #: (sorted flow order), moving total_throughput_mbps/background_mbps by
 #: one ulp on some scenarios.
-CACHE_VERSION = 6
+#: v7: application-aware QoE — FlowRequest grew app_class, path probes
+#: record jitter_ms/loss columns (telemetry_samples changed on every
+#: DES/hybrid run), and results carry mean_qoe / qoe_flows /
+#: qoe_per_class.
+CACHE_VERSION = 7
 
 #: Where sweeps cache by default (relative to the working directory).
 DEFAULT_CACHE_DIR = Path(".sweep-cache")

@@ -17,6 +17,12 @@ warmup=2.0)``:
 If a refactor legitimately changes a number, re-capture the pin in the
 same commit and say why in the commit message; this file failing is the
 alarm, not the nuisance.
+
+Re-captured at ``CACHE_VERSION`` v7 (application-aware QoE): the path
+probes grew jitter/loss columns, moving ``telemetry_samples`` on every
+DES/hybrid cell, and results grew ``mean_qoe`` / ``qoe_flows`` /
+``qoe_per_class`` (all zero/empty here — these scenarios classify no
+flows).  Every traffic number was verified unchanged at re-capture.
 """
 
 import dataclasses

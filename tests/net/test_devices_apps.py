@@ -189,6 +189,44 @@ class TestUdp:
         with pytest.raises(ValueError):
             UdpFlow(net.hosts["h1"], net.hosts["h2"], rate_mbps=1.0, duration=0.0)
 
+    def test_report_records_jitter_and_latency(self):
+        # the VoIP MOS model needs per-packet inter-arrival jitter and
+        # one-way latency, not just the mean delivered rate
+        net = line_network(core_rate=20.0, core_delay=5.0)
+        flow = UdpFlow(
+            net.hosts["h1"], net.hosts["h2"], rate_mbps=5.0, duration=10.0
+        ).start()
+        net.run(until=12.0)
+        report = flow.report()
+        # one-way prop delay is ~10.2 ms + serialization/queueing
+        assert 10.0 <= report.mean_latency_ms < 30.0
+        assert report.mean_latency_ms == pytest.approx(
+            flow.mean_latency_ms
+        )
+        # an unloaded CBR flow sees near-constant transit: tiny jitter
+        assert 0.0 <= report.jitter_ms < 2.0
+        assert report.loss_rate == pytest.approx(flow.loss_rate)
+        assert report.mean_mbps == pytest.approx(flow.delivered_mbps())
+
+    def test_queueing_raises_jitter(self):
+        # an oscillating queue (AIMD cross traffic) spreads transit
+        # times; RFC 3550 jitter must move with it — strictly greater
+        # than the unloaded run's near-zero value
+        quiet = line_network(core_rate=20.0)
+        q = UdpFlow(
+            quiet.hosts["h1"], quiet.hosts["h2"], rate_mbps=5.0, duration=5.0
+        ).start()
+        quiet.run(until=8.0)
+        busy = line_network(core_rate=20.0)
+        TcpFlow(busy.hosts["h1"], busy.hosts["h2"], duration=8.0).start()
+        b = UdpFlow(
+            busy.hosts["h1"], busy.hosts["h2"], rate_mbps=5.0, duration=5.0
+        ).start()
+        busy.run(until=8.0)
+        assert b.jitter_ms > max(q.jitter_ms * 1e3, 1e-3)
+        assert b.mean_latency_ms > q.mean_latency_ms + 5.0
+        assert b.report().jitter_ms == pytest.approx(b.jitter_ms)
+
 
 class TestNetworkApi:
     def test_duplicate_names_rejected(self):

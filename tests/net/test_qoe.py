@@ -1,0 +1,165 @@
+"""Application QoE models: ladders, E-model, utilities, aggregation."""
+
+import pytest
+
+from repro.net.qoe import (
+    APP_CLASSES,
+    APP_MODELS,
+    BulkModel,
+    FlowQoSSample,
+    VideoModel,
+    VoipModel,
+    aggregate_qoe,
+    predicted_mos,
+    rate_to_mos,
+)
+
+
+def _mos(model, rate, **kwargs):
+    return model.mos(FlowQoSSample(rate_mbps=rate, **kwargs))
+
+
+class TestVideoModel:
+    model = VideoModel()
+
+    def test_rate_monotone_across_the_ladder(self):
+        rates = [0.1, 0.5, 0.8, 1.2, 2.0, 2.5, 4.0, 5.0, 6.5, 8.0, 20.0]
+        scores = [_mos(self.model, r) for r in rates]
+        assert scores == sorted(scores)
+        # strictly monotone below saturation (the objective relies on
+        # a non-flat score between rungs)
+        below_top = [s for r, s in zip(rates, scores) if r < 8.0]
+        assert all(a < b for a, b in zip(below_top, below_top[1:]))
+
+    def test_rungs_score_their_perceptual_quality(self):
+        for rung_rate, rung_q in self.model.ladder:
+            assert _mos(self.model, rung_rate) == pytest.approx(rung_q)
+
+    def test_rebuffer_collapse_below_the_lowest_rung(self):
+        assert _mos(self.model, 0.0) == 1.0
+        assert 1.0 < _mos(self.model, 0.25) < 2.0
+
+    def test_latency_and_loss_subtract(self):
+        clean = _mos(self.model, 8.0)
+        assert _mos(self.model, 8.0, latency_ms=400.0) == pytest.approx(
+            clean - 1.0
+        )
+        assert _mos(self.model, 8.0, loss_rate=0.1) == pytest.approx(
+            clean - 0.8
+        )
+
+    def test_clamped_to_mos_range(self):
+        assert _mos(self.model, 1000.0) <= 5.0
+        assert _mos(self.model, 8.0, latency_ms=1e6) == 1.0
+
+
+class TestVoipModel:
+    model = VoipModel()
+
+    def test_clean_narrowband_call_is_ceiling_capped(self):
+        assert _mos(self.model, 0.1, latency_ms=2.0) == pytest.approx(
+            4.4, abs=0.1
+        )
+        assert _mos(self.model, 0.1) <= 4.5
+
+    def test_delay_knee_at_177ms(self):
+        near = _mos(self.model, 0.1, latency_ms=150.0)
+        past = _mos(self.model, 0.1, latency_ms=300.0)
+        assert past < near
+        # past the knee the slope steepens: the same 150 ms again
+        # costs much more than the first 150 ms did
+        first_drop = _mos(self.model, 0.1) - near
+        second_drop = near - past
+        assert second_drop > 2.0 * first_drop
+
+    def test_jitter_beyond_budget_converts_to_loss(self):
+        within = _mos(self.model, 0.1, jitter_ms=10.0)
+        assert within == _mos(self.model, 0.1)
+        assert _mos(self.model, 0.1, jitter_ms=80.0) < within
+
+    def test_codec_starvation_counts_as_loss(self):
+        starved = _mos(self.model, 0.01, latency_ms=2.0)
+        assert starved < _mos(self.model, 0.1, latency_ms=2.0) - 0.5
+
+    def test_heavy_loss_floors_at_one(self):
+        assert _mos(self.model, 0.1, loss_rate=1.0) < 2.0
+        assert _mos(self.model, 0.1, loss_rate=1.0, latency_ms=2e3) == 1.0
+
+
+class TestBulkModel:
+    model = BulkModel()
+
+    def test_concave_and_rate_monotone(self):
+        rates = (0.0, 25.0, 50.0, 75.0, 100.0)  # evenly spaced
+        scores = [_mos(self.model, r) for r in rates]
+        assert scores == sorted(scores)
+        assert scores[0] == 1.0
+        gains = [b - a for a, b in zip(scores, scores[1:])]
+        assert gains == sorted(gains, reverse=True)  # diminishing returns
+
+    def test_latency_and_jitter_insensitive(self):
+        assert _mos(self.model, 10.0, latency_ms=500.0, jitter_ms=50.0) == (
+            _mos(self.model, 10.0)
+        )
+
+    def test_loss_stalls_the_transfer(self):
+        assert _mos(self.model, 10.0, loss_rate=0.5) == 1.0
+
+
+class TestPredictedMos:
+    def test_generic_and_unknown_score_neutral(self):
+        assert predicted_mos("generic", 100.0) == 3.0
+        assert predicted_mos("no-such-class", 0.0) == 3.0
+
+    def test_dispatches_to_the_class_model(self):
+        assert predicted_mos("video", 8.0) == _mos(VideoModel(), 8.0)
+        assert predicted_mos("voip", 0.1, latency_ms=300.0) == _mos(
+            VoipModel(), 0.1, latency_ms=300.0
+        )
+
+    def test_registry_covers_every_non_generic_class(self):
+        assert set(APP_MODELS) == set(APP_CLASSES) - {"generic"}
+
+
+class TestAggregateQoe:
+    def test_generic_flows_are_excluded(self):
+        per_class, mean, count = aggregate_qoe(
+            [("generic", FlowQoSSample(rate_mbps=10.0))]
+        )
+        assert (per_class, mean, count) == ({}, 0.0, 0)
+
+    def test_per_class_means_and_overall_mean(self):
+        samples = [
+            ("video", FlowQoSSample(rate_mbps=8.0)),
+            ("video", FlowQoSSample(rate_mbps=0.5)),
+            ("voip", FlowQoSSample(rate_mbps=0.1, latency_ms=2.0)),
+            ("generic", FlowQoSSample(rate_mbps=50.0)),
+        ]
+        per_class, mean, count = aggregate_qoe(samples)
+        assert count == 3
+        assert set(per_class) == {"video", "voip"}
+        assert per_class["video"] == pytest.approx((4.8 + 2.0) / 2.0)
+        expected = (4.8 + 2.0 + per_class["voip"]) / 3.0
+        assert mean == pytest.approx(expected)
+
+    def test_keys_are_name_sorted(self):
+        samples = [
+            ("voip", FlowQoSSample(rate_mbps=0.1)),
+            ("bulk", FlowQoSSample(rate_mbps=5.0)),
+            ("video", FlowQoSSample(rate_mbps=2.5)),
+        ]
+        per_class, _, _ = aggregate_qoe(samples)
+        assert list(per_class) == ["bulk", "video", "voip"]
+
+
+class TestRateToMos:
+    def test_maps_a_series_pointwise(self):
+        series = [0.0, 2.5, 8.0]
+        assert rate_to_mos("video", series) == [
+            predicted_mos("video", r) for r in series
+        ]
+
+    def test_extra_metrics_are_forwarded(self):
+        assert rate_to_mos("video", [8.0], latency_ms=400.0) == [
+            predicted_mos("video", 8.0, latency_ms=400.0)
+        ]

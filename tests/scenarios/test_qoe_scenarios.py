@@ -1,0 +1,152 @@
+"""Application-aware QoE across the stack: the acceptance scenario,
+cross-backend per-class aggregates, and the extended result schema.
+
+The agreement tolerances asserted here are the documented contract of
+the QoE layer (see docs/QOE.md "Backend agreement"):
+
+- **mean MOS** — on ``qoe-mixed-steady``, fluid and hybrid mean MOS
+  stay within ``MEAN_QOE_ABS_TOL`` of a pure DES run;
+- **per-class MOS** — each class mean stays within
+  ``CLASS_QOE_ABS_TOL``.  Fluid/hybrid-background samples carry
+  propagation delay but zero queueing/jitter/loss, so they are an
+  optimistic bound, widest for loss-sensitive classes under congestion.
+"""
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import ScenarioRunner, ScenarioResult, get_scenario
+
+#: documented agreement bound: fluid/hybrid vs DES mean MOS
+MEAN_QOE_ABS_TOL = 0.5
+#: documented agreement bound: fluid/hybrid vs DES per-class mean MOS
+CLASS_QOE_ABS_TOL = 1.0
+
+_RESULTS = {}
+
+
+def _result(backend, objective=None):
+    """One quick run per (backend, objective), cached for the module."""
+    key = (backend, objective)
+    if key not in _RESULTS:
+        scenario = get_scenario("qoe-mixed-steady")
+        if objective is not None:
+            scenario = scenario.with_overrides(
+                policy=dataclasses.replace(
+                    scenario.policy, objective=objective
+                )
+            )
+        _RESULTS[key] = ScenarioRunner(scenario, backend=backend).run()
+    return _RESULTS[key]
+
+
+class TestAcceptance:
+    """ISSUE acceptance: on the mixed scenario, max_qoe must beat
+    max_bandwidth on mean predicted MOS under congestion."""
+
+    def test_max_qoe_beats_max_bandwidth(self):
+        qoe = _result("des", "max_qoe")
+        bandwidth = _result("des", "max_bandwidth")
+        assert qoe.mean_qoe > bandwidth.mean_qoe
+
+    def test_the_gain_comes_from_voip_placement(self):
+        """max_bandwidth herds VoIP onto the fat 300 ms tunnel with the
+        congesting classes; max_qoe sends it to the thin 2 ms one."""
+        qoe = _result("des", "max_qoe")
+        bandwidth = _result("des", "max_bandwidth")
+        assert (
+            qoe.qoe_per_class["voip"]
+            > bandwidth.qoe_per_class["voip"] + 0.5
+        )
+        # video and bulk ride the fat tunnel under both objectives
+        for app in ("video", "bulk"):
+            assert qoe.qoe_per_class[app] == pytest.approx(
+                bandwidth.qoe_per_class[app], abs=0.2
+            )
+
+    def test_acceptance_comparison_is_deterministic(self):
+        repeat = ScenarioRunner(
+            get_scenario("qoe-mixed-steady"), backend="des"
+        ).run()
+        assert repeat == _result("des", "max_qoe")
+
+
+class TestBackendAgreement:
+    @pytest.mark.parametrize("backend", ["des", "fluid", "hybrid"])
+    def test_per_class_aggregates_present(self, backend):
+        result = _result(backend)
+        assert result.qoe_flows == 5
+        assert set(result.qoe_per_class) == {"bulk", "video", "voip"}
+        assert 1.0 <= result.mean_qoe <= 5.0
+        for mos in result.qoe_per_class.values():
+            assert 1.0 <= mos <= 5.0
+
+    @pytest.mark.parametrize("backend", ["fluid", "hybrid"])
+    def test_mean_qoe_within_documented_bound(self, backend):
+        des = _result("des")
+        other = _result(backend)
+        assert other.mean_qoe == pytest.approx(
+            des.mean_qoe, abs=MEAN_QOE_ABS_TOL
+        )
+
+    @pytest.mark.parametrize("backend", ["fluid", "hybrid"])
+    def test_per_class_qoe_within_documented_bound(self, backend):
+        des = _result("des")
+        other = _result(backend)
+        for app, mos in des.qoe_per_class.items():
+            assert other.qoe_per_class[app] == pytest.approx(
+                mos, abs=CLASS_QOE_ABS_TOL
+            )
+
+
+class TestResultQoeFields:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        mean_qoe=st.floats(0.0, 5.0, allow_nan=False),
+        qoe_flows=st.integers(0, 10_000),
+        qoe_per_class=st.dictionaries(
+            st.sampled_from(["video", "voip", "bulk", "gaming"]),
+            st.floats(1.0, 5.0, allow_nan=False),
+            max_size=4,
+        ),
+    )
+    def test_round_trip_is_exact(self, mean_qoe, qoe_flows, qoe_per_class):
+        """to_dict -> json -> from_dict must reproduce the QoE fields
+        exactly, floats included (the sweep cache relies on it)."""
+        result = dataclasses.replace(
+            _result("fluid"),
+            mean_qoe=mean_qoe,
+            qoe_flows=qoe_flows,
+            qoe_per_class=qoe_per_class,
+        )
+        payload = json.loads(json.dumps(result.to_dict()))
+        rebuilt = ScenarioResult.from_dict(payload)
+        assert rebuilt == result
+        assert rebuilt.qoe_per_class == qoe_per_class
+
+    def test_legacy_payload_defaults_to_no_qoe(self):
+        """Artifacts written before the QoE fields existed must load
+        with empty aggregates, not raise."""
+        payload = _result("fluid").to_dict()
+        for key in ("mean_qoe", "qoe_flows", "qoe_per_class"):
+            del payload[key]
+        rebuilt = ScenarioResult.from_dict(payload)
+        assert rebuilt.mean_qoe == 0.0
+        assert rebuilt.qoe_flows == 0
+        assert rebuilt.qoe_per_class == {}
+
+    def test_summary_reports_per_class_mos(self):
+        summary = _result("des").summary()
+        assert "mean MOS over 5 flows" in summary
+        assert "voip:" in summary
+
+    def test_summary_omits_qoe_for_unclassified_scenarios(self):
+        scenario = get_scenario("ring-uniform").quick()
+        result = ScenarioRunner(scenario, backend="fluid").run()
+        assert result.qoe_flows == 0
+        assert result.qoe_per_class == {}
+        assert "MOS" not in result.summary()

@@ -92,6 +92,43 @@ class TestCaching:
             SweepEngine(GRID, jobs=0)
 
 
+class TestMixedAppSweep:
+    """Sweeping the QoE scenarios: the app-aware objective axis and the
+    extended result fields must stay byte-identical across workers."""
+
+    #: mixed video/voip/bulk cells across both QoE objectives
+    QOE_GRID = SweepSpec(
+        scenarios=("qoe-mixed-steady", "qoe-mixed-flash"),
+        seeds=(0, 1),
+        backends=("fluid",),
+        overrides={"horizon": 8.0, "warmup": 2.0},
+        policies=(
+            {"objective": "max_bandwidth"},
+            {"objective": "max_qoe"},
+        ),
+    )
+
+    def test_jobs_2_json_artifact_is_byte_identical(self):
+        serial = SweepEngine(self.QOE_GRID, jobs=1).run()
+        parallel = SweepEngine(self.QOE_GRID, jobs=2).run()
+        blob = render_json(
+            serial.runs, serial.results,
+            aggregate(serial.runs, serial.results),
+        )
+        assert blob == render_json(
+            parallel.runs, parallel.results,
+            aggregate(parallel.runs, parallel.results),
+        )
+
+    def test_qoe_fields_survive_the_worker_boundary(self):
+        outcome = SweepEngine(self.QOE_GRID, jobs=2).run()
+        assert all(r.qoe_flows > 0 for r in outcome.results)
+        assert all(
+            set(r.qoe_per_class) == {"bulk", "video", "voip"}
+            for r in outcome.results
+        )
+
+
 class TestAggregation:
     @pytest.fixture(scope="class")
     def outcome(self):

@@ -439,3 +439,72 @@ class TestServiceCli:
     def test_service_run_unknown_workload(self, capsys):
         assert main(["service", "run", "atlantis"]) == 2
         assert "unknown service workload" in capsys.readouterr().err
+
+
+class TestObjectivesCli:
+    def test_objectives_list_prints_the_registry(self, capsys):
+        from repro.hecate.objectives import list_objectives
+
+        assert main(["objectives", "list"]) == 0
+        out = capsys.readouterr().out
+        for spec in list_objectives():
+            assert spec.name in out
+            assert spec.description in out
+        assert "app-aware" in out
+
+    def test_objective_choices_come_from_the_registry(self, capsys):
+        """A name argparse accepts must be a registered objective, and
+        an unregistered one must be rejected at parse time."""
+        from repro.hecate.objectives import objective_names
+
+        with pytest.raises(SystemExit):
+            main(["scenarios", "run", "qoe-mixed-steady",
+                  "--objective", "max_everything"])
+        err = capsys.readouterr().err
+        for name in objective_names():
+            assert name in err  # argparse lists the valid choices
+
+    def test_scenarios_run_objective_override(self, capsys):
+        assert main([
+            "scenarios", "run", "qoe-mixed-steady",
+            "--objective", "max_bandwidth",
+            "--horizon", "6", "--warmup", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "qoe" in out and "mean MOS over 5 flows" in out
+
+    def test_service_run_objective_override(self, capsys):
+        assert main([
+            "service", "run", "ring-steady",
+            "--rate", "30", "--duration", "4", "--warmup", "1",
+            "--objective", "min_latency",
+        ]) == 0
+        assert "admission" in capsys.readouterr().out
+
+    def test_sweep_objective_adds_a_policy_axis(self, capsys):
+        assert main([
+            "scenarios", "sweep", "qoe-mixed-steady",
+            "--backend", "fluid", "--objective", "max_qoe",
+            "--horizon", "6", "--warmup", "2", "--no-cache",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "objective=max_qoe" in out
+
+    def test_policy_parse_error_names_the_objectives(self, capsys):
+        assert main([
+            "scenarios", "sweep", "qoe-mixed-steady",
+            "--policy", "objective", "--no-cache",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "repro objectives list" in err and "max_qoe" in err
+
+    def test_policy_rejects_unknown_objective_before_any_run(self, capsys):
+        # must fail fast at parse time (like --objective's choices=),
+        # not run a sweep whose every placement silently fails
+        assert main([
+            "scenarios", "sweep", "qoe-mixed-steady",
+            "--policy", "objective=bogus", "--no-cache",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "unknown objective 'bogus'" in err
+        assert "repro objectives list" in err and "max_qoe" in err

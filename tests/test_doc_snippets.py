@@ -20,6 +20,7 @@ from repro.cli import (
     EXPERIMENTS,
     build_backends_parser,
     build_lint_parser,
+    build_objectives_parser,
     build_scenarios_parser,
     build_service_parser,
     main,
@@ -98,6 +99,8 @@ def test_documented_command_is_valid(where, tokens):
             )
     elif group == "backends":
         _parse(build_backends_parser(), tokens[1:], where)
+    elif group == "objectives":
+        _parse(build_objectives_parser(), tokens[1:], where)
     elif group == "lint":
         _parse(build_lint_parser(), tokens[1:], where)
     elif group == "service":
@@ -127,6 +130,7 @@ def test_documentation_actually_documents_commands():
         ["scenarios", "list"],
         ["backends", "list"],
         ["service", "list"],
+        ["objectives", "list"],
         ["lint", "--list-rules"],
     ],
     ids=lambda argv: " ".join(argv),
